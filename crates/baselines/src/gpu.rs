@@ -1,0 +1,204 @@
+//! The Titan-V-like GPU baseline.
+//!
+//! The paper simulates a Titan V (80 SMs, 24 memory channels) in GPGPUsim
+//! with the same DRAM timing as Newton, runs Cutlass 1.3 kernels, and
+//! subtracts Cutlass's constant launch overheads (Sec. IV). What remains,
+//! for a memory-bound MV kernel, is characterized by:
+//!
+//! * the *achieved* DRAM bandwidth, which for skinny GEMV kernels is a
+//!   small and working-set-dependent fraction of peak (uncoalesced row
+//!   activations, low occupancy on short rows, tail quantization across
+//!   80 SMs);
+//! * a compute roofline that takes over under batching, when the k-way
+//!   weight reuse turns the kernel compute-bound (Sec. V-D);
+//! * a small residual per-kernel cost that the paper's subtraction cannot
+//!   remove (scheduling, L2 warmup), which dominates only for tiny
+//!   matrices — "especially pronounced in DLRMs1" (Sec. V-A).
+//!
+//! [`GpuCalibration`] holds the only tuned constants in this repository.
+//! They are set once so the Ideal-Non-PIM-to-GPU geomean gap over the
+//! Table II layers matches the paper's published 5.4×; every Newton
+//! number is then produced by the cycle simulator, not by fiat.
+
+use newton_workloads::models::EndToEndModel;
+use newton_workloads::MvShape;
+
+/// Tuned constants of the GPU model (see module docs; DESIGN.md §2 and
+/// §6 document the calibration procedure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCalibration {
+    /// Peak external DRAM bandwidth in bytes/ns (24 channels of the
+    /// Table III device: 24 x 32 B / 4 ns = 192 B/ns).
+    pub bandwidth_bytes_per_ns: f64,
+    /// Asymptotic achieved-bandwidth fraction for large streaming GEMV.
+    pub eff_max: f64,
+    /// Working-set size (bytes) at which half of `eff_max` is achieved.
+    pub s_half_bytes: f64,
+    /// Residual per-kernel cost (ns) after the paper's constant-overhead
+    /// subtraction.
+    pub kernel_overhead_ns: f64,
+    /// Sustained fp16 FLOP/ns on skinny batched GEMM (well below the
+    /// 110 TFLOP/s tensor-core peak).
+    pub compute_flops_per_ns: f64,
+}
+
+impl Default for GpuCalibration {
+    fn default() -> GpuCalibration {
+        GpuCalibration {
+            bandwidth_bytes_per_ns: 192.0,
+            eff_max: 0.23,
+            s_half_bytes: 512.0 * 1024.0,
+            kernel_overhead_ns: 2_000.0,
+            compute_flops_per_ns: 15_000.0,
+        }
+    }
+}
+
+/// The Titan-V-like GPU performance model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TitanVModel {
+    cal: GpuCalibration,
+}
+
+impl TitanVModel {
+    /// Creates the model with the default (paper-matching) calibration.
+    #[must_use]
+    pub fn new() -> TitanVModel {
+        TitanVModel::default()
+    }
+
+    /// Creates the model with explicit calibration constants.
+    #[must_use]
+    pub fn with_calibration(cal: GpuCalibration) -> TitanVModel {
+        TitanVModel { cal }
+    }
+
+    /// The calibration in use.
+    #[must_use]
+    pub fn calibration(&self) -> &GpuCalibration {
+        &self.cal
+    }
+
+    /// Achieved-bandwidth fraction for a working set of `bytes`.
+    #[must_use]
+    pub fn efficiency(&self, bytes: f64) -> f64 {
+        self.cal.eff_max * bytes / (bytes + self.cal.s_half_bytes)
+    }
+
+    /// Kernel time (ns) for one `[m x n] * [n x k]` product at batch `k`
+    /// (the whole batch, not per inference).
+    #[must_use]
+    pub fn mv_time_ns(&self, shape: MvShape, batch: usize) -> f64 {
+        let batch = batch.max(1) as f64;
+        let bytes = shape.matrix_bytes() as f64;
+        let t_mem = bytes / (self.cal.bandwidth_bytes_per_ns * self.efficiency(bytes));
+        let flops = 2.0 * shape.macs() as f64 * batch;
+        let t_comp = flops / self.cal.compute_flops_per_ns;
+        t_mem.max(t_comp) + self.cal.kernel_overhead_ns
+    }
+
+    /// Per-inference time (ns) at batch `k` (matrix reuse amortized).
+    #[must_use]
+    pub fn per_inference_ns(&self, shape: MvShape, batch: usize) -> f64 {
+        self.mv_time_ns(shape, batch) / batch.max(1) as f64
+    }
+
+    /// End-to-end model inference time (ns) at batch `k`, including the
+    /// non-FC (e.g. convolutional) portion via the model's published FC
+    /// time fraction.
+    #[must_use]
+    pub fn model_time_ns(&self, model: &EndToEndModel, batch: usize) -> f64 {
+        let fc: f64 = model
+            .layers
+            .iter()
+            .map(|l| self.per_inference_ns(l.shape, batch))
+            .sum();
+        fc / model.fc_fraction_gpu
+    }
+
+    /// The non-FC portion of a model's inference time (ns) at batch `k`
+    /// (what runs on the GPU even in a Newton system — e.g. AlexNet's
+    /// conv layers).
+    #[must_use]
+    pub fn non_fc_time_ns(&self, model: &EndToEndModel, batch: usize) -> f64 {
+        self.model_time_ns(model, batch) * (1.0 - model.fc_fraction_gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_workloads::Benchmark;
+
+    fn geomean(xs: &[f64]) -> f64 {
+        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    }
+
+    /// The one calibration contract: Ideal Non-PIM (analytic, bytes/BW)
+    /// is ~5.4x faster than the GPU, geomean over the Table II layers
+    /// (paper Fig. 8), with DLRM the most pronounced outlier (Sec. V-A).
+    #[test]
+    fn calibration_reproduces_the_published_ideal_vs_gpu_gap() {
+        let gpu = TitanVModel::new();
+        let bw = gpu.calibration().bandwidth_bytes_per_ns;
+        let mut ratios = Vec::new();
+        let mut dlrm_ratio = 0.0;
+        for b in Benchmark::all() {
+            let s = b.shape();
+            let ideal = s.matrix_bytes() as f64 / bw;
+            let r = gpu.mv_time_ns(s, 1) / ideal;
+            if b == Benchmark::DlrmS1 {
+                dlrm_ratio = r;
+            }
+            ratios.push(r);
+        }
+        let g = geomean(&ratios);
+        assert!((5.0..5.9).contains(&g), "geomean {g} should be ~5.4");
+        assert!(
+            ratios.iter().all(|&r| r <= dlrm_ratio),
+            "DLRM must be the most pronounced: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn efficiency_grows_with_working_set() {
+        let gpu = TitanVModel::new();
+        assert!(gpu.efficiency(1e6) < gpu.efficiency(1e8));
+        assert!(gpu.efficiency(1e12) <= gpu.calibration().eff_max);
+    }
+
+    #[test]
+    fn batching_amortizes_memory_until_compute_bound() {
+        let gpu = TitanVModel::new();
+        let s = Benchmark::GnmtS1.shape();
+        let t1 = gpu.per_inference_ns(s, 1);
+        let t8 = gpu.per_inference_ns(s, 8);
+        let t1024 = gpu.per_inference_ns(s, 1024);
+        assert!(t8 < t1 / 6.0, "near-linear at small k: {t1} -> {t8}");
+        // Compute floor: 2mn / flops.
+        let floor = 2.0 * s.macs() as f64 / gpu.calibration().compute_flops_per_ns;
+        assert!(t1024 >= floor && t1024 < floor * 1.5, "{t1024} vs {floor}");
+    }
+
+    #[test]
+    fn alexnet_model_time_is_conv_dominated() {
+        let gpu = TitanVModel::new();
+        let alex = EndToEndModel::alexnet();
+        let total = gpu.model_time_ns(&alex, 1);
+        let non_fc = gpu.non_fc_time_ns(&alex, 1);
+        assert!((non_fc / total - 0.85).abs() < 1e-9);
+        // NLP models are FC-dominated.
+        let bert = EndToEndModel::bert();
+        assert!(gpu.non_fc_time_ns(&bert, 1) / gpu.model_time_ns(&bert, 1) < 0.01);
+    }
+
+    #[test]
+    fn kernel_overhead_dominates_only_tiny_kernels() {
+        let gpu = TitanVModel::new();
+        let dlrm = gpu.mv_time_ns(Benchmark::DlrmS1.shape(), 1);
+        let big = gpu.mv_time_ns(Benchmark::AlexNetL6.shape(), 1);
+        let oh = gpu.calibration().kernel_overhead_ns;
+        assert!(oh / dlrm > 0.05, "overhead visible on DLRM");
+        assert!(oh / big < 0.01, "overhead negligible on AlexNetL6");
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation (Sec. III-C): the four-result-latch "option in between" vs
+//! full Newton.
+//!
+//! Paper reference: "the former [full reuse, one latch] performs
+//! virtually similarly to the latter while avoiding the latter's extra
+//! result latches. Therefore, we do not pursue this option further."
+
+use newton_bench::ablation_latches;
+use newton_bench::report::{fns, fx, geomean, Table};
+
+fn main() {
+    println!("=== Ablation: 4 result latches per bank vs full Newton (1 latch) ===");
+    let rows = ablation_latches().expect("ablation");
+    let mut t = Table::new(&["layer", "Newton (1 latch)", "4-latch option", "ratio"]);
+    let mut ratios = Vec::new();
+    for r in &rows {
+        ratios.push(r.slowdown());
+        t.row(&[
+            r.name.clone(),
+            fns(r.newton_ns),
+            fns(r.variant_ns),
+            fx(r.slowdown()),
+        ]);
+    }
+    t.row(&["geomean".into(), String::new(), String::new(), fx(geomean(&ratios))]);
+    println!("{}", t.render());
+    println!("paper: the two options perform virtually similarly");
+
+    let g = geomean(&ratios);
+    assert!(
+        (0.8..1.6).contains(&g),
+        "the 4-latch option should be roughly comparable to full Newton, got {g}"
+    );
+}

@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks of the bf16 substrate: scalar conversion,
+//! arithmetic, and the 16-input adder-tree reduction used by every COMP.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use newton_bf16::{reduce, Bf16};
+
+fn bench_bf16(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..1024).map(|i| (i as f32).sin()).collect();
+    c.bench_function("bf16/from_f32 x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for &x in &xs {
+                acc ^= Bf16::from_f32(black_box(x)).to_bits();
+            }
+            acc
+        })
+    });
+
+    let bf: Vec<Bf16> = xs.iter().map(|&x| Bf16::from_f32(x)).collect();
+    c.bench_function("bf16/scalar mul-add x1024", |b| {
+        b.iter(|| {
+            let mut acc = Bf16::ZERO;
+            for w in bf.chunks_exact(2) {
+                acc = acc.accumulate_wide(w[0].mul_round(w[1]).to_f32());
+            }
+            acc
+        })
+    });
+
+    let weights = &bf[..16];
+    let inputs = &bf[16..32];
+    c.bench_function("bf16/dot_chunk_wide (one COMP step)", |b| {
+        b.iter(|| reduce::dot_chunk_wide(black_box(weights), black_box(inputs)))
+    });
+    c.bench_function("bf16/tree_reduce_bf16 x16", |b| {
+        b.iter(|| reduce::tree_reduce_bf16(black_box(weights)))
+    });
+}
+
+criterion_group!(benches, bench_bf16);
+criterion_main!(benches);

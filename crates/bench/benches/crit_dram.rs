@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the DRAM timing engine: command issue
+//! throughput and full-row streaming.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use newton_dram::stream::StreamReader;
+use newton_dram::{Channel, DramConfig};
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/activate+read+precharge cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+                ch.disable_refresh();
+                ch
+            },
+            |mut ch| {
+                let mut now = 0;
+                for i in 0..64 {
+                    let bank = i % 16;
+                    let a = ch.earliest_activate(bank).max(now);
+                    ch.issue_activate(a, bank, i / 16).unwrap();
+                    let r = ch.earliest_column_read(a, bank);
+                    ch.issue_column_read_external(r, bank, 0).unwrap();
+                    let p = ch.earliest_precharge(bank);
+                    ch.issue_precharge(p, bank).unwrap();
+                    now = r;
+                }
+                ch
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("dram/stream 64 rows (ideal non-PIM path)", |b| {
+        b.iter_batched(
+            || {
+                let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+                ch.disable_refresh();
+                ch
+            },
+            |mut ch| {
+                let rows: Vec<(usize, usize)> = (0..64).map(|i| (i % 16, i / 16)).collect();
+                let mut reader = StreamReader::new(&mut ch);
+                reader.read_rows(0, &rows, |_, _, _| {}).unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

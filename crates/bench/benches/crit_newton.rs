@@ -1,0 +1,38 @@
+//! Criterion microbenchmark of the end-to-end Newton simulator: simulated
+//! DLRM layers per second (the full pipeline — layout, command stream,
+//! timing validation, bf16 arithmetic, host reduction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use newton_core::config::NewtonConfig;
+use newton_core::system::NewtonSystem;
+use newton_workloads::{generator, Benchmark};
+
+fn bench_newton(c: &mut Criterion) {
+    let shape = Benchmark::DlrmS1.shape();
+    let matrix = generator::matrix(shape, 1);
+    let vector = generator::vector(shape.n, 1);
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 4;
+
+    c.bench_function("newton/simulate DLRM layer (4 channels)", |b| {
+        b.iter(|| {
+            let mut sys = NewtonSystem::new(cfg.clone()).unwrap();
+            sys.run_mv(&matrix, shape.m, shape.n, &vector).unwrap()
+        })
+    });
+
+    let mut cfg1 = NewtonConfig::paper_default();
+    cfg1.channels = 1;
+    let bshape = Benchmark::BertS1.shape();
+    let bmatrix = generator::matrix(bshape, 2);
+    let bvector = generator::vector(bshape.n, 2);
+    c.bench_function("newton/simulate BERTs1 layer (1 channel)", |b| {
+        b.iter(|| {
+            let mut sys = NewtonSystem::new(cfg1.clone()).unwrap();
+            sys.run_mv(&bmatrix, bshape.m, bshape.n, &bvector).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_newton);
+criterion_main!(benches);

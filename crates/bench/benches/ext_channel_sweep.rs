@@ -1,0 +1,42 @@
+//! Extension (Sec. V-C): "if more parallelism is needed, adding channels
+//! remains an option. With additional channels, Newton benefits from the
+//! best of both worlds — increased compute parallelism without
+//! exacerbating the Amdahl's Law bottleneck." This bench measures
+//! channel-count scaling and contrasts it with Fig. 10's sublinear bank
+//! scaling.
+
+use newton_bench::ext_channel_sweep;
+use newton_bench::report::{fns, Table};
+
+fn main() {
+    println!("=== Extension: channel scaling (GNMTs1) ===");
+    let rows = ext_channel_sweep().expect("sweep");
+    let mut t = Table::new(&["channels", "layer time", "scaling vs 8ch", "efficiency"]);
+    for r in &rows {
+        t.row(&[
+            r.channels.to_string(),
+            fns(r.newton_ns),
+            format!("{:.2}x", r.scaling),
+            format!("{:.0}%", r.efficiency * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Sec. V-C): channel scaling avoids the activation-overhead Amdahl effect\n\
+         that makes bank scaling sublinear (Fig. 10)"
+    );
+
+    // Near-linear: 6x the channels must keep >= 70% parallel efficiency
+    // (the residue is row-group quantization, not an Amdahl term).
+    let last = rows.last().unwrap();
+    assert!(
+        last.efficiency > 0.7,
+        "channel scaling efficiency {:.2} at {} channels",
+        last.efficiency,
+        last.channels
+    );
+    // And monotone.
+    for w in rows.windows(2) {
+        assert!(w[1].newton_ns <= w[0].newton_ns * 1.001);
+    }
+}

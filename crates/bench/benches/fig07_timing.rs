@@ -1,0 +1,30 @@
+//! Figure 7: Newton's computation timing for one DRAM row across all
+//! banks — the command timeline GWRITE* / G_ACT0..3 / COMP0..31 /
+//! READRES, with G_ACTs spaced by tFAW and COMPs at the tCCD cadence.
+
+use newton_bench::fig07_command_trace;
+
+fn main() {
+    println!("=== Fig. 7: command timeline, one DRAM row across all banks ===");
+    let trace = fig07_command_trace().expect("fig07");
+    println!("{trace}");
+
+    // Structural checks mirroring the figure.
+    let lines: Vec<&str> = trace.lines().collect();
+    let count = |needle: &str| lines.iter().filter(|l| l.contains(needle)).count();
+    assert_eq!(count("GWRITE"), 32, "a 512-element chunk loads in 32 GWRITEs");
+    assert_eq!(count("G_ACT"), 4, "four ganged activations cover 16 banks");
+    assert_eq!(count("COMP"), 32, "one COMP per column I/O of the row");
+    assert_eq!(count("READRES"), 1, "one ganged result read per row-set");
+
+    // COMPs stream at the tCCD cadence (4 ns apart).
+    let comp_times: Vec<u64> = lines
+        .iter()
+        .filter(|l| l.contains("COMP"))
+        .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    for w in comp_times.windows(2) {
+        assert_eq!(w[1] - w[0], 4, "COMP cadence must be tCCD");
+    }
+    println!("checks passed: 32 GWRITE, 4 G_ACT (tFAW-spaced), 32 COMP @ tCCD, 1 READRES");
+}

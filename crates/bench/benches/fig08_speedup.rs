@@ -1,0 +1,38 @@
+//! Figure 8: speedup over a Titan-V-like GPU — per-layer (left) and
+//! end-to-end (right) — for Newton, Non-opt-Newton, and Ideal Non-PIM.
+//!
+//! Paper reference points: per-layer geomeans of 54x (Newton), 5.4x
+//! (Ideal Non-PIM), 1.48x (Non-opt-Newton); end-to-end DLRM 47x, AlexNet
+//! 1.2x, overall mean 20x, key-target mean 49x.
+
+use newton_bench::report::{fx, Table};
+use newton_bench::{fig08_end_to_end, fig08_layers, measure_all_layers};
+
+fn main() {
+    println!("=== Fig. 8 (left): per-layer speedup over the GPU ===");
+    let layers = measure_all_layers(&newton_core::NewtonConfig::paper_default())
+        .expect("layer measurements");
+    let rows = fig08_layers(&layers).expect("fig08 layers");
+    let mut t = Table::new(&["layer", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
+    for r in &rows {
+        t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+    }
+    println!("{}", t.render());
+    let g = rows.last().expect("geomean row");
+    println!(
+        "paper: geomean Newton 54x, Ideal 5.4x, Non-opt 1.48x\n\
+         ours : geomean Newton {}, Ideal {}, Non-opt {}\n",
+        fx(g.newton_x),
+        fx(g.ideal_x),
+        fx(g.nonopt_x)
+    );
+
+    println!("=== Fig. 8 (right): end-to-end speedup over the GPU ===");
+    let rows = fig08_end_to_end().expect("fig08 e2e");
+    let mut t = Table::new(&["model", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
+    for r in &rows {
+        t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+    }
+    println!("{}", t.render());
+    println!("paper: DLRM 47x, AlexNet 1.2x, mean(all) 20x, mean(key targets) 49x");
+}

@@ -1,0 +1,38 @@
+//! Figure 9: isolating Newton's optimizations by progressively enabling
+//! them — gang, complex, reuse, four-bank, aggressive tFAW.
+//!
+//! Paper reference points: Non-opt-Newton at 1.48x over the GPU, each
+//! optimization improving performance (ganged compute the largest single
+//! step: 16x command-bandwidth reduction; complex commands a further 3x),
+//! reaching 54x at full Newton.
+
+use newton_bench::fig09_ladder;
+use newton_bench::report::{fx, Table};
+
+fn main() {
+    println!("=== Fig. 9: the optimization ladder (geomean over Table II layers) ===");
+    let rows = fig09_ladder().expect("fig09");
+    let mut t = Table::new(&["configuration", "speedup vs GPU", "step gain"]);
+    let mut prev: Option<f64> = None;
+    for r in &rows {
+        let gain = prev.map_or("-".to_string(), |p| format!("{:.2}x", r.speedup_x / p));
+        t.row(&[r.level.label().into(), fx(r.speedup_x), gain]);
+        prev = Some(r.speedup_x);
+    }
+    println!("{}", t.render());
+    println!("paper: 1.48x (non-opt) rising monotonically to 54x (full), gang the largest step");
+
+    // Invariant the paper states: every optimization helps.
+    for w in rows.windows(2) {
+        assert!(
+            w[1].speedup_x >= w[0].speedup_x * 0.999,
+            "{:?} regressed vs {:?}",
+            w[1].level,
+            w[0].level
+        );
+    }
+    // And ganged compute is the largest single step.
+    let gains: Vec<f64> = rows.windows(2).map(|w| w[1].speedup_x / w[0].speedup_x).collect();
+    let max = gains.iter().cloned().fold(0.0f64, f64::max);
+    assert!((gains[0] - max).abs() < 1e-9, "gang should be the largest step: {gains:?}");
+}

@@ -1,0 +1,30 @@
+//! Figure 10: sensitivity to the number of banks per channel.
+//!
+//! Paper reference points: geomean speedup over the GPU of 28x at 8
+//! banks, 54x at 16, 96x at 32 — sublinear in banks because of the
+//! Amdahl's-law effect of the activation overheads (Sec. III-F's `o`).
+
+use newton_bench::fig10_bank_sweep;
+use newton_bench::report::{fx, Table};
+
+fn main() {
+    println!("=== Fig. 10: speedup vs GPU as banks/channel scale ===");
+    let rows = fig10_bank_sweep().expect("fig10");
+    let mut t = Table::new(&["layer", "8 banks", "16 banks", "32 banks"]);
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            fx(r.speedup_x[0]),
+            fx(r.speedup_x[1]),
+            fx(r.speedup_x[2]),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: geomean 28x / 54x / 96x — sublinear scaling (Amdahl on activation overhead)");
+
+    let g = rows.last().expect("geomean row");
+    assert!(g.speedup_x[0] < g.speedup_x[1] && g.speedup_x[1] < g.speedup_x[2]);
+    // Sublinear: doubling banks must less-than-double the speedup.
+    assert!(g.speedup_x[1] / g.speedup_x[0] < 2.0);
+    assert!(g.speedup_x[2] / g.speedup_x[1] < 2.0);
+}

@@ -1,0 +1,46 @@
+//! Figure 11: batch-size sensitivity against Ideal Non-PIM, normalized
+//! to the GPU at batch 1.
+//!
+//! Paper reference points: Newton's performance is flat in k (its compute
+//! cannot exploit batch reuse); Ideal Non-PIM scales linearly, nearly
+//! catching Newton at k = 8 and passing it ~1.6x at k = 16.
+
+use newton_bench::report::{fx, Table};
+use newton_bench::{fig11_batch_vs_ideal, measure_all_layers, BATCH_SIZES};
+use newton_core::NewtonConfig;
+
+fn main() {
+    println!("=== Fig. 11: batch sensitivity (Ideal Non-PIM), perf normalized to GPU @ k=1 ===");
+    let layers = measure_all_layers(&NewtonConfig::paper_default()).expect("layers");
+    let rows = fig11_batch_vs_ideal(&layers).expect("fig11");
+    let header: Vec<String> = ["layer", "arch"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .chain(BATCH_SIZES.iter().map(|k| format!("k={k}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for r in &rows {
+        let mut newton = vec![r.name.clone(), "Newton".into()];
+        newton.extend(r.newton.iter().map(|v| fx(*v)));
+        t.row(&newton);
+        let mut ideal = vec![String::new(), "Ideal".into()];
+        ideal.extend(r.other.iter().map(|v| fx(*v)));
+        t.row(&ideal);
+    }
+    println!("{}", t.render());
+    println!("paper: Ideal Non-PIM nearly catches Newton at k=8 and is ~1.6x faster at k=16");
+
+    // Crossover-shape assertions (aggregate over layers).
+    let ratio_at = |k_idx: usize| -> f64 {
+        let mut rs = Vec::new();
+        for r in &rows {
+            rs.push(r.other[k_idx] / r.newton[k_idx]);
+        }
+        newton_bench::report::geomean(&rs)
+    };
+    let at1 = ratio_at(0);
+    let at16 = ratio_at(4);
+    assert!(at1 < 0.5, "at k=1 Ideal is far behind Newton: {at1}");
+    assert!(at16 > 1.0, "at k=16 Ideal has passed Newton: {at16}");
+}

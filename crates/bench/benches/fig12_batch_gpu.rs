@@ -1,0 +1,40 @@
+//! Figure 12: batch-size sensitivity against the Titan-V-like GPU,
+//! normalized to the GPU at batch 1.
+//!
+//! Paper reference point: "a large batch size of 64 is needed for the GPU
+//! to outperform Newton" — Newton remains significantly faster at batch
+//! sizes of 8 and lower.
+
+use newton_bench::report::{fx, geomean, Table};
+use newton_bench::{fig12_batch_vs_gpu, measure_all_layers, BATCH_SIZES};
+use newton_core::NewtonConfig;
+
+fn main() {
+    println!("=== Fig. 12: batch sensitivity (GPU), perf normalized to GPU @ k=1 ===");
+    let layers = measure_all_layers(&NewtonConfig::paper_default()).expect("layers");
+    let rows = fig12_batch_vs_gpu(&layers);
+    let header: Vec<String> = ["layer", "arch"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .chain(BATCH_SIZES.iter().map(|k| format!("k={k}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for r in &rows {
+        let mut newton = vec![r.name.clone(), "Newton".into()];
+        newton.extend(r.newton.iter().map(|v| fx(*v)));
+        t.row(&newton);
+        let mut gpu = vec![String::new(), "GPU".into()];
+        gpu.extend(r.other.iter().map(|v| fx(*v)));
+        t.row(&gpu);
+    }
+    println!("{}", t.render());
+    println!("paper: the GPU needs batch 64 to outperform Newton; Newton wins at k <= 8");
+
+    let ratio_at = |k_idx: usize| -> f64 {
+        let rs: Vec<f64> = rows.iter().map(|r| r.other[k_idx] / r.newton[k_idx]).collect();
+        geomean(&rs)
+    };
+    assert!(ratio_at(3) < 1.0, "at k=8 Newton still wins: {}", ratio_at(3));
+    assert!(ratio_at(5) > 1.0, "at k=64 the GPU has passed Newton: {}", ratio_at(5));
+}

@@ -1,0 +1,267 @@
+//! Regenerates every table and figure of the Newton (MICRO 2020)
+//! evaluation in one run. See EXPERIMENTS.md for the paper-vs-measured
+//! record.
+//!
+//! Usage:
+//!
+//! ```sh
+//! reproduce                 # everything (~35 s in release)
+//! reproduce --list          # list experiment names
+//! reproduce --only fig09    # any subset, by substring (comma-separated)
+//! ```
+
+use newton_bench::report::{fns, fx, geomean, Table};
+use newton_bench::*;
+use newton_workloads::Benchmark;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2", "table3", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+    "ablations", "extensions",
+];
+
+struct Filter(Vec<String>);
+
+impl Filter {
+    fn from_args() -> Filter {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--list") {
+            println!("experiments: {}", EXPERIMENTS.join(", "));
+            std::process::exit(0);
+        }
+        let mut only = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if a == "--only" {
+                match it.next() {
+                    Some(v) => only.extend(v.split(',').map(|s| s.trim().to_string())),
+                    None => {
+                        eprintln!("error: --only requires a value (try --list)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        // Reject filters that match nothing rather than silently running
+        // an empty evaluation.
+        for f in &only {
+            if !EXPERIMENTS.iter().any(|e| e.contains(f.as_str())) {
+                eprintln!("error: no experiment matches {f:?} (try --list)");
+                std::process::exit(2);
+            }
+        }
+        Filter(only)
+    }
+
+    fn wants(&self, name: &str) -> bool {
+        self.0.is_empty() || self.0.iter().any(|f| name.contains(f.as_str()))
+    }
+}
+
+fn main() {
+    let filter = Filter::from_args();
+    let t0 = std::time::Instant::now();
+    println!("Newton (MICRO 2020) reproduction\n");
+
+    if filter.wants("table2") {
+        let mut t = Table::new(&["Table II workload", "matrix", "vector", "weights"]);
+        for b in Benchmark::all() {
+            let s = b.shape();
+            t.row(&[
+                b.name().into(),
+                format!("{} x {}", s.m, s.n),
+                format!("{} x 1", s.n),
+                format!("{:.1} MB", s.matrix_bytes() as f64 / 1e6),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if filter.wants("table3") {
+        let mv = model_validation().expect("model validation");
+        println!("Sec. III-F model vs simulator (speedup over Ideal Non-PIM):");
+        println!("  paper formula : {}", fx(mv.paper_model_x));
+        println!("  refined model : {}", fx(mv.refined_model_x));
+        println!("  measured      : {}\n", fx(mv.measured_x));
+    }
+
+    if filter.wants("fig07") {
+        println!("Fig. 7 command timeline (one DRAM row across all banks, first 44 commands):");
+        let trace = fig07_command_trace().expect("fig07");
+        for line in trace.lines().take(44) {
+            println!("  {line}");
+        }
+        println!();
+    }
+
+    let needs_layers = filter.wants("fig08")
+        || filter.wants("fig11")
+        || filter.wants("fig12")
+        || filter.wants("fig13");
+    let layers = if needs_layers {
+        let layers = measure_all_layers(&newton_core::NewtonConfig::paper_default())
+            .expect("layer measurements");
+        for m in &layers {
+            assert!(
+                m.numerics_ok,
+                "{}: numeric error {} out of bounds",
+                m.benchmark.name(),
+                m.max_numeric_error
+            );
+        }
+        layers
+    } else {
+        Vec::new()
+    };
+
+
+    if filter.wants("fig08") {
+        println!("Fig. 8 (left): per-layer speedup over the Titan-V-like GPU");
+        let rows = fig08_layers(&layers).expect("fig08 layers");
+        let mut t = Table::new(&["layer", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
+        for r in &rows {
+            t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+        }
+        println!("{}", t.render());
+        println!("paper: geomean Newton 54x, Ideal 5.4x, Non-opt 1.48x\n");
+
+        println!("Fig. 8 (right): end-to-end speedup over the Titan-V-like GPU");
+        let rows = fig08_end_to_end().expect("fig08 e2e");
+        let mut t = Table::new(&["model", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
+        for r in &rows {
+            t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+        }
+        println!("{}", t.render());
+        println!("paper: DLRM 47x, AlexNet 1.2x, mean(all) 20x, mean(key targets) 49x\n");
+    }
+
+    if filter.wants("fig09") {
+        println!("Fig. 9: isolating Newton's optimizations (geomean over layers)");
+        let rows = fig09_ladder().expect("fig09");
+        let mut t = Table::new(&["configuration", "speedup vs GPU"]);
+        for r in &rows {
+            t.row(&[r.level.label().into(), fx(r.speedup_x)]);
+        }
+        println!("{}", t.render());
+    }
+
+    if filter.wants("fig10") {
+        println!("Fig. 10: sensitivity to banks per channel");
+        let rows = fig10_bank_sweep().expect("fig10");
+        let mut t = Table::new(&["layer", "8 banks", "16 banks", "32 banks"]);
+        for r in &rows {
+            t.row(&[
+                r.name.clone(),
+                fx(r.speedup_x[0]),
+                fx(r.speedup_x[1]),
+                fx(r.speedup_x[2]),
+            ]);
+        }
+        println!("{}", t.render());
+        println!("paper: geomean 28x / 54x / 96x\n");
+    }
+
+    let batch_header = || -> Vec<String> {
+        ["layer", "arch"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .chain(BATCH_SIZES.iter().map(|k| format!("k={k}")))
+            .collect()
+    };
+
+    if filter.wants("fig11") {
+        println!("Fig. 11: batch sensitivity vs Ideal Non-PIM (perf normalized to GPU @ k=1)");
+        let rows = fig11_batch_vs_ideal(&layers).expect("fig11");
+        let header = batch_header();
+        let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hrefs);
+        for r in &rows {
+            let mut newton = vec![r.name.clone(), "Newton".into()];
+            newton.extend(r.newton.iter().map(|v| fx(*v)));
+            t.row(&newton);
+            let mut ideal = vec![String::new(), "Ideal".into()];
+            ideal.extend(r.other.iter().map(|v| fx(*v)));
+            t.row(&ideal);
+        }
+        println!("{}", t.render());
+        println!("paper: Ideal nearly catches Newton at k=8, ~1.6x ahead at k=16\n");
+    }
+
+    if filter.wants("fig12") {
+        println!("Fig. 12: batch sensitivity vs GPU (perf normalized to GPU @ k=1)");
+        let rows = fig12_batch_vs_gpu(&layers);
+        let header = batch_header();
+        let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hrefs);
+        for r in &rows {
+            let mut newton = vec![r.name.clone(), "Newton".into()];
+            newton.extend(r.newton.iter().map(|v| fx(*v)));
+            t.row(&newton);
+            let mut gpu = vec![String::new(), "GPU".into()];
+            gpu.extend(r.other.iter().map(|v| fx(*v)));
+            t.row(&gpu);
+        }
+        println!("{}", t.render());
+        println!("paper: the GPU needs batch 64 to outperform Newton\n");
+    }
+
+    if filter.wants("fig13") {
+        println!("Fig. 13: Newton average power normalized to conventional DRAM");
+        let rows = fig13_power(&layers);
+        let mut t = Table::new(&["workload", "normalized power"]);
+        for r in &rows {
+            t.row(&[r.name.clone(), format!("{:.2}x", r.normalized_power)]);
+        }
+        println!("{}", t.render());
+        println!("paper: ~2.8x mean\n");
+    }
+
+    if filter.wants("ablations") {
+        println!("Ablation (Sec. III-C): interleaved full-reuse vs Newton-no-reuse");
+        let rows = ablation_layout().expect("ablation layout");
+        let mut t = Table::new(&["layer", "Newton", "no-reuse", "slowdown"]);
+        let mut slow = Vec::new();
+        for r in &rows {
+            slow.push(r.slowdown());
+            t.row(&[r.name.clone(), fns(r.newton_ns), fns(r.variant_ns), fx(r.slowdown())]);
+        }
+        t.row(&["geomean".into(), String::new(), String::new(), fx(geomean(&slow))]);
+        println!("{}", t.render());
+
+        println!("Ablation (Sec. III-C): four result latches per bank vs full Newton");
+        let rows = ablation_latches().expect("ablation latches");
+        let mut t = Table::new(&["layer", "Newton", "4-latch", "ratio"]);
+        for r in &rows {
+            t.row(&[r.name.clone(), fns(r.newton_ns), fns(r.variant_ns), fx(r.slowdown())]);
+        }
+        println!("{}", t.render());
+    }
+
+    if filter.wants("extensions") {
+        println!("Extension (Sec. III-E): Newton across DRAM families");
+        let rows = ext_dram_families().expect("families");
+        let mut t = Table::new(&["family", "banks", "measured", "model"]);
+        for r in &rows {
+            t.row(&[
+                r.name.into(),
+                r.banks.to_string(),
+                fx(r.measured_x),
+                fx(r.predicted_x),
+            ]);
+        }
+        println!("{}", t.render());
+
+        println!("Extension (Sec. V-C): channel scaling (GNMTs1)");
+        let rows = ext_channel_sweep().expect("sweep");
+        let mut t = Table::new(&["channels", "layer time", "efficiency"]);
+        for r in &rows {
+            t.row(&[
+                r.channels.to_string(),
+                fns(r.newton_ns),
+                format!("{:.0}%", r.efficiency * 100.0),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+}

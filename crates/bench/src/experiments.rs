@@ -1,0 +1,770 @@
+//! One function per evaluated table/figure.
+//!
+//! Experiment index (see DESIGN.md §4):
+//!
+//! | paper | function |
+//! |-------|----------|
+//! | Fig. 7 | [`fig07_command_trace`] |
+//! | Fig. 8 (layers) | [`fig08_layers`] |
+//! | Fig. 8 (end-to-end) | [`fig08_end_to_end`] |
+//! | Fig. 9 | [`fig09_ladder`] |
+//! | Fig. 10 | [`fig10_bank_sweep`] |
+//! | Fig. 11 | [`fig11_batch_vs_ideal`] |
+//! | Fig. 12 | [`fig12_batch_vs_gpu`] |
+//! | Fig. 13 | [`fig13_power`] |
+//! | Sec. III-F / Table III | [`model_validation`] |
+//! | Sec. III-C ablations | [`ablation_layout`], [`ablation_latches`] |
+
+use newton_baselines::{IdealNonPim, TitanVModel};
+use newton_core::config::{NewtonConfig, OptLevel};
+use newton_core::lut::ActivationKind;
+use newton_core::system::{MvProblem, NewtonSystem, SystemRun};
+use newton_core::AimError;
+use newton_dram::stats::RunSummary;
+use newton_model::power::ActivityCounts;
+use newton_model::{PerfModel, PowerModel};
+use newton_workloads::models::EndToEndModel;
+use newton_workloads::reference::{self, Activation};
+use newton_workloads::{generator, Benchmark};
+
+use crate::report::geomean;
+
+/// Converts a workloads activation to the core device's kind.
+#[must_use]
+pub fn to_activation_kind(a: Activation) -> ActivationKind {
+    match a {
+        Activation::Identity => ActivationKind::Identity,
+        Activation::Relu => ActivationKind::Relu,
+        Activation::Sigmoid => ActivationKind::Sigmoid,
+        Activation::Tanh => ActivationKind::Tanh,
+    }
+}
+
+/// One fully measured Table II layer.
+#[derive(Debug, Clone)]
+pub struct LayerMeasurement {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Newton single-inference time (measured, cycle simulator), ns.
+    pub newton_ns: f64,
+    /// Ideal Non-PIM time (measured, cycle simulator), ns.
+    pub ideal_ns: f64,
+    /// Titan-V-like GPU time (calibrated model), ns.
+    pub gpu_ns: f64,
+    /// Largest |simulated − reference| over the output vector.
+    pub max_numeric_error: f64,
+    /// Whether the numeric error stayed within the bf16 error envelope.
+    pub numerics_ok: bool,
+    /// Per-channel DRAM summaries from the Newton run (power model input).
+    pub newton_summaries: Vec<RunSummary>,
+    /// DRAM summary of the Ideal Non-PIM (conventional) stream.
+    pub ideal_summary: RunSummary,
+}
+
+/// Measures one Table II layer on a Newton configuration.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_layer(cfg: &NewtonConfig, b: Benchmark) -> Result<LayerMeasurement, AimError> {
+    let shape = b.shape();
+    let matrix = generator::matrix(shape, b.seed());
+    let vector = generator::vector(shape.n, b.seed());
+
+    let mut sys = NewtonSystem::new(cfg.clone())?;
+    let run = sys.run_mv(&matrix, shape.m, shape.n, &vector)?;
+
+    // Numerical verification against the f64 reference.
+    let expect = reference::mv_f64(&matrix, shape.m, shape.n, &vector);
+    let mut max_err = 0.0f64;
+    let mut ok = true;
+    for (got, want) in run.output.iter().zip(&expect) {
+        let err = (*got as f64 - want).abs();
+        max_err = max_err.max(err);
+        let bound = newton_bf16::reduce::dot_error_bound(shape.n, 16, want.abs().max(1.0));
+        ok &= err <= bound;
+    }
+
+    let ideal = IdealNonPim::new(cfg.dram.clone(), cfg.channels);
+    let (ideal_out, ideal_summary) = ideal.run_layer_detailed(shape.m, shape.n)?;
+    let gpu = TitanVModel::new();
+
+    Ok(LayerMeasurement {
+        benchmark: b,
+        newton_ns: run.elapsed_ns,
+        ideal_ns: ideal_out.time_ns,
+        gpu_ns: gpu.mv_time_ns(shape, 1),
+        max_numeric_error: max_err,
+        numerics_ok: ok,
+        newton_summaries: run.channel_summaries.clone(),
+        ideal_summary,
+    })
+}
+
+/// Measures all Table II layers under the full Newton configuration.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_all_layers(cfg: &NewtonConfig) -> Result<Vec<LayerMeasurement>, AimError> {
+    Benchmark::all().iter().map(|&b| measure_layer(cfg, b)).collect()
+}
+
+// ----------------------------------------------------------------------
+// Figure 8
+// ----------------------------------------------------------------------
+
+/// One bar group of Fig. 8: speedups over the GPU.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Workload name.
+    pub name: String,
+    /// Full Newton speedup over the GPU.
+    pub newton_x: f64,
+    /// Ideal Non-PIM speedup over the GPU.
+    pub ideal_x: f64,
+    /// Non-opt-Newton speedup over the GPU.
+    pub nonopt_x: f64,
+}
+
+/// Fig. 8, left section: per-layer speedups over the Titan-V-like GPU
+/// for Newton, Non-opt-Newton and Ideal Non-PIM. The final row is the
+/// geometric mean.
+///
+/// Takes pre-computed full-Newton measurements (from
+/// [`measure_all_layers`]) so the expensive cycle simulations are shared
+/// with the other figures; only the Non-opt runs are measured here.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig08_layers(layers: &[LayerMeasurement]) -> Result<Vec<SpeedupRow>, AimError> {
+    let nonopt = NewtonConfig::at_level(OptLevel::NonOpt);
+    let mut rows = Vec::new();
+    let (mut sn, mut si, mut so) = (Vec::new(), Vec::new(), Vec::new());
+    for m in layers {
+        let non = measure_layer(&nonopt, m.benchmark)?;
+        let row = SpeedupRow {
+            name: m.benchmark.name().to_string(),
+            newton_x: m.gpu_ns / m.newton_ns,
+            ideal_x: m.gpu_ns / m.ideal_ns,
+            nonopt_x: non.gpu_ns / non.newton_ns,
+        };
+        sn.push(row.newton_x);
+        si.push(row.ideal_x);
+        so.push(row.nonopt_x);
+        rows.push(row);
+    }
+    rows.push(SpeedupRow {
+        name: "geomean".into(),
+        newton_x: geomean(&sn),
+        ideal_x: geomean(&si),
+        nonopt_x: geomean(&so),
+    });
+    Ok(rows)
+}
+
+/// Builds the `MvProblem` list (and owned matrices) for an end-to-end
+/// model. Weight matrices are shared per unique benchmark shape (the
+/// timing is identical; host memory stays bounded).
+fn model_problems(model: &EndToEndModel) -> Vec<(Vec<newton_bf16::Bf16>, usize, usize, Activation, bool, Option<usize>)> {
+    model
+        .layers
+        .iter()
+        .map(|l| {
+            (
+                generator::matrix(l.shape, l.benchmark.seed()),
+                l.shape.m,
+                l.shape.n,
+                l.activation,
+                l.batch_norm,
+                l.output_keep,
+            )
+        })
+        .collect()
+}
+
+/// An end-to-end measurement for one model.
+#[derive(Debug, Clone)]
+pub struct EndToEndMeasurement {
+    /// The speedup bars.
+    pub row: SpeedupRow,
+    /// Newton FC time (measured), ns.
+    pub newton_fc_ns: f64,
+    /// GPU total model time (incl. non-FC), ns.
+    pub gpu_total_ns: f64,
+    /// Refreshes interposed during the Newton run.
+    pub refreshes: u64,
+    /// The raw Newton system run.
+    pub run: SystemRun,
+}
+
+/// Runs one end-to-end model on Newton (measured) and composes the
+/// GPU/Ideal comparisons, applying Amdahl's law for the non-FC fraction.
+///
+/// `nonopt_layer_times` maps Table II benchmarks to their measured
+/// Non-opt-Newton layer times (running the 144-layer BERT at 48x command
+/// traffic end-to-end is composed from per-layer measurements instead of
+/// simulated, which is exact because layers are serialized anyway).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_end_to_end(
+    model: &EndToEndModel,
+    nonopt_layer_times: &[(Benchmark, f64)],
+) -> Result<EndToEndMeasurement, AimError> {
+    let cfg = NewtonConfig::paper_default();
+    let mut sys = NewtonSystem::new(cfg.clone())?;
+    let problems = model_problems(model);
+    let mv: Vec<MvProblem<'_>> = problems
+        .iter()
+        .map(|(w, m, n, act, bn, keep)| MvProblem {
+            matrix: w,
+            m: *m,
+            n: *n,
+            activation: to_activation_kind(*act),
+            batch_norm: *bn,
+            output_keep: *keep,
+        })
+        .collect();
+    let input = generator::vector(model.input_len(), 0xE2E);
+    let run = sys.run_model(&mv, &input)?;
+
+    let gpu = TitanVModel::new();
+    let gpu_total = gpu.model_time_ns(model, 1);
+    let non_fc = gpu.non_fc_time_ns(model, 1);
+
+    // Newton executes the FC layers; the non-FC portion still runs on the
+    // host GPU (Sec. IV: AlexNet's conv layers are compute-bound and
+    // unsuited for any PIM).
+    let newton_total = run.elapsed_ns + non_fc;
+
+    // Ideal Non-PIM end-to-end: stream every layer's matrix.
+    let ideal = IdealNonPim::new(cfg.dram.clone(), cfg.channels);
+    let shapes: Vec<(usize, usize)> = model.layers.iter().map(|l| (l.shape.m, l.shape.n)).collect();
+    let ideal_total = ideal.run_model(&shapes)?.time_ns + non_fc;
+
+    // Non-opt Newton end-to-end: serialized per-layer times.
+    let nonopt_fc: f64 = model
+        .layers
+        .iter()
+        .map(|l| {
+            nonopt_layer_times
+                .iter()
+                .find(|(b, _)| *b == l.benchmark)
+                .map_or(0.0, |(_, t)| *t)
+        })
+        .sum();
+    let nonopt_total = nonopt_fc + non_fc;
+
+    Ok(EndToEndMeasurement {
+        row: SpeedupRow {
+            name: model.name.to_string(),
+            newton_x: gpu_total / newton_total,
+            ideal_x: gpu_total / ideal_total,
+            nonopt_x: gpu_total / nonopt_total,
+        },
+        newton_fc_ns: run.elapsed_ns,
+        gpu_total_ns: gpu_total,
+        refreshes: run.stats.refreshes,
+        run,
+    })
+}
+
+/// Fig. 8, right section: end-to-end speedups for GNMT, BERT, AlexNet and
+/// DLRM, plus the overall mean and the key-target (BERT/GNMT/DLRM) mean.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig08_end_to_end() -> Result<Vec<SpeedupRow>, AimError> {
+    let nonopt = NewtonConfig::at_level(OptLevel::NonOpt);
+    let nonopt_times: Vec<(Benchmark, f64)> = Benchmark::all()
+        .iter()
+        .map(|&b| measure_layer(&nonopt, b).map(|m| (b, m.newton_ns)))
+        .collect::<Result<_, _>>()?;
+
+    let mut rows = Vec::new();
+    let (mut all_n, mut all_i, mut all_o, mut key_n) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for model in EndToEndModel::all() {
+        let m = measure_end_to_end(&model, &nonopt_times)?;
+        all_n.push(m.row.newton_x);
+        all_i.push(m.row.ideal_x);
+        all_o.push(m.row.nonopt_x);
+        if model.name != "AlexNet" {
+            key_n.push(m.row.newton_x);
+        }
+        rows.push(m.row);
+    }
+    rows.push(SpeedupRow {
+        name: "mean (all)".into(),
+        newton_x: geomean(&all_n),
+        ideal_x: geomean(&all_i),
+        nonopt_x: geomean(&all_o),
+    });
+    rows.push(SpeedupRow {
+        name: "mean (key targets)".into(),
+        newton_x: geomean(&key_n),
+        ideal_x: 0.0,
+        nonopt_x: 0.0,
+    });
+    Ok(rows)
+}
+
+// ----------------------------------------------------------------------
+// Figure 9
+// ----------------------------------------------------------------------
+
+/// One rung of the Fig. 9 optimization ladder.
+#[derive(Debug, Clone)]
+pub struct LadderRow {
+    /// The cumulative optimization level.
+    pub level: OptLevel,
+    /// Geomean speedup over the GPU across the Table II layers.
+    pub speedup_x: f64,
+}
+
+/// Fig. 9: isolating Newton's optimizations by progressively enabling
+/// them (geomean over the Table II layers at each rung).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig09_ladder() -> Result<Vec<LadderRow>, AimError> {
+    let mut rows = Vec::new();
+    for level in OptLevel::ladder() {
+        let cfg = NewtonConfig::at_level(level);
+        let mut speedups = Vec::new();
+        for b in Benchmark::all() {
+            let m = measure_layer(&cfg, b)?;
+            speedups.push(m.gpu_ns / m.newton_ns);
+        }
+        rows.push(LadderRow {
+            level,
+            speedup_x: geomean(&speedups),
+        });
+    }
+    Ok(rows)
+}
+
+// ----------------------------------------------------------------------
+// Figure 10
+// ----------------------------------------------------------------------
+
+/// One bank-count column of Fig. 10.
+#[derive(Debug, Clone)]
+pub struct BankSweepRow {
+    /// Benchmark name (or "geomean").
+    pub name: String,
+    /// Speedup over the GPU at 8, 16 and 32 banks per channel.
+    pub speedup_x: [f64; 3],
+}
+
+/// Fig. 10: sensitivity to the number of banks per channel (8/16/32).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig10_bank_sweep() -> Result<Vec<BankSweepRow>, AimError> {
+    let bank_counts = [8usize, 16, 32];
+    let mut per_bench: Vec<BankSweepRow> = Benchmark::all()
+        .iter()
+        .map(|b| BankSweepRow {
+            name: b.name().to_string(),
+            speedup_x: [0.0; 3],
+        })
+        .collect();
+    let mut means = [Vec::new(), Vec::new(), Vec::new()];
+    for (k, &banks) in bank_counts.iter().enumerate() {
+        let mut cfg = NewtonConfig::paper_default();
+        cfg.dram = cfg.dram.with_banks(banks);
+        for (j, &b) in Benchmark::all().iter().enumerate() {
+            let m = measure_layer(&cfg, b)?;
+            let s = m.gpu_ns / m.newton_ns;
+            per_bench[j].speedup_x[k] = s;
+            means[k].push(s);
+        }
+    }
+    per_bench.push(BankSweepRow {
+        name: "geomean".into(),
+        speedup_x: [geomean(&means[0]), geomean(&means[1]), geomean(&means[2])],
+    });
+    Ok(per_bench)
+}
+
+// ----------------------------------------------------------------------
+// Figures 11 & 12
+// ----------------------------------------------------------------------
+
+/// The batch sizes both batch figures sweep.
+pub const BATCH_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 64];
+
+/// One benchmark's batch sweep: performance normalized to the GPU at
+/// batch 1 (higher is better), for Newton and a comparison architecture.
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Newton normalized performance per batch size (constant in k —
+    /// Newton cannot exploit batch reuse, Sec. V-D).
+    pub newton: Vec<f64>,
+    /// Comparison architecture normalized performance per batch size.
+    pub other: Vec<f64>,
+}
+
+/// Fig. 11: batch-size sensitivity against Ideal Non-PIM.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig11_batch_vs_ideal(layers: &[LayerMeasurement]) -> Result<Vec<BatchRow>, AimError> {
+    let cfg = NewtonConfig::paper_default();
+    let ideal = IdealNonPim::new(cfg.dram.clone(), cfg.channels);
+    let mut rows = Vec::new();
+    for m in layers {
+        let shape = m.benchmark.shape();
+        let newton: Vec<f64> = BATCH_SIZES.iter().map(|_| m.gpu_ns / m.newton_ns).collect();
+        let other: Vec<f64> = BATCH_SIZES
+            .iter()
+            .map(|&k| Ok(m.gpu_ns / ideal.per_inference_ns(shape.m, shape.n, k)?))
+            .collect::<Result<_, newton_dram::DramError>>()?;
+        rows.push(BatchRow {
+            name: m.benchmark.name().to_string(),
+            newton,
+            other,
+        });
+    }
+    Ok(rows)
+}
+
+/// Fig. 12: batch-size sensitivity against the Titan-V-like GPU.
+#[must_use]
+pub fn fig12_batch_vs_gpu(layers: &[LayerMeasurement]) -> Vec<BatchRow> {
+    let gpu = TitanVModel::new();
+    layers
+        .iter()
+        .map(|m| {
+            let shape = m.benchmark.shape();
+            BatchRow {
+                name: m.benchmark.name().to_string(),
+                newton: BATCH_SIZES.iter().map(|_| m.gpu_ns / m.newton_ns).collect(),
+                other: BATCH_SIZES
+                    .iter()
+                    .map(|&k| m.gpu_ns / gpu.per_inference_ns(shape, k))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Figure 13
+// ----------------------------------------------------------------------
+
+/// One bar of Fig. 13.
+#[derive(Debug, Clone)]
+pub struct PowerRow {
+    /// Benchmark name (or "mean").
+    pub name: String,
+    /// Newton average power normalized to conventional DRAM at the same
+    /// workload.
+    pub normalized_power: f64,
+}
+
+/// Fig. 13: Newton's average power normalized to conventional DRAM.
+#[must_use]
+pub fn fig13_power(layers: &[LayerMeasurement]) -> Vec<PowerRow> {
+    let model = PowerModel::new();
+    let mut rows = Vec::new();
+    let mut vals = Vec::new();
+    for m in layers {
+        let newton = ActivityCounts::from_aim_summaries(&m.newton_summaries);
+        let conventional =
+            ActivityCounts::from_conventional_summaries(std::slice::from_ref(&m.ideal_summary));
+        let r = model.normalized(&newton, &conventional);
+        vals.push(r);
+        rows.push(PowerRow {
+            name: m.benchmark.name().to_string(),
+            normalized_power: r,
+        });
+    }
+    rows.push(PowerRow {
+        name: "mean".into(),
+        normalized_power: vals.iter().sum::<f64>() / vals.len().max(1) as f64,
+    });
+    rows
+}
+
+// ----------------------------------------------------------------------
+// Sec. III-F model validation (Table III configuration)
+// ----------------------------------------------------------------------
+
+/// Analytical-model-vs-simulator comparison (Sec. III-F / Sec. V-A).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelValidation {
+    /// Paper-formula predicted speedup over Ideal Non-PIM.
+    pub paper_model_x: f64,
+    /// Refined-formula prediction (adds the precharge turnaround the
+    /// cycle simulator faithfully exposes).
+    pub refined_model_x: f64,
+    /// Measured speedup over Ideal Non-PIM (cycle simulator, large
+    /// single-chunk layer, refresh disabled to match the model's scope).
+    pub measured_x: f64,
+}
+
+/// Validates the Sec. III-F analytical model against the simulator.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn model_validation() -> Result<ModelValidation, AimError> {
+    let model = PerfModel::paper_default();
+
+    // A large single-chunk matrix on one channel isolates the steady-state
+    // row-set period the model describes.
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 1;
+    let (m, n) = (16 * 64, 512);
+    let matrix = generator::matrix(newton_workloads::MvShape::new(m, n), 1);
+    let vector = generator::vector(n, 1);
+
+    let mut sys = NewtonSystem::new(cfg.clone())?;
+    for ch in sys.channels_mut() {
+        ch.channel_mut().disable_refresh();
+    }
+    let run = sys.run_mv(&matrix, m, n, &vector)?;
+
+    // Ideal bound for the same data: the analytic col*tCCD per row (the
+    // model's denominator), measured refresh-free.
+    let rows = (m * n * 2) / 1024;
+    let ideal_ns =
+        rows as f64 * cfg.dram.cols_per_row as f64 * cfg.dram.timing.t_ccd_ns;
+
+    Ok(ModelValidation {
+        paper_model_x: model.speedup_vs_ideal(),
+        refined_model_x: model.speedup_vs_ideal_refined(),
+        measured_x: ideal_ns / run.elapsed_ns,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Fig. 7 command trace
+// ----------------------------------------------------------------------
+
+/// Renders the Fig. 7-style command timeline for one DRAM row across all
+/// banks (GWRITEs, 4 G_ACTs, 32 COMPs, READRES).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig07_command_trace() -> Result<String, AimError> {
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 1;
+    let (m, n) = (16, 512);
+    let matrix = generator::matrix(newton_workloads::MvShape::new(m, n), 7);
+    let vector = generator::vector(n, 7);
+
+    use newton_core::controller::NewtonChannel;
+    use newton_core::layout::MatrixMapping;
+    use newton_core::tiling::{Schedule, ScheduleKind};
+    let mapping = MatrixMapping::new(
+        ScheduleKind::InterleavedFullReuse.layout(),
+        m,
+        n,
+        cfg.dram.banks,
+        cfg.row_elems(),
+        0,
+    )?;
+    let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+    let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity)?;
+    ch.enable_trace();
+    ch.load_matrix(&mapping, &matrix)?;
+    ch.run_mv(&mapping, &schedule, &vector, false)?;
+    Ok(ch.trace().render())
+}
+
+// ----------------------------------------------------------------------
+// Ablations (Sec. III-C design alternatives)
+// ----------------------------------------------------------------------
+
+/// One ablation comparison row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline (full Newton) time, ns.
+    pub newton_ns: f64,
+    /// Variant time, ns.
+    pub variant_ns: f64,
+}
+
+impl AblationRow {
+    /// Variant slowdown relative to full Newton (>1 = variant slower).
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.variant_ns / self.newton_ns
+    }
+}
+
+/// Sec. III-C: full-reuse interleaved layout vs Newton-no-reuse (the
+/// input-refetch traffic dominates the output-traffic savings).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ablation_layout() -> Result<Vec<AblationRow>, AimError> {
+    let full = NewtonConfig::paper_default();
+    let mut no_reuse = NewtonConfig::paper_default();
+    no_reuse.opts.interleaved_reuse = false;
+    Benchmark::all()
+        .iter()
+        .map(|&b| {
+            let base = measure_layer(&full, b)?;
+            let var = measure_layer(&no_reuse, b)?;
+            Ok(AblationRow {
+                name: b.name().to_string(),
+                newton_ns: base.newton_ns,
+                variant_ns: var.newton_ns,
+            })
+        })
+        .collect()
+}
+
+/// One row of the DRAM-family what-if (Sec. III-E extension).
+#[derive(Debug, Clone)]
+pub struct FamilyRow {
+    /// Family label.
+    pub name: &'static str,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Measured Newton time for the probe layer, ns (single channel).
+    pub newton_ns: f64,
+    /// Analytic external-bandwidth bound for the same data, ns.
+    pub ideal_ns: f64,
+    /// Measured speedup over the external-bandwidth bound.
+    pub measured_x: f64,
+    /// Refined-model prediction for this family.
+    pub predicted_x: f64,
+}
+
+/// Sec. III-E extension: Newton's internal-vs-external bandwidth
+/// advantage on other DRAM families (GDDR6-, LPDDR4-, DDR4-like), with
+/// the refined analytical model's prediction alongside the measurement.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ext_dram_families() -> Result<Vec<FamilyRow>, AimError> {
+    use newton_dram::DramConfig;
+    use newton_model::PerfModel;
+    let families: [(&'static str, DramConfig); 4] = [
+        ("HBM2E-like", DramConfig::hbm2e_like()),
+        ("GDDR6-like", DramConfig::gddr6_like()),
+        ("LPDDR4-like", DramConfig::lpddr4_like()),
+        ("DDR4-like", DramConfig::ddr4_like()),
+    ];
+    let mut rows = Vec::new();
+    for (name, dram) in families {
+        let mut cfg = NewtonConfig::paper_default();
+        cfg.dram = dram.clone();
+        cfg.channels = 1;
+        let banks = dram.banks;
+        // Probe: a single-chunk matrix spanning many row groups, refresh
+        // disabled so the steady-state period is isolated.
+        let n = cfg.row_elems();
+        let m = banks * 48;
+        let matrix = generator::matrix(newton_workloads::MvShape::new(m, n), 3);
+        let vector = generator::vector(n, 3);
+        let mut sys = NewtonSystem::new(cfg.clone())?;
+        for ch in sys.channels_mut() {
+            ch.channel_mut().disable_refresh();
+        }
+        let run = sys.run_mv(&matrix, m, n, &vector)?;
+        let rows_needed = (m * n * 2) / dram.row_bytes();
+        let ideal_ns =
+            rows_needed as f64 * dram.cols_per_row as f64 * dram.timing.t_ccd_ns;
+        let model = PerfModel::new(cfg.effective_dram());
+        rows.push(FamilyRow {
+            name,
+            banks,
+            newton_ns: run.elapsed_ns,
+            ideal_ns,
+            measured_x: ideal_ns / run.elapsed_ns,
+            predicted_x: model.speedup_vs_ideal_refined(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the channel-scaling extension (the paper's Sec. V-C note
+/// that "adding channels remains an option" free of the Amdahl effect).
+#[derive(Debug, Clone)]
+pub struct ChannelSweepRow {
+    /// Channel count.
+    pub channels: usize,
+    /// Measured layer time, ns.
+    pub newton_ns: f64,
+    /// Throughput relative to the 8-channel point.
+    pub scaling: f64,
+    /// Parallel efficiency vs linear scaling from 8 channels.
+    pub efficiency: f64,
+}
+
+/// Channel-count scaling for one layer (GNMTs1): unlike the bank sweep
+/// of Fig. 10, channel scaling avoids the activation-overhead Amdahl
+/// bottleneck and stays near-linear.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ext_channel_sweep() -> Result<Vec<ChannelSweepRow>, AimError> {
+    let shape = Benchmark::GnmtS1.shape();
+    let matrix = generator::matrix(shape, 5);
+    let vector = generator::vector(shape.n, 5);
+    let counts = [8usize, 16, 24, 32, 48];
+    let mut rows = Vec::new();
+    let mut base: Option<f64> = None;
+    for &channels in &counts {
+        let mut cfg = NewtonConfig::paper_default();
+        cfg.channels = channels;
+        let mut sys = NewtonSystem::new(cfg)?;
+        let run = sys.run_mv(&matrix, shape.m, shape.n, &vector)?;
+        let b = *base.get_or_insert(run.elapsed_ns);
+        let scaling = b / run.elapsed_ns;
+        let linear = channels as f64 / counts[0] as f64;
+        rows.push(ChannelSweepRow {
+            channels,
+            newton_ns: run.elapsed_ns,
+            scaling,
+            efficiency: scaling / linear,
+        });
+    }
+    Ok(rows)
+}
+
+/// Sec. III-C: the four-result-latch "option in between" vs full Newton
+/// (the paper found them virtually similar and kept the single latch).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ablation_latches() -> Result<Vec<AblationRow>, AimError> {
+    let full = NewtonConfig::paper_default();
+    let mut four = NewtonConfig::paper_default();
+    four.result_latches_per_bank = 4;
+    four.opts.interleaved_reuse = false; // four-latch runs the grouped layout
+    Benchmark::all()
+        .iter()
+        .map(|&b| {
+            let base = measure_layer(&full, b)?;
+            let var = measure_layer(&four, b)?;
+            Ok(AblationRow {
+                name: b.name().to_string(),
+                newton_ns: base.newton_ns,
+                variant_ns: var.newton_ns,
+            })
+        })
+        .collect()
+}

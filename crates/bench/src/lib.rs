@@ -1,0 +1,15 @@
+//! The experiment harness: one function per table/figure of the Newton
+//! paper's evaluation, shared by the `cargo bench` targets, the
+//! `reproduce` binary, and the integration tests.
+//!
+//! Every experiment returns plain data rows so callers can print, assert,
+//! or serialize them. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record produced by these functions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;

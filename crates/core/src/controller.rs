@@ -1,0 +1,924 @@
+//! The host memory controller for one Newton channel: turns a tiled
+//! schedule into a timed, constraint-legal AiM command stream.
+//!
+//! The controller is where every evaluated mechanism of the paper meets
+//! the timing substrate:
+//!
+//! * **Ganged compute** ([`OptFlags::ganged_comp`]): one `COMP#` drives
+//!   all banks under a single column-bus slot; disabled, each bank gets
+//!   its own command — 16× the command traffic (Sec. V-B).
+//! * **Complex commands** ([`OptFlags::complex_comp`]): `COMP#` fuses
+//!   broadcast + column read + multiply-add; disabled, each step is a
+//!   separate simple command — 3× the traffic.
+//! * **Ganged activation** ([`OptFlags::ganged_act`]): `G_ACT#` opens a
+//!   4-bank cluster per row-bus slot within tFAW; disabled, banks activate
+//!   one by one.
+//! * **Refresh interposition** (Sec. III-E): if the pending refresh would
+//!   mature inside the deterministic latency of the next row-set, the
+//!   controller waits for it to mature, refreshes, then proceeds.
+//!
+//! All data movement is real: COMP performs bf16 arithmetic on the bytes
+//! the banks return, so every timing experiment doubles as a numerical
+//! correctness check.
+//!
+//! [`OptFlags::ganged_comp`]: crate::config::OptFlags::ganged_comp
+//! [`OptFlags::complex_comp`]: crate::config::OptFlags::complex_comp
+//! [`OptFlags::ganged_act`]: crate::config::OptFlags::ganged_act
+
+use newton_bf16::Bf16;
+use newton_dram::timing::Cycle;
+use newton_dram::Channel;
+
+use crate::command::{AimCommand, CommandTrace};
+use crate::config::NewtonConfig;
+use crate::device::NewtonDevice;
+use crate::error::AimError;
+use crate::layout::MatrixMapping;
+use crate::lut::ActivationKind;
+use crate::tiling::{RowSet, Schedule};
+
+/// AiM-specific command counters for one channel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AimStats {
+    /// GWRITE commands issued (input-vector loads).
+    pub gwrite_commands: u64,
+    /// Compute commands issued on the column bus (COMP or its simple
+    /// expansion steps, ganged or per bank).
+    pub compute_commands: u64,
+    /// Result-readout commands issued.
+    pub readres_commands: u64,
+    /// Activation commands issued (G_ACT or ACT).
+    pub activate_commands: u64,
+    /// Row-sets executed.
+    pub row_sets: u64,
+    /// Refreshes interposed during AiM operation.
+    pub refreshes: u64,
+}
+
+/// The outcome of one channel-local matrix–vector run.
+#[derive(Debug, Clone)]
+pub struct MvRun {
+    /// Host-reduced outputs, one per channel-local matrix row (partial
+    /// chunk results accumulated in `f32` by the host, as the paper's
+    /// host-side reduction does).
+    pub outputs: Vec<f32>,
+    /// Cycle at which the last result reached the host.
+    pub end_cycle: Cycle,
+    /// Cycle at which the run started.
+    pub start_cycle: Cycle,
+    /// AiM command counters for this run.
+    pub stats: AimStats,
+}
+
+/// A host (non-AiM) memory request queued against a Newton channel.
+///
+/// Sec. III-D: AiM and non-AiM data may share a bank but never a DRAM
+/// row; non-AiM commands are "guaranteed to access a different row than
+/// the AiM commands", so a precharge separates them, "in which time the
+/// AiM operations are guaranteed to complete". The controller services
+/// queued host requests at row-set boundaries, where every bank is
+/// precharged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostRequest {
+    /// Bank to access.
+    pub bank: usize,
+    /// DRAM row (must not be an AiM matrix row; the controller checks
+    /// nothing here — the *allocator* keeps regions disjoint, as in the
+    /// paper).
+    pub row: usize,
+    /// Column I/O index.
+    pub col: usize,
+    /// `Some(data)` writes the column; `None` reads it.
+    pub write: Option<Vec<u8>>,
+}
+
+/// A completed host request: the issue cycle and, for reads, the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostResponse {
+    /// The request that completed.
+    pub request: HostRequest,
+    /// Cycle the column command issued at.
+    pub cycle: Cycle,
+    /// Read data (empty for writes).
+    pub data: Vec<u8>,
+}
+
+/// One Newton channel: the DRAM substrate plus the AiM device state plus
+/// this controller's scheduling cursor.
+#[derive(Debug)]
+pub struct NewtonChannel {
+    channel: Channel,
+    device: NewtonDevice,
+    config: NewtonConfig,
+    now: Cycle,
+    trace: CommandTrace,
+    host_queue: Vec<HostRequest>,
+    host_responses: Vec<HostResponse>,
+}
+
+impl NewtonChannel {
+    /// Creates a channel with the given activation function in its LUT.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::InvalidConfig`] if the configuration fails validation.
+    pub fn new(config: &NewtonConfig, activation: ActivationKind) -> Result<NewtonChannel, AimError> {
+        config.validate()?;
+        let dram = config.effective_dram();
+        let channel = Channel::new(dram)?;
+        let device = NewtonDevice::new(
+            config.dram.banks,
+            config.row_elems(),
+            config.subchunk_elems(),
+            config.result_latches_per_bank,
+            config.tree_precision,
+            activation,
+        );
+        Ok(NewtonChannel {
+            channel,
+            device,
+            config: config.clone(),
+            now: 0,
+            trace: CommandTrace::new(),
+            host_queue: Vec::new(),
+            host_responses: Vec::new(),
+        })
+    }
+
+    /// Queues a host (non-AiM) request. It is serviced at the next
+    /// row-set boundary inside [`NewtonChannel::run_mv`] (all banks
+    /// precharged — Sec. III-D's interleaving rule), or immediately by
+    /// [`NewtonChannel::service_host_requests`] when the channel is idle.
+    pub fn enqueue_host_request(&mut self, request: HostRequest) {
+        self.host_queue.push(request);
+    }
+
+    /// Completed host requests since the last call (drains the response
+    /// buffer).
+    pub fn take_host_responses(&mut self) -> Vec<HostResponse> {
+        std::mem::take(&mut self.host_responses)
+    }
+
+    /// Services every queued host request right now (channel idle between
+    /// AiM operations). Each request activates its row, performs the
+    /// column access over the external bus, and precharges so the bank is
+    /// AiM-ready again.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors (bad addresses, capacity).
+    pub fn service_host_requests(&mut self) -> Result<(), AimError> {
+        let queue = std::mem::take(&mut self.host_queue);
+        for request in queue {
+            let t = *self.channel.timing();
+            // Respect the refresh deadline exactly like AiM row-sets do.
+            let estimate = t.t_rcd + t.t_ccd + t.t_rtp + t.t_rp + 4 * t.t_cmd;
+            if self.channel.refresh_due() <= self.now + estimate {
+                self.interpose_refresh()?;
+            }
+            let a = self.channel.earliest_activate(request.bank).max(self.now);
+            self.channel.issue_activate(a, request.bank, request.row)?;
+            let c = self.channel.earliest_column_read(a, request.bank);
+            let (cycle, data) = match &request.write {
+                Some(data) => {
+                    let c = self
+                        .channel
+                        .issue_column_write_external(c, request.bank, request.col, data)?;
+                    (c, Vec::new())
+                }
+                None => self
+                    .channel
+                    .issue_column_read_external(c, request.bank, request.col)?,
+            };
+            let p = self.channel.earliest_precharge(request.bank).max(cycle);
+            self.channel.issue_precharge(p, request.bank)?;
+            self.now = self.now.max(cycle);
+            self.host_responses.push(HostResponse { request, cycle, data });
+        }
+        Ok(())
+    }
+
+    /// The underlying DRAM channel (stats, storage, audit).
+    #[must_use]
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Mutable access to the DRAM channel (e.g. to enable auditing or
+    /// disable refresh in tests).
+    pub fn channel_mut(&mut self) -> &mut Channel {
+        &mut self.channel
+    }
+
+    /// The AiM device state.
+    #[must_use]
+    pub fn device(&self) -> &NewtonDevice {
+        &self.device
+    }
+
+    /// The scheduling cursor (current simulated cycle).
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the cursor (models exposed host latency between layers,
+    /// e.g. first-tile batch normalization).
+    pub fn advance_to(&mut self, cycle: Cycle) {
+        self.now = self.now.max(cycle);
+    }
+
+    /// Enables command tracing (Fig. 7-style timelines).
+    pub fn enable_trace(&mut self) {
+        self.trace = CommandTrace::enabled();
+    }
+
+    /// The recorded command trace.
+    #[must_use]
+    pub fn trace(&self) -> &CommandTrace {
+        &self.trace
+    }
+
+    /// Loads a matrix into DRAM per `mapping` (functional path; the matrix
+    /// is resident across inputs and its load time is not part of any
+    /// experiment).
+    ///
+    /// # Errors
+    ///
+    /// Shape/capacity/storage errors from [`MatrixMapping::load`].
+    pub fn load_matrix(&mut self, mapping: &MatrixMapping, matrix: &[Bf16]) -> Result<(), AimError> {
+        mapping.load(&mut self.channel, matrix)
+    }
+
+    /// Runs one matrix–vector product under `schedule`.
+    ///
+    /// `lut_readout` applies the channel's activation LUT to results as
+    /// they are read (legal only when each readout is a *final* value —
+    /// the no-reuse and four-latch schedules; the system layer decides).
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] if `vector.len() != mapping.n()`; any
+    /// substrate error otherwise (indicating a controller bug — surfaced,
+    /// never swallowed).
+    pub fn run_mv(
+        &mut self,
+        mapping: &MatrixMapping,
+        schedule: &Schedule,
+        vector: &[Bf16],
+        lut_readout: bool,
+    ) -> Result<MvRun, AimError> {
+        if vector.len() != mapping.n() {
+            return Err(AimError::Shape {
+                what: "input vector",
+                detail: format!("expected {} elements, got {}", mapping.n(), vector.len()),
+            });
+        }
+        let start_cycle = self.now;
+        let mut stats = AimStats::default();
+        let refreshes_before = self.channel.stats().refreshes;
+        let mut outputs = vec![0.0f32; mapping.m()];
+        let mut end = self.now;
+
+        self.device.reset_latches();
+
+        for rs in schedule.row_sets() {
+            // Row-set boundary: all banks are precharged, so queued host
+            // (non-AiM) traffic interleaves here (Sec. III-D).
+            if !self.host_queue.is_empty() {
+                self.service_host_requests()?;
+            }
+
+            // Refresh interposition: if the pending refresh matures within
+            // this row-set's (deterministic) latency, wait for it first.
+            let estimate = self.row_set_estimate(mapping, rs);
+            if self.channel.refresh_due() <= self.now + estimate {
+                self.interpose_refresh()?;
+            }
+
+            // The GWRITE phase (column bus) and the activation chain (row
+            // bus) use disjoint buses and disjoint resources, so they
+            // overlap; COMP waits for both via the bank/bus gates.
+            let row_cursor = self.now;
+            if rs.load_chunk {
+                stats.gwrite_commands += self.gwrite_phase(mapping, rs.chunk, vector)?;
+            }
+
+            if rs.reset_latch {
+                for w in &rs.work {
+                    self.device.reset_latch(w.bank, rs.latch);
+                }
+            }
+
+            stats.activate_commands += self.activate_row_set(rs, row_cursor)?;
+            let (comp_cmds, last_comp) = self.compute_row_set(mapping, rs)?;
+            stats.compute_commands += comp_cmds;
+
+            if !rs.read_after.is_empty() {
+                let (readres_cmds, read_end) =
+                    self.read_results(rs, last_comp, lut_readout, &mut outputs)?;
+                stats.readres_commands += readres_cmds;
+                end = end.max(read_end);
+            }
+
+            // Close the row-set: precharge-all overlaps the next row-set's
+            // activation chain on the row bus.
+            let t = *self.channel.timing();
+            let p = self
+                .channel
+                .earliest_precharge_all()
+                .max(last_comp + t.t_rtp);
+            self.channel.issue_precharge_all(p)?;
+            self.trace.record(p, AimCommand::PreAll);
+            self.now = last_comp + t.t_ccd;
+            end = end.max(p + t.t_rp);
+            stats.row_sets += 1;
+        }
+
+        stats.refreshes = self.channel.stats().refreshes - refreshes_before;
+        self.now = self.now.max(end);
+        Ok(MvRun {
+            outputs,
+            end_cycle: end,
+            start_cycle,
+            stats,
+        })
+    }
+
+    /// Loads input chunk `chunk` into the global buffer, one GWRITE per
+    /// sub-chunk. Returns the number of commands issued.
+    fn gwrite_phase(
+        &mut self,
+        mapping: &MatrixMapping,
+        chunk: usize,
+        vector: &[Bf16],
+    ) -> Result<u64, AimError> {
+        let sub = self.config.subchunk_elems();
+        let chunk_elems = mapping.chunk_elems(chunk);
+        let base = chunk * mapping.row_elems();
+        let n_gwrites = chunk_elems.div_ceil(sub);
+        let col_bytes = self.config.dram.col_bytes();
+        let mut cmds = 0;
+        for g in 0..n_gwrites {
+            let t = self.channel.earliest_broadcast_write(self.now);
+            self.channel.issue_broadcast_write(t, col_bytes)?;
+            let lo = base + g * sub;
+            let hi = (lo + sub).min(base + chunk_elems);
+            self.device
+                .global_buffer_mut()
+                .write_subchunk(g, &vector[lo..hi])?;
+            self.trace.record(t, AimCommand::Gwrite { index: g });
+            self.now = self.now.max(t);
+            cmds += 1;
+        }
+        // Zero any stale tail sub-chunks from a previous (longer) chunk.
+        for g in n_gwrites..self.device.global_buffer().subchunks() {
+            self.device.global_buffer_mut().write_subchunk(g, &[])?;
+        }
+        Ok(cmds)
+    }
+
+    /// Opens `rs.dram_row` in every active bank, ganged or staggered,
+    /// starting no earlier than `cursor` (which may precede `self.now`
+    /// when a concurrent GWRITE phase runs on the column bus). Returns
+    /// the number of activation commands issued.
+    fn activate_row_set(&mut self, rs: &RowSet, cursor: Cycle) -> Result<u64, AimError> {
+        let mut cmds = 0;
+        if self.config.opts.ganged_act {
+            // Cluster the active banks in groups of four (bank clusters
+            // are fixed in hardware: banks 4c..4c+4).
+            let max_bank = rs.work.iter().map(|w| w.bank).max().unwrap_or(0);
+            for cluster in 0..=(max_bank / 4) {
+                let pairs: Vec<(usize, usize)> = rs
+                    .work
+                    .iter()
+                    .filter(|w| w.bank / 4 == cluster)
+                    .map(|w| (w.bank, rs.dram_row))
+                    .collect();
+                if pairs.is_empty() {
+                    continue;
+                }
+                let banks: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+                let t = self.channel.earliest_ganged_activate(&banks).max(cursor);
+                self.channel.issue_ganged_activate(t, &pairs)?;
+                self.trace
+                    .record(t, AimCommand::GAct { cluster, row: rs.dram_row });
+                cmds += 1;
+            }
+        } else {
+            for w in &rs.work {
+                let t = self.channel.earliest_activate(w.bank).max(cursor);
+                self.channel.issue_activate(t, w.bank, rs.dram_row)?;
+                self.trace
+                    .record(t, AimCommand::Act { bank: w.bank, row: rs.dram_row });
+                cmds += 1;
+            }
+        }
+        Ok(cmds)
+    }
+
+    /// Streams the COMP commands for a row-set. Returns (commands issued,
+    /// issue cycle of the last column access).
+    fn compute_row_set(
+        &mut self,
+        mapping: &MatrixMapping,
+        rs: &RowSet,
+    ) -> Result<(u64, Cycle), AimError> {
+        let sub_elems = self.config.subchunk_elems();
+        let n_sub = mapping.chunk_elems(rs.chunk).div_ceil(sub_elems);
+        let banks: Vec<usize> = rs.work.iter().map(|w| w.bank).collect();
+        let mut cmds = 0u64;
+        let mut last_col = self.now;
+
+        for sub in 0..n_sub {
+            if self.config.opts.ganged_comp {
+                if !self.config.opts.complex_comp {
+                    // Simple expansion step 1: broadcast the input
+                    // sub-chunk from the global buffer.
+                    let t = self.channel.earliest_control_command(self.now);
+                    self.channel.issue_control_command(t)?;
+                    self.trace
+                        .record(t, AimCommand::BroadcastInput { subchunk: sub });
+                    self.now = t;
+                    cmds += 1;
+                }
+                // Column read (+ multiply-add when complex).
+                let pairs: Vec<(usize, usize)> =
+                    banks.iter().map(|&b| (b, sub)).collect();
+                let t = self
+                    .channel
+                    .earliest_ganged_column_read(self.now, &banks);
+                let device = &mut self.device;
+                let latch = rs.latch;
+                self.channel
+                    .issue_ganged_column_read_internal(t, &pairs, |bank, data| {
+                        device.comp_bank(bank, latch, sub, data);
+                    })?;
+                self.trace.record(
+                    t,
+                    if self.config.opts.complex_comp {
+                        AimCommand::Comp { subchunk: sub }
+                    } else {
+                        AimCommand::ColumnRead { subchunk: sub, bank: None }
+                    },
+                );
+                self.now = t;
+                last_col = t;
+                cmds += 1;
+                if !self.config.opts.complex_comp {
+                    // Simple expansion step 3: the multiply-add trigger.
+                    let t = self.channel.earliest_control_command(self.now);
+                    self.channel.issue_control_command(t)?;
+                    self.trace
+                        .record(t, AimCommand::MultiplyAdd { subchunk: sub, bank: None });
+                    self.now = t;
+                    cmds += 1;
+                }
+            } else {
+                // No ganging: every bank needs its own command set.
+                for w in &rs.work {
+                    if !self.config.opts.complex_comp {
+                        let t = self.channel.earliest_control_command(self.now);
+                        self.channel.issue_control_command(t)?;
+                        self.trace
+                            .record(t, AimCommand::BroadcastInput { subchunk: sub });
+                        self.now = t;
+                        cmds += 1;
+                    }
+                    let pair = [(w.bank, sub)];
+                    let t = self
+                        .channel
+                        .earliest_ganged_column_read(self.now, &[w.bank]);
+                    let device = &mut self.device;
+                    let latch = rs.latch;
+                    self.channel
+                        .issue_ganged_column_read_internal(t, &pair, |bank, data| {
+                            device.comp_bank(bank, latch, sub, data);
+                        })?;
+                    self.trace.record(
+                        t,
+                        AimCommand::CompBank { bank: w.bank, subchunk: sub },
+                    );
+                    self.now = t;
+                    last_col = last_col.max(t);
+                    cmds += 1;
+                    if !self.config.opts.complex_comp {
+                        let t = self.channel.earliest_control_command(self.now);
+                        self.channel.issue_control_command(t)?;
+                        self.trace.record(
+                            t,
+                            AimCommand::MultiplyAdd { subchunk: sub, bank: Some(w.bank) },
+                        );
+                        self.now = t;
+                        cmds += 1;
+                    }
+                }
+            }
+        }
+        Ok((cmds, last_col))
+    }
+
+    /// Reads the result latches named by `rs.read_after` and accumulates
+    /// them into `outputs`. Returns (commands issued, completion cycle of
+    /// the last readout data).
+    fn read_results(
+        &mut self,
+        rs: &RowSet,
+        last_comp: Cycle,
+        lut_readout: bool,
+        outputs: &mut [f32],
+    ) -> Result<(u64, Cycle), AimError> {
+        let t = *self.channel.timing();
+        let tree_done = last_comp + self.config.adder_tree_latency;
+        let banks = self.config.dram.banks;
+        let mut cmds = 0u64;
+        let mut end = self.now;
+
+        if self.config.opts.ganged_comp {
+            // Ganged READRES: one command per latch reads all banks
+            // concatenated (16 x 16-bit = 256 bits).
+            let mut latches: Vec<usize> = rs.read_after.iter().map(|r| r.latch).collect();
+            latches.sort_unstable();
+            latches.dedup();
+            for latch in latches {
+                let at = self.channel.earliest_result_read(self.now.max(tree_done));
+                self.channel.issue_result_read(at, banks * 2)?;
+                self.trace.record(at, AimCommand::ReadRes);
+                self.now = at;
+                end = end.max(at + t.t_aa + t.t_ccd);
+                cmds += 1;
+                for r in rs.read_after.iter().filter(|r| r.latch == latch) {
+                    let v = self.device.read_result(r.bank, r.latch, lut_readout);
+                    outputs[r.matrix_row] += v.to_f32();
+                }
+            }
+        } else {
+            // One command per bank per latch.
+            for r in &rs.read_after {
+                let at = self.channel.earliest_result_read(self.now.max(tree_done));
+                self.channel.issue_result_read(at, 2)?;
+                self.trace.record(at, AimCommand::ReadResBank { bank: r.bank });
+                self.now = at;
+                end = end.max(at + t.t_aa + t.t_ccd);
+                cmds += 1;
+                let v = self.device.read_result(r.bank, r.latch, lut_readout);
+                outputs[r.matrix_row] += v.to_f32();
+            }
+        }
+        Ok((cmds, end))
+    }
+
+    /// Waits for the pending refresh to mature, issues it, and advances
+    /// past tRFC (paper Sec. III-E policy).
+    fn interpose_refresh(&mut self) -> Result<(), AimError> {
+        let t = *self.channel.timing();
+        // Banks are idle between row-sets by construction; if not (first
+        // call with look-ahead rows open), close them.
+        let any_open =
+            (0..self.config.dram.banks).any(|b| self.channel.open_row(b).is_some());
+        if any_open {
+            let p = self.channel.earliest_precharge_all().max(self.now);
+            self.channel.issue_precharge_all(p)?;
+            self.now = p + t.t_rp;
+        }
+        // Wait until the refresh matures (periodic refresh, no pull-in),
+        // bounded below by the row-bus slot and our cursor.
+        let due = self.channel.refresh_due();
+        let at = self
+            .channel
+            .earliest_precharge_all() // just the row-bus slot when idle
+            .max(self.now)
+            .max(due);
+        self.channel.issue_refresh_all(at)?;
+        self.trace.record(at, AimCommand::Refresh);
+        self.now = at + t.t_rfc;
+        Ok(())
+    }
+
+    /// Conservative upper bound on the cycles the next row-set occupies
+    /// (for the refresh look-ahead). Overestimating only refreshes one
+    /// row-set earlier; underestimating would trip the overdue check.
+    fn row_set_estimate(&self, mapping: &MatrixMapping, rs: &RowSet) -> Cycle {
+        let t = self.channel.timing();
+        let opts = &self.config.opts;
+        let banks = rs.work.len().max(1) as Cycle;
+        let n_sub = mapping
+            .chunk_elems(rs.chunk)
+            .div_ceil(self.config.subchunk_elems()) as Cycle;
+
+        let gwrite = if rs.load_chunk {
+            (mapping.row_elems() as Cycle / self.config.subchunk_elems() as Cycle) * t.t_cmd
+        } else {
+            0
+        };
+        let act = if opts.ganged_act {
+            banks.div_ceil(4) * t.t_faw + t.t_rcd
+        } else {
+            banks.div_ceil(4) * t.t_faw + banks * t.t_cmd + t.t_rcd
+        };
+        let per_comp_cmds = if opts.complex_comp { 1 } else { 3 }
+            * if opts.ganged_comp { 1 } else { banks };
+        let comp = n_sub * per_comp_cmds * t.t_cmd.max(t.t_ccd);
+        let reads = rs.read_after.len() as Cycle * t.t_cmd + self.config.adder_tree_latency;
+        gwrite + act + comp + reads + t.t_rtp + t.t_rp + 4 * t.t_cmd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NewtonConfig, OptLevel};
+    use crate::layout::MatrixMapping;
+    use crate::tiling::{Schedule, ScheduleKind};
+    use newton_bf16::Bf16;
+
+    fn cfg1(level: OptLevel) -> NewtonConfig {
+        let mut c = NewtonConfig::at_level(level);
+        c.channels = 1;
+        c
+    }
+
+    fn bf(v: f32) -> Bf16 {
+        Bf16::from_f32(v)
+    }
+
+    /// Runs a small MV at a given opt level and checks the numbers.
+    fn run_and_check(level: OptLevel, m: usize, n: usize) -> (MvRun, NewtonChannel) {
+        let cfg = cfg1(level);
+        let kind = if cfg.opts.interleaved_reuse {
+            ScheduleKind::InterleavedFullReuse
+        } else {
+            ScheduleKind::NoReuse
+        };
+        let mapping = MatrixMapping::new(kind.layout(), m, n, 16, 512, 0).unwrap();
+        let schedule = Schedule::build(kind, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.channel_mut().enable_audit();
+
+        let matrix: Vec<Bf16> = (0..m * n).map(|k| bf(((k % 13) as f32 - 6.0) / 4.0)).collect();
+        let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 7) as f32 - 3.0) / 2.0)).collect();
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+
+        // Audit every constraint.
+        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        assert_eq!(violations, vec![], "{level:?}");
+
+        // Numerical check against f64 reference.
+        for i in 0..m {
+            let expect: f64 = (0..n)
+                .map(|j| matrix[i * n + j].to_f64() * vector[j].to_f64())
+                .sum();
+            let got = run.outputs[i] as f64;
+            let bound = newton_bf16::reduce::dot_error_bound(n, 16, expect.abs().max(4.0));
+            assert!(
+                (got - expect).abs() <= bound,
+                "{level:?} row {i}: got {got}, expect {expect}, bound {bound}"
+            );
+        }
+        (run, ch)
+    }
+
+    #[test]
+    fn full_newton_computes_correctly_small() {
+        let (run, _) = run_and_check(OptLevel::Full, 16, 512);
+        assert_eq!(run.stats.row_sets, 1);
+        assert_eq!(run.stats.compute_commands, 32);
+        assert_eq!(run.stats.gwrite_commands, 32);
+        assert_eq!(run.stats.readres_commands, 1);
+        assert_eq!(run.stats.activate_commands, 4);
+    }
+
+    #[test]
+    fn full_newton_multi_chunk_multi_group() {
+        let (run, _) = run_and_check(OptLevel::Full, 40, 1200);
+        // 3 chunks x 3 groups = 9 row-sets; GWRITE once per chunk.
+        assert_eq!(run.stats.row_sets, 9);
+        assert_eq!(run.stats.gwrite_commands, 32 + 32 + 11 /* 176-elem tail */);
+    }
+
+    #[test]
+    fn every_opt_level_is_numerically_identical_and_legal() {
+        for level in OptLevel::ladder() {
+            let (_, _) = run_and_check(level, 20, 700);
+        }
+    }
+
+    #[test]
+    fn non_opt_uses_many_more_commands_than_full() {
+        let (full, _) = run_and_check(OptLevel::Full, 16, 512);
+        let (non, _) = run_and_check(OptLevel::NonOpt, 16, 512);
+        // Gang (16x) and complex (3x): 32 -> 1536 compute commands.
+        assert_eq!(non.stats.compute_commands, 32 * 16 * 3);
+        assert_eq!(full.stats.compute_commands, 32);
+        assert_eq!(non.stats.readres_commands, 16);
+        assert_eq!(non.stats.activate_commands, 16);
+        // And it is far slower.
+        let full_t = full.end_cycle - full.start_cycle;
+        let non_t = non.end_cycle - non.start_cycle;
+        assert!(non_t > 10 * full_t, "non-opt {non_t} vs full {full_t}");
+    }
+
+    #[test]
+    fn steady_state_row_set_period_matches_paper_model_shape() {
+        // Large single-chunk matrix: many row-sets; the period should be
+        // close to the paper's Sec. III-F model:
+        //   max(tRRD, tFAW) * (n/4 - 1) + tACT + col * tCCD
+        // plus the precharge turnaround our simulator faithfully exposes.
+        let cfg = cfg1(OptLevel::Full);
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16 * 20, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.channel_mut().disable_refresh();
+        let matrix = vec![bf(1.0); 16 * 20 * 512];
+        let vector = vec![bf(1.0); 512];
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        let total = run.end_cycle - run.start_cycle;
+        let period = total as f64 / 20.0;
+        // Paper model: 3*22 + 14 + 32*4 = 208; with exposed tRTP+tRP the
+        // honest period is ~228. Accept 200..250.
+        assert!(
+            (200.0..250.0).contains(&period),
+            "steady-state period {period} outside expected window"
+        );
+    }
+
+    #[test]
+    fn refresh_interposes_on_long_runs_and_is_periodic() {
+        let cfg = cfg1(OptLevel::Full);
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16 * 40, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.channel_mut().enable_audit();
+        let matrix = vec![bf(0.5); 16 * 40 * 512];
+        let vector = vec![bf(1.0); 512];
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        // 40 row-sets x ~228 cycles ≈ 9.1 µs: at least 2 refreshes.
+        assert!(run.stats.refreshes >= 2, "{}", run.stats.refreshes);
+        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        assert_eq!(violations, vec![]);
+    }
+
+    #[test]
+    fn lut_readout_applies_activation_in_no_reuse_mode() {
+        let mut cfg = cfg1(OptLevel::Full);
+        cfg.opts.interleaved_reuse = false;
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::NoReuse, 16, 512, 16, 512, 0).unwrap();
+        let schedule = Schedule::build(ScheduleKind::NoReuse, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Relu).unwrap();
+        // All-negative matrix => all outputs clamp to zero through the LUT.
+        let matrix = vec![bf(-1.0); 16 * 512];
+        let vector = vec![bf(1.0); 512];
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        let run = ch.run_mv(&mapping, &schedule, &vector, true).unwrap();
+        assert!(run.outputs.iter().all(|&v| v == 0.0));
+        // Without the LUT the raw sums are -512.
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Relu).unwrap();
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        assert!(run.outputs.iter().all(|&v| v == -512.0));
+    }
+
+    #[test]
+    fn host_traffic_interleaves_at_row_set_boundaries() {
+        // Sec. III-D: non-AiM requests to different rows of AiM banks are
+        // serviced between row-sets, and the whole stream stays legal.
+        let cfg = cfg1(OptLevel::Full);
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 48, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.channel_mut().enable_audit();
+        let matrix = vec![bf(1.0); 48 * 512];
+        let vector = vec![bf(0.5); 512];
+        ch.load_matrix(&mapping, &matrix).unwrap();
+
+        // Pre-write non-AiM data into a row far from the matrix region.
+        ch.channel_mut()
+            .storage_mut()
+            .write_column(3, 1000, 7, &[0xEEu8; 32])
+            .unwrap();
+        ch.enqueue_host_request(HostRequest { bank: 3, row: 1000, col: 7, write: None });
+        ch.enqueue_host_request(HostRequest {
+            bank: 5,
+            row: 1001,
+            col: 0,
+            write: Some(vec![0x55u8; 32]),
+        });
+
+        let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        // AiM results unaffected by the interleaved traffic.
+        assert!(run.outputs.iter().all(|&v| v == 256.0));
+
+        let responses = ch.take_host_responses();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].data, vec![0xEEu8; 32]);
+        assert!(responses[1].data.is_empty());
+        assert_eq!(
+            ch.channel().storage().column(5, 1001, 0).unwrap(),
+            &[0x55u8; 32][..]
+        );
+        // Responses drained.
+        assert!(ch.take_host_responses().is_empty());
+
+        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        assert_eq!(violations, vec![]);
+    }
+
+    #[test]
+    fn host_requests_service_immediately_when_idle() {
+        let cfg = cfg1(OptLevel::Full);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.channel_mut().enable_audit();
+        ch.enqueue_host_request(HostRequest { bank: 0, row: 5, col: 0, write: None });
+        ch.service_host_requests().unwrap();
+        let responses = ch.take_host_responses();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].data, vec![0u8; 32], "unwritten row reads zero");
+        assert_eq!(ch.channel().open_row(0), None, "bank precharged after service");
+        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        assert_eq!(violations, vec![]);
+    }
+
+    #[test]
+    fn host_traffic_delays_but_does_not_corrupt_long_runs() {
+        let cfg = cfg1(OptLevel::Full);
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16 * 8, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let run_with = |n_host: usize| {
+            let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+            let matrix = vec![bf(0.25); 16 * 8 * 512];
+            let vector = vec![bf(1.0); 512];
+            ch.load_matrix(&mapping, &matrix).unwrap();
+            for i in 0..n_host {
+                ch.enqueue_host_request(HostRequest {
+                    bank: i % 16,
+                    row: 2000 + i,
+                    col: 0,
+                    write: None,
+                });
+            }
+            let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+            (run.end_cycle - run.start_cycle, run.outputs)
+        };
+        let (t0, out0) = run_with(0);
+        let (t8, out8) = run_with(8);
+        assert!(t8 > t0, "host traffic must cost time: {t8} vs {t0}");
+        assert_eq!(out0, out8, "host traffic must not corrupt AiM results");
+    }
+
+    #[test]
+    fn vector_length_mismatch_is_rejected() {
+        let cfg = cfg1(OptLevel::Full);
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        let err = ch
+            .run_mv(&mapping, &schedule, &[bf(1.0); 100], false)
+            .unwrap_err();
+        assert!(matches!(err, AimError::Shape { .. }));
+    }
+
+    #[test]
+    fn trace_records_the_fig7_command_sequence() {
+        let cfg = cfg1(OptLevel::Full);
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.enable_trace();
+        ch.load_matrix(&mapping, &vec![bf(1.0); 16 * 512]).unwrap();
+        ch.run_mv(&mapping, &schedule, &vec![bf(1.0); 512], false)
+            .unwrap();
+        let trace = ch.trace();
+        assert_eq!(trace.count(|c| matches!(c, AimCommand::Gwrite { .. })), 32);
+        assert_eq!(trace.count(|c| matches!(c, AimCommand::GAct { .. })), 4);
+        assert_eq!(trace.count(|c| matches!(c, AimCommand::Comp { .. })), 32);
+        assert_eq!(trace.count(|c| matches!(c, AimCommand::ReadRes)), 1);
+        // Commands appear in nondecreasing time order per kind, G_ACTs
+        // spaced by tFAW.
+        let gacts: Vec<_> = trace
+            .entries()
+            .iter()
+            .filter(|(_, c)| matches!(c, AimCommand::GAct { .. }))
+            .map(|(t, _)| *t)
+            .collect();
+        let t_faw = ch.channel().timing().t_faw;
+        for w in gacts.windows(2) {
+            assert_eq!(w[1] - w[0], t_faw);
+        }
+    }
+}

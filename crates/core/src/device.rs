@@ -1,0 +1,372 @@
+//! The per-channel AiM compute state: global input buffer, per-bank MAC
+//! units, and the activation LUT.
+//!
+//! Per the paper (Sec. III-B, Fig. 4): each bank has 16 multipliers
+//! rate-matched to the 256-bit column I/O, a pipelined 16-to-1 adder tree
+//! (15 adders) plus one accumulation adder, and a single bf16 result latch.
+//! The input vector chunk lives in a DRAM-row-wide *global* buffer shared
+//! by the entire channel, broadcast directly into the multiplier inputs
+//! "without any further per-bank latching to save area".
+
+use newton_bf16::reduce::{self, TreePrecision};
+use newton_bf16::Bf16;
+
+use crate::error::AimError;
+use crate::lut::{ActivationKind, ActivationLut};
+
+/// The channel-wide, DRAM-row-wide input vector buffer (512 bf16 elements
+/// for a 1 KB row), loaded one sub-chunk at a time by `GWRITE#`.
+#[derive(Debug, Clone)]
+pub struct GlobalBuffer {
+    elems: Vec<Bf16>,
+    subchunk: usize,
+}
+
+impl GlobalBuffer {
+    /// Creates a zeroed buffer of `row_elems` elements with `subchunk`-wide
+    /// write granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subchunk` is zero or does not divide `row_elems`.
+    #[must_use]
+    pub fn new(row_elems: usize, subchunk: usize) -> GlobalBuffer {
+        assert!(
+            subchunk > 0 && row_elems.is_multiple_of(subchunk),
+            "sub-chunk width {subchunk} must divide the row width {row_elems}"
+        );
+        GlobalBuffer {
+            elems: vec![Bf16::ZERO; row_elems],
+            subchunk,
+        }
+    }
+
+    /// Number of sub-chunk slots (GWRITE commands to fill the buffer).
+    #[must_use]
+    pub fn subchunks(&self) -> usize {
+        self.elems.len() / self.subchunk
+    }
+
+    /// Total element capacity.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the buffer holds zero elements (never true in practice; the
+    /// conventional emptiness check).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Executes one `GWRITE#`: writes `data` into sub-chunk slot `index`.
+    /// Short trailing data (a partial final sub-chunk) zero-fills the rest
+    /// of the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] if `index` is out of range or `data` is longer
+    /// than a sub-chunk.
+    pub fn write_subchunk(&mut self, index: usize, data: &[Bf16]) -> Result<(), AimError> {
+        if index >= self.subchunks() {
+            return Err(AimError::Shape {
+                what: "global buffer sub-chunk index",
+                detail: format!("index {index} out of {}", self.subchunks()),
+            });
+        }
+        if data.len() > self.subchunk {
+            return Err(AimError::Shape {
+                what: "global buffer write",
+                detail: format!("{} elements exceed sub-chunk width {}", data.len(), self.subchunk),
+            });
+        }
+        let start = index * self.subchunk;
+        self.elems[start..start + data.len()].copy_from_slice(data);
+        for e in &mut self.elems[start + data.len()..start + self.subchunk] {
+            *e = Bf16::ZERO;
+        }
+        Ok(())
+    }
+
+    /// The broadcast view of sub-chunk `index` (what every bank's
+    /// multipliers receive during a COMP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (device-internal path; the
+    /// controller validates indices).
+    #[must_use]
+    pub fn subchunk(&self, index: usize) -> &[Bf16] {
+        let start = index * self.subchunk;
+        &self.elems[start..start + self.subchunk]
+    }
+}
+
+/// One bank's compute unit: 16 multipliers, the pipelined adder tree, and
+/// the result latch(es).
+///
+/// With `latches = 4` this models the Sec. III-C "option in between" that
+/// reuses the input across four matrix rows per bank; Newton proper uses a
+/// single latch.
+#[derive(Debug, Clone)]
+pub struct MacUnit {
+    latches: Vec<Bf16>,
+    precision: TreePrecision,
+    comps: u64,
+}
+
+impl MacUnit {
+    /// Creates a unit with `latches` result latches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latches` is zero.
+    #[must_use]
+    pub fn new(latches: usize, precision: TreePrecision) -> MacUnit {
+        assert!(latches > 0, "a MAC unit needs at least one result latch");
+        MacUnit {
+            latches: vec![Bf16::ZERO; latches],
+            precision,
+            comps: 0,
+        }
+    }
+
+    /// Clears every latch (start of a new accumulation scope).
+    pub fn reset(&mut self) {
+        for l in &mut self.latches {
+            *l = Bf16::ZERO;
+        }
+    }
+
+    /// Clears one latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is out of range.
+    pub fn reset_one(&mut self, latch: usize) {
+        self.latches[latch] = Bf16::ZERO;
+    }
+
+    /// Executes one COMP step into latch `latch`: multiply the matrix
+    /// sub-chunk by the broadcast input sub-chunk, reduce through the
+    /// tree, accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is out of range or the operand lengths differ
+    /// (device-internal invariants; the controller guarantees them).
+    pub fn comp(&mut self, latch: usize, weights: &[Bf16], inputs: &[Bf16]) {
+        let v = reduce::comp_step(self.latches[latch], weights, inputs, self.precision);
+        self.latches[latch] = v;
+        self.comps += 1;
+    }
+
+    /// Reads latch `latch` (the `READRES` data path).
+    #[must_use]
+    pub fn result(&self, latch: usize) -> Bf16 {
+        self.latches[latch]
+    }
+
+    /// Number of latches.
+    #[must_use]
+    pub fn latch_count(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Total COMP steps executed (for energy accounting).
+    #[must_use]
+    pub fn comp_count(&self) -> u64 {
+        self.comps
+    }
+}
+
+/// The whole channel's AiM state.
+#[derive(Debug)]
+pub struct NewtonDevice {
+    global: GlobalBuffer,
+    macs: Vec<MacUnit>,
+    lut: ActivationLut,
+    subchunk: usize,
+}
+
+impl NewtonDevice {
+    /// Creates the device for `banks` banks, `row_elems`-wide rows,
+    /// `subchunk`-wide column I/Os, `latches` result latches per bank.
+    #[must_use]
+    pub fn new(
+        banks: usize,
+        row_elems: usize,
+        subchunk: usize,
+        latches: usize,
+        precision: TreePrecision,
+        activation: ActivationKind,
+    ) -> NewtonDevice {
+        NewtonDevice {
+            global: GlobalBuffer::new(row_elems, subchunk),
+            macs: (0..banks).map(|_| MacUnit::new(latches, precision)).collect(),
+            lut: ActivationLut::new(activation),
+            subchunk,
+        }
+    }
+
+    /// The global input buffer.
+    #[must_use]
+    pub fn global_buffer(&self) -> &GlobalBuffer {
+        &self.global
+    }
+
+    /// Mutable access to the global buffer (the GWRITE path).
+    pub fn global_buffer_mut(&mut self) -> &mut GlobalBuffer {
+        &mut self.global
+    }
+
+    /// The per-bank MAC units.
+    #[must_use]
+    pub fn macs(&self) -> &[MacUnit] {
+        &self.macs
+    }
+
+    /// Resets every bank's latches.
+    pub fn reset_latches(&mut self) {
+        for m in &mut self.macs {
+            m.reset();
+        }
+    }
+
+    /// Clears a single latch on one bank (start of an accumulation scope
+    /// in schedules that interleave latches across row groups).
+    pub fn reset_latch(&mut self, bank: usize, latch: usize) {
+        self.macs[bank].reset_one(latch);
+    }
+
+    /// Executes the compute half of a COMP on `bank`: the matrix sub-chunk
+    /// bytes (as read from the bank's open row) are unpacked and
+    /// multiply-accumulated against global-buffer sub-chunk `subchunk`
+    /// into latch `latch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed byte length (must be `2 * subchunk` bytes) —
+    /// a wiring bug, not a runtime condition.
+    pub fn comp_bank(&mut self, bank: usize, latch: usize, subchunk: usize, row_bytes: &[u8]) {
+        debug_assert_eq!(row_bytes.len(), 2 * self.subchunk);
+        let mut weights = [Bf16::ZERO; 64];
+        let weights = &mut weights[..self.subchunk];
+        for (w, c) in weights.iter_mut().zip(row_bytes.chunks_exact(2)) {
+            *w = Bf16::from_le_bytes([c[0], c[1]]);
+        }
+        let inputs = self.global.subchunk(subchunk);
+        self.macs[bank].comp(latch, weights, inputs);
+    }
+
+    /// Reads bank `bank`'s latch `latch`, optionally through the channel's
+    /// activation LUT (the Newton-no-reuse readout path).
+    #[must_use]
+    pub fn read_result(&self, bank: usize, latch: usize, through_lut: bool) -> Bf16 {
+        let raw = self.macs[bank].result(latch);
+        if through_lut {
+            self.lut.apply(raw)
+        } else {
+            raw
+        }
+    }
+
+    /// Total COMP steps across all banks.
+    #[must_use]
+    pub fn total_comps(&self) -> u64 {
+        self.macs.iter().map(MacUnit::comp_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(v: f32) -> Bf16 {
+        Bf16::from_f32(v)
+    }
+
+    #[test]
+    fn global_buffer_gwrite_fills_subchunks() {
+        let mut g = GlobalBuffer::new(512, 16);
+        assert_eq!(g.subchunks(), 32);
+        assert_eq!(g.len(), 512);
+        assert!(!g.is_empty());
+        g.write_subchunk(2, &[bf(1.5); 16]).unwrap();
+        assert_eq!(g.subchunk(2), &vec![bf(1.5); 16][..]);
+        assert_eq!(g.subchunk(1), &vec![Bf16::ZERO; 16][..]);
+    }
+
+    #[test]
+    fn partial_gwrite_zero_fills_tail() {
+        let mut g = GlobalBuffer::new(64, 16);
+        g.write_subchunk(0, &[bf(2.0); 16]).unwrap();
+        g.write_subchunk(0, &[bf(3.0); 5]).unwrap();
+        let s = g.subchunk(0);
+        assert!(s[..5].iter().all(|&x| x == bf(3.0)));
+        assert!(s[5..].iter().all(|&x| x == Bf16::ZERO));
+    }
+
+    #[test]
+    fn global_buffer_rejects_bad_writes() {
+        let mut g = GlobalBuffer::new(64, 16);
+        assert!(g.write_subchunk(4, &[bf(1.0); 16]).is_err());
+        assert!(g.write_subchunk(0, &[bf(1.0); 17]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn global_buffer_rejects_non_dividing_subchunk() {
+        let _ = GlobalBuffer::new(100, 16);
+    }
+
+    #[test]
+    fn mac_unit_accumulates_and_resets() {
+        let mut m = MacUnit::new(1, TreePrecision::Wide);
+        let w = vec![bf(2.0); 16];
+        let v = vec![bf(0.5); 16];
+        m.comp(0, &w, &v);
+        m.comp(0, &w, &v);
+        assert_eq!(m.result(0).to_f32(), 32.0);
+        assert_eq!(m.comp_count(), 2);
+        m.reset();
+        assert_eq!(m.result(0), Bf16::ZERO);
+        assert_eq!(m.comp_count(), 2, "reset clears latches, not counters");
+    }
+
+    #[test]
+    fn four_latch_variant_keeps_independent_accumulators() {
+        let mut m = MacUnit::new(4, TreePrecision::Wide);
+        for latch in 0..4 {
+            m.comp(latch, &[bf(latch as f32 + 1.0); 16], &[bf(1.0); 16]);
+        }
+        for latch in 0..4 {
+            assert_eq!(m.result(latch).to_f32(), 16.0 * (latch as f32 + 1.0));
+        }
+        assert_eq!(m.latch_count(), 4);
+    }
+
+    #[test]
+    fn device_comp_bank_reads_bytes_and_uses_global_buffer() {
+        let mut dev = NewtonDevice::new(
+            2,
+            512,
+            16,
+            1,
+            TreePrecision::Wide,
+            ActivationKind::Relu,
+        );
+        dev.global_buffer_mut()
+            .write_subchunk(0, &[bf(2.0); 16])
+            .unwrap();
+        let weights = newton_bf16::slice::pack(&[bf(-1.0); 16]);
+        dev.comp_bank(1, 0, 0, &weights);
+        assert_eq!(dev.read_result(1, 0, false).to_f32(), -32.0);
+        // Through the ReLU LUT the negative result clamps to zero.
+        assert_eq!(dev.read_result(1, 0, true), Bf16::ZERO);
+        // Bank 0 untouched.
+        assert_eq!(dev.read_result(0, 0, false), Bf16::ZERO);
+        assert_eq!(dev.total_comps(), 1);
+    }
+}

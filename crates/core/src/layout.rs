@@ -1,0 +1,382 @@
+//! Matrix-to-DRAM layouts: the chunk-interleaved layout (Sec. III-A,
+//! Fig. 3) and the Newton-no-reuse alternative (Sec. III-C).
+//!
+//! In the **chunk-interleaved** layout, the filter matrix is cut into
+//! DRAM-row-wide chunks (512 bf16 elements) and interleaved so that "the
+//! first matrix row's first chunk is followed by the second matrix row's
+//! first chunk, and so on", continuing to the next bank upon filling a
+//! DRAM row, and "the first chunk of all the matrix rows is followed by
+//! the second chunk of all the matrix rows". Every DRAM row therefore
+//! holds exactly one chunk of one matrix row, and the 16 banks of a
+//! channel hold chunks of 16 *different* matrix rows at the same DRAM row
+//! index — the unit one `G_ACT`+`COMP` row-set processes.
+//!
+//! In the **no-reuse** layout, a full matrix row is laid out contiguously
+//! in one bank ("occupying contiguous DRAM rows if necessary"), the next
+//! matrix row goes to the next bank, wrapping around.
+
+use newton_bf16::{slice, Bf16};
+use newton_dram::Channel;
+
+use crate::error::AimError;
+
+/// Which matrix layout is resident in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// DRAM-row-wide chunk interleaving (full input reuse). The paper's
+    /// Newton layout.
+    #[default]
+    ChunkInterleaved,
+    /// Full matrix rows contiguous per bank (Newton-no-reuse).
+    NoReuse,
+}
+
+/// A placed matrix: shape plus the mapping from matrix coordinates to
+/// `(bank, DRAM row, element)` within one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixMapping {
+    layout: Layout,
+    /// Matrix rows mapped into this channel.
+    m: usize,
+    /// Matrix columns (elements per matrix row).
+    n: usize,
+    banks: usize,
+    /// bf16 elements per DRAM row (the chunk width).
+    row_elems: usize,
+    /// First DRAM row used (lets several matrices coexist per bank).
+    base_row: usize,
+}
+
+impl MatrixMapping {
+    /// Creates a mapping for an `m x n` matrix on a channel with `banks`
+    /// banks and `row_elems`-element rows, starting at `base_row`.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] for zero dimensions.
+    pub fn new(
+        layout: Layout,
+        m: usize,
+        n: usize,
+        banks: usize,
+        row_elems: usize,
+        base_row: usize,
+    ) -> Result<MatrixMapping, AimError> {
+        if m == 0 || n == 0 {
+            return Err(AimError::Shape {
+                what: "matrix",
+                detail: format!("dimensions must be positive, got {m} x {n}"),
+            });
+        }
+        if banks == 0 || row_elems == 0 {
+            return Err(AimError::Shape {
+                what: "channel geometry",
+                detail: format!("banks={banks}, row_elems={row_elems}"),
+            });
+        }
+        Ok(MatrixMapping {
+            layout,
+            m,
+            n,
+            banks,
+            row_elems,
+            base_row,
+        })
+    }
+
+    /// The layout scheme.
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Matrix rows in this channel.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Matrix columns.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// First DRAM row used.
+    #[must_use]
+    pub fn base_row(&self) -> usize {
+        self.base_row
+    }
+
+    /// Banks the mapping spreads across.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// bf16 elements per DRAM row (the chunk width).
+    #[must_use]
+    pub fn row_elems(&self) -> usize {
+        self.row_elems
+    }
+
+    /// Chunks per matrix row: `ceil(n / row_elems)` (Algorithm 1's
+    /// `numChunks`).
+    #[must_use]
+    pub fn num_chunks(&self) -> usize {
+        self.n.div_ceil(self.row_elems)
+    }
+
+    /// Row groups: `ceil(m / banks)` (Algorithm 1's `r`, the vertical tile
+    /// positions).
+    #[must_use]
+    pub fn row_groups(&self) -> usize {
+        self.m.div_ceil(self.banks)
+    }
+
+    /// DRAM rows needed per bank.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> usize {
+        self.num_chunks() * self.row_groups()
+    }
+
+    /// Elements in chunk `c` of a matrix row (the last chunk may be
+    /// partial).
+    #[must_use]
+    pub fn chunk_elems(&self, c: usize) -> usize {
+        let start = c * self.row_elems;
+        self.n.saturating_sub(start).min(self.row_elems)
+    }
+
+    /// Maps matrix element `(i, j)` to `(bank, dram_row, element_index)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] for out-of-range coordinates.
+    pub fn location(&self, i: usize, j: usize) -> Result<(usize, usize, usize), AimError> {
+        if i >= self.m || j >= self.n {
+            return Err(AimError::Shape {
+                what: "matrix coordinate",
+                detail: format!("({i}, {j}) outside {} x {}", self.m, self.n),
+            });
+        }
+        let c = j / self.row_elems;
+        let w = j % self.row_elems;
+        Ok(match self.layout {
+            Layout::ChunkInterleaved => {
+                let bank = i % self.banks;
+                let slot = i / self.banks;
+                let dram_row = self.base_row + c * self.row_groups() + slot;
+                (bank, dram_row, w)
+            }
+            Layout::NoReuse => {
+                let bank = i % self.banks;
+                let group = i / self.banks;
+                let dram_row = self.base_row + group * self.num_chunks() + c;
+                (bank, dram_row, w)
+            }
+        })
+    }
+
+    /// The DRAM row that holds chunk `c` of the matrix rows in row-group
+    /// `g` (same row index in every active bank, by construction of both
+    /// layouts).
+    #[must_use]
+    pub fn group_dram_row(&self, g: usize, c: usize) -> usize {
+        match self.layout {
+            Layout::ChunkInterleaved => self.base_row + c * self.row_groups() + g,
+            Layout::NoReuse => self.base_row + g * self.num_chunks() + c,
+        }
+    }
+
+    /// The matrix row handled by `bank` in row-group `g`, if any (the
+    /// last group may leave trailing banks idle — Sec. III-D issue (3)).
+    #[must_use]
+    pub fn matrix_row_for(&self, g: usize, bank: usize) -> Option<usize> {
+        let i = g * self.banks + bank;
+        (i < self.m).then_some(i)
+    }
+
+    /// Writes the matrix (row-major, `m * n` elements) into the channel's
+    /// backing storage according to this mapping. Partial chunks and the
+    /// tails of partial row-groups are zero-filled.
+    ///
+    /// This is a functional (host/DMA) load; the timing of getting the
+    /// matrix into memory is not part of any evaluated experiment (the
+    /// matrix is resident across inputs).
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] if `matrix.len() != m * n`;
+    /// [`AimError::CapacityExceeded`] if the mapping overflows the bank;
+    /// [`AimError::Dram`] on storage failures.
+    pub fn load(&self, channel: &mut Channel, matrix: &[Bf16]) -> Result<(), AimError> {
+        if matrix.len() != self.m * self.n {
+            return Err(AimError::Shape {
+                what: "matrix buffer",
+                detail: format!(
+                    "expected {} elements ({} x {}), got {}",
+                    self.m * self.n,
+                    self.m,
+                    self.n,
+                    matrix.len()
+                ),
+            });
+        }
+        let rows_per_bank = channel.config().rows_per_bank;
+        if self.base_row + self.rows_per_bank() > rows_per_bank {
+            return Err(AimError::CapacityExceeded {
+                required_rows: self.base_row + self.rows_per_bank(),
+                available_rows: rows_per_bank,
+            });
+        }
+        let row_bytes = channel.config().row_bytes();
+        let mut buf = vec![0u8; row_bytes];
+        for i in 0..self.m {
+            for c in 0..self.num_chunks() {
+                let (bank, dram_row, _) = self.location(i, c * self.row_elems)?;
+                let len = self.chunk_elems(c);
+                let src = &matrix[i * self.n + c * self.row_elems..][..len];
+                buf.fill(0);
+                slice::pack_into(src, &mut buf[..len * 2]);
+                channel.storage_mut().write_row(bank, dram_row, &buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the matrix back out of channel storage (round-trip testing).
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Dram`] on storage failures.
+    pub fn extract(&self, channel: &Channel) -> Result<Vec<Bf16>, AimError> {
+        let mut out = vec![Bf16::ZERO; self.m * self.n];
+        for i in 0..self.m {
+            for c in 0..self.num_chunks() {
+                let (bank, dram_row, _) = self.location(i, c * self.row_elems)?;
+                let len = self.chunk_elems(c);
+                let row = channel.storage().row(bank, dram_row)?;
+                let vals = slice::unpack(&row[..len * 2]).expect("even byte count");
+                out[i * self.n + c * self.row_elems..][..len].copy_from_slice(&vals);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_dram::DramConfig;
+
+    fn mapping(layout: Layout, m: usize, n: usize) -> MatrixMapping {
+        MatrixMapping::new(layout, m, n, 16, 512, 0).unwrap()
+    }
+
+    #[test]
+    fn figure_3_interleaving_16_banks() {
+        // Fig. 3: 16 banks, 1 KB rows; the first 16 matrix rows' first
+        // chunks occupy DRAM row 0 of banks 0..16.
+        let map = mapping(Layout::ChunkInterleaved, 32, 1024);
+        assert_eq!(map.num_chunks(), 2);
+        assert_eq!(map.row_groups(), 2);
+        for i in 0..16 {
+            let (bank, row, w) = map.location(i, 0).unwrap();
+            assert_eq!((bank, row, w), (i, 0, 0));
+        }
+        // Matrix row 16 wraps to bank 0, next DRAM row.
+        assert_eq!(map.location(16, 0).unwrap(), (0, 1, 0));
+        // Chunk 1 of all rows follows chunk 0 of all rows.
+        assert_eq!(map.location(0, 512).unwrap(), (0, 2, 0));
+        assert_eq!(map.location(17, 513).unwrap(), (1, 3, 1));
+    }
+
+    #[test]
+    fn no_reuse_keeps_matrix_row_in_one_bank() {
+        let map = mapping(Layout::NoReuse, 32, 1024);
+        // Matrix row 0: both chunks in bank 0, consecutive DRAM rows.
+        assert_eq!(map.location(0, 0).unwrap(), (0, 0, 0));
+        assert_eq!(map.location(0, 512).unwrap(), (0, 1, 0));
+        // Matrix row 1 in bank 1.
+        assert_eq!(map.location(1, 0).unwrap(), (1, 0, 0));
+        // Matrix row 16 wraps to bank 0, rows 2..4.
+        assert_eq!(map.location(16, 0).unwrap(), (0, 2, 0));
+        assert_eq!(map.location(16, 1023).unwrap(), (0, 3, 511));
+    }
+
+    #[test]
+    fn group_dram_row_matches_location() {
+        for layout in [Layout::ChunkInterleaved, Layout::NoReuse] {
+            let map = mapping(layout, 40, 1200);
+            for g in 0..map.row_groups() {
+                for c in 0..map.num_chunks() {
+                    for bank in 0..16 {
+                        if let Some(i) = map.matrix_row_for(g, bank) {
+                            let (b, row, _) = map.location(i, c * 512).unwrap();
+                            assert_eq!(b, bank);
+                            assert_eq!(row, map.group_dram_row(g, c), "{layout:?} g={g} c={c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_group_leaves_trailing_banks_idle() {
+        let map = mapping(Layout::ChunkInterleaved, 20, 512);
+        assert_eq!(map.row_groups(), 2);
+        assert_eq!(map.matrix_row_for(1, 3), Some(19));
+        assert_eq!(map.matrix_row_for(1, 4), None);
+    }
+
+    #[test]
+    fn partial_chunk_sizes() {
+        let map = mapping(Layout::ChunkInterleaved, 4, 700);
+        assert_eq!(map.num_chunks(), 2);
+        assert_eq!(map.chunk_elems(0), 512);
+        assert_eq!(map.chunk_elems(1), 188);
+    }
+
+    #[test]
+    fn load_extract_roundtrip_both_layouts() {
+        for layout in [Layout::ChunkInterleaved, Layout::NoReuse] {
+            let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+            let (m, n) = (21, 700); // deliberately ragged
+            let map = MatrixMapping::new(layout, m, n, 16, 512, 5).unwrap();
+            let matrix: Vec<Bf16> = (0..m * n)
+                .map(|k| Bf16::from_f32(((k % 251) as f32) - 125.0))
+                .collect();
+            map.load(&mut ch, &matrix).unwrap();
+            assert_eq!(map.extract(&ch).unwrap(), matrix, "{layout:?}");
+            // base_row honored: row 0 of bank 0 untouched.
+            assert!(ch.storage().row(0, 0).unwrap().iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(MatrixMapping::new(Layout::ChunkInterleaved, 0, 5, 16, 512, 0).is_err());
+        assert!(MatrixMapping::new(Layout::ChunkInterleaved, 5, 0, 16, 512, 0).is_err());
+        let map = mapping(Layout::ChunkInterleaved, 4, 512);
+        assert!(map.location(4, 0).is_err());
+        assert!(map.location(0, 512).is_err());
+        let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+        assert!(map.load(&mut ch, &[Bf16::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn capacity_overflow_detected() {
+        let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+        let map = MatrixMapping::new(Layout::ChunkInterleaved, 16, 512, 16, 512, 32_767).unwrap();
+        // Needs base_row + 1 = 32768 rows: exactly fits.
+        let matrix = vec![Bf16::ONE; 16 * 512];
+        map.load(&mut ch, &matrix).unwrap();
+        let map = MatrixMapping::new(Layout::ChunkInterleaved, 32, 512, 16, 512, 32_767).unwrap();
+        assert!(matches!(
+            map.load(&mut ch, &vec![Bf16::ONE; 32 * 512]),
+            Err(AimError::CapacityExceeded { .. })
+        ));
+    }
+}

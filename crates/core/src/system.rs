@@ -1,0 +1,788 @@
+//! Multi-channel Newton execution: distributes matrix rows across
+//! channels, runs each channel's command stream, and performs the
+//! host-side reduction, activation, and batch-normalization pipeline.
+//!
+//! Channels operate independently and in parallel — "with multiple
+//! (pseudo) channels, Newton's per-channel operation and timing are simply
+//! repeated in parallel across the (pseudo) channels" (Sec. III-D). Matrix
+//! rows are round-robined across channels so every channel carries an
+//! equal share (±1 row group); a layer completes when the slowest channel
+//! finishes.
+
+use newton_bf16::{slice, Bf16};
+use newton_dram::stats::RunSummary;
+use newton_dram::timing::Cycle;
+
+use crate::config::NewtonConfig;
+use crate::controller::{AimStats, NewtonChannel};
+use crate::error::AimError;
+use crate::layout::MatrixMapping;
+use crate::lut::ActivationKind;
+use crate::tiling::{Schedule, ScheduleKind};
+
+/// One matrix–vector problem for [`NewtonSystem::run_model`].
+#[derive(Debug, Clone, Copy)]
+pub struct MvProblem<'a> {
+    /// Row-major `m x n` matrix.
+    pub matrix: &'a [Bf16],
+    /// Output dimension (matrix rows).
+    pub m: usize,
+    /// Input dimension (matrix columns).
+    pub n: usize,
+    /// Activation applied to the layer output.
+    pub activation: ActivationKind,
+    /// Whether batch normalization runs on the output (its first-tile
+    /// latency is exposed between layers, Sec. III-C).
+    pub batch_norm: bool,
+    /// Keep only the first `k` outputs as the next layer's input (models
+    /// host-side elementwise gate folding in LSTM cells, where the 4
+    /// stacked gate rows collapse to one hidden vector). `None` keeps all.
+    pub output_keep: Option<usize>,
+}
+
+/// Result of a system-level run (one layer or one model).
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// The computed output vector (host-reduced, post-activation for
+    /// model runs; raw sums for [`NewtonSystem::run_mv`]).
+    pub output: Vec<f32>,
+    /// Cycles from run start to the last channel's completion.
+    pub cycles: Cycle,
+    /// Wall-clock equivalent of `cycles`.
+    pub elapsed_ns: f64,
+    /// AiM command counters summed over channels.
+    pub stats: AimStats,
+    /// Per-channel DRAM summaries (for bandwidth/power accounting).
+    pub channel_summaries: Vec<RunSummary>,
+}
+
+/// A multi-channel Newton system.
+#[derive(Debug)]
+pub struct NewtonSystem {
+    config: NewtonConfig,
+    channels: Vec<NewtonChannel>,
+    activation: ActivationKind,
+}
+
+impl NewtonSystem {
+    /// Creates the system with identity activation in the channel LUTs.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::InvalidConfig`] on configuration errors.
+    pub fn new(config: NewtonConfig) -> Result<NewtonSystem, AimError> {
+        NewtonSystem::with_activation(config, ActivationKind::Identity)
+    }
+
+    /// Creates the system with the given activation in the channel LUTs
+    /// (used by the no-reuse readout path).
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::InvalidConfig`] on configuration errors.
+    pub fn with_activation(
+        config: NewtonConfig,
+        activation: ActivationKind,
+    ) -> Result<NewtonSystem, AimError> {
+        config.validate()?;
+        let channels = (0..config.channels)
+            .map(|_| NewtonChannel::new(&config, activation))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NewtonSystem {
+            config,
+            channels,
+            activation,
+        })
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &NewtonConfig {
+        &self.config
+    }
+
+    /// Per-channel access (tests, audits).
+    #[must_use]
+    pub fn channels(&self) -> &[NewtonChannel] {
+        &self.channels
+    }
+
+    /// Mutable per-channel access (e.g. enabling audits).
+    pub fn channels_mut(&mut self) -> &mut [NewtonChannel] {
+        &mut self.channels
+    }
+
+    /// The schedule kind the configuration implies.
+    #[must_use]
+    pub fn schedule_kind(&self) -> ScheduleKind {
+        if self.config.result_latches_per_bank == 4 {
+            ScheduleKind::FourLatch
+        } else if self.config.opts.interleaved_reuse {
+            ScheduleKind::InterleavedFullReuse
+        } else {
+            ScheduleKind::NoReuse
+        }
+    }
+
+    /// Matrix rows assigned to `channel` out of `m` (round-robin).
+    fn channel_rows(&self, channel: usize, m: usize) -> usize {
+        let c = self.config.channels;
+        m / c + usize::from(m % c > channel)
+    }
+
+    /// Builds the channel-local mapping for an `m x n` matrix at
+    /// `base_row`.
+    fn channel_mapping(
+        &self,
+        channel: usize,
+        m: usize,
+        n: usize,
+        base_row: usize,
+    ) -> Result<Option<MatrixMapping>, AimError> {
+        let local_m = self.channel_rows(channel, m);
+        if local_m == 0 {
+            return Ok(None);
+        }
+        let kind = self.schedule_kind();
+        MatrixMapping::new(
+            kind.layout(),
+            local_m,
+            n,
+            self.config.dram.banks,
+            self.config.row_elems(),
+            base_row,
+        )
+        .map(Some)
+    }
+
+    /// Extracts the channel-local slice of the global matrix (rows
+    /// `channel, channel + C, channel + 2C, ...`).
+    fn channel_matrix(&self, channel: usize, matrix: &[Bf16], m: usize, n: usize) -> Vec<Bf16> {
+        let c = self.config.channels;
+        let local_m = self.channel_rows(channel, m);
+        let mut out = Vec::with_capacity(local_m * n);
+        for li in 0..local_m {
+            let gi = li * c + channel;
+            out.extend_from_slice(&matrix[gi * n..(gi + 1) * n]);
+        }
+        out
+    }
+
+    /// Loads a matrix into every channel at `base_row`; returns the
+    /// per-channel mappings and the rows consumed per bank.
+    fn load_matrix_at(
+        &mut self,
+        matrix: &[Bf16],
+        m: usize,
+        n: usize,
+        base_row: usize,
+    ) -> Result<(Vec<Option<MatrixMapping>>, usize), AimError> {
+        if matrix.len() != m * n {
+            return Err(AimError::Shape {
+                what: "matrix buffer",
+                detail: format!("expected {} elements, got {}", m * n, matrix.len()),
+            });
+        }
+        let mut mappings = Vec::with_capacity(self.config.channels);
+        let mut max_rows = 0;
+        for ch in 0..self.config.channels {
+            let mapping = self.channel_mapping(ch, m, n, base_row)?;
+            if let Some(map) = &mapping {
+                let local = self.channel_matrix(ch, matrix, m, n);
+                self.channels[ch].load_matrix(map, &local)?;
+                max_rows = max_rows.max(map.rows_per_bank());
+            }
+            mappings.push(mapping);
+        }
+        Ok((mappings, max_rows))
+    }
+
+    /// Runs one layer given pre-loaded mappings; returns raw (pre-
+    /// activation) sums and updates every channel's cursor.
+    ///
+    /// Channels are architecturally independent (Sec. III-D), so their
+    /// command streams simulate on parallel host threads; results merge
+    /// deterministically by channel index.
+    fn run_loaded(
+        &mut self,
+        mappings: &[Option<MatrixMapping>],
+        m: usize,
+        vector: &[Bf16],
+        lut_readout: bool,
+    ) -> Result<SystemRun, AimError> {
+        let kind = self.schedule_kind();
+        let c = self.config.channels;
+        // All channels start together (barrier at layer entry).
+        let start = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+
+        // Threads pay off only when each channel simulates substantial
+        // work; small layers stay serial (thread spawn and cache effects
+        // would dominate).
+        let per_channel_macs = mappings
+            .iter()
+            .flatten()
+            .map(|m| m.m() * m.n())
+            .max()
+            .unwrap_or(0);
+        let parallel = c > 1 && per_channel_macs >= 1_000_000;
+
+        let run_one = |channel: &mut NewtonChannel,
+                       mapping: &Option<MatrixMapping>|
+         -> Option<Result<crate::controller::MvRun, AimError>> {
+            channel.advance_to(start);
+            mapping.as_ref().map(|map| {
+                let schedule = Schedule::build(kind, map);
+                channel.run_mv(map, &schedule, vector, lut_readout)
+            })
+        };
+
+        let runs: Vec<Option<Result<crate::controller::MvRun, AimError>>> = if parallel {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(c);
+                for (channel, mapping) in self.channels.iter_mut().zip(mappings) {
+                    handles.push(scope.spawn(move || run_one(channel, mapping)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("channel simulation thread panicked"))
+                    .collect()
+            })
+        } else {
+            self.channels
+                .iter_mut()
+                .zip(mappings)
+                .map(|(channel, mapping)| run_one(channel, mapping))
+                .collect()
+        };
+
+        let mut output = vec![0.0f32; m];
+        let mut stats = AimStats::default();
+        let mut end = start;
+        for (ch, run) in runs.into_iter().enumerate() {
+            if let Some(run) = run {
+                let run = run?;
+                for (li, v) in run.outputs.iter().enumerate() {
+                    output[li * c + ch] = *v;
+                }
+                stats.gwrite_commands += run.stats.gwrite_commands;
+                stats.compute_commands += run.stats.compute_commands;
+                stats.readres_commands += run.stats.readres_commands;
+                stats.activate_commands += run.stats.activate_commands;
+                stats.row_sets += run.stats.row_sets;
+                stats.refreshes += run.stats.refreshes;
+                end = end.max(run.end_cycle);
+            }
+        }
+        // Barrier: the layer is done when the slowest channel is done.
+        let mut summaries = Vec::with_capacity(c);
+        for ch in &mut self.channels {
+            ch.advance_to(end);
+            summaries.push(ch.channel().summary(end));
+        }
+        let tck = self.config.dram.timing.tck_ns;
+        Ok(SystemRun {
+            output,
+            cycles: end - start,
+            elapsed_ns: (end - start) as f64 * tck,
+            stats,
+            channel_summaries: summaries,
+        })
+    }
+
+    /// Runs a single matrix–vector product (matrix loaded at row 0) and
+    /// returns the raw host-reduced sums.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors for inconsistent `matrix`/`m`/`n`/`vector`; substrate
+    /// errors otherwise.
+    pub fn run_mv(
+        &mut self,
+        matrix: &[Bf16],
+        m: usize,
+        n: usize,
+        vector: &[Bf16],
+    ) -> Result<SystemRun, AimError> {
+        let (mappings, _) = self.load_matrix_at(matrix, m, n, 0)?;
+        self.run_loaded(&mappings, m, vector, false)
+    }
+
+    /// Runs a `batch` of inferences against one resident matrix,
+    /// *measured* (not extrapolated): the matrix loads once; each input
+    /// vector streams through its own GWRITE/G_ACT/COMP/READRES schedule
+    /// back to back, with refresh state carried across inferences.
+    ///
+    /// This is the measured ground truth behind Figs. 11/12's statement
+    /// that "Newton's performance remains unchanged with batch size
+    /// because Newton's compute cannot exploit the reuse".
+    ///
+    /// # Errors
+    ///
+    /// Shape errors if any vector's length differs from `n`; substrate
+    /// errors otherwise.
+    pub fn run_mv_batch(
+        &mut self,
+        matrix: &[Bf16],
+        m: usize,
+        n: usize,
+        vectors: &[Vec<Bf16>],
+    ) -> Result<Vec<SystemRun>, AimError> {
+        if vectors.is_empty() {
+            return Err(AimError::Shape {
+                what: "batch",
+                detail: "no input vectors".into(),
+            });
+        }
+        let (mappings, _) = self.load_matrix_at(matrix, m, n, 0)?;
+        vectors
+            .iter()
+            .map(|v| self.run_loaded(&mappings, m, v, false))
+            .collect()
+    }
+
+    /// Time to re-load an `m x n` matrix from a non-AiM copy, in ns —
+    /// the ECC strategy of Sec. III-E ("re-loading the matrix, and
+    /// thereby discarding any errors, from a non-AiM copy every so
+    /// often"). The reload streams the matrix over the external bus once
+    /// to read the clean copy and once to write the AiM region; channels
+    /// reload in parallel.
+    #[must_use]
+    pub fn matrix_reload_ns(&self, m: usize, n: usize) -> f64 {
+        let m_c = m.div_ceil(self.config.channels);
+        let bytes = (m_c * n * 2) as f64;
+        2.0 * bytes / self.config.dram.external_bandwidth_bytes_per_ns()
+    }
+
+    /// Amortized ECC-reload bandwidth overhead: the fraction of device
+    /// time spent reloading when the matrix is refreshed from its clean
+    /// copy once every `inputs_per_reload` inferences, each of which
+    /// takes `inference_ns`. The paper argues this is small (e.g. once
+    /// per 1000 inputs).
+    #[must_use]
+    pub fn reload_overhead_fraction(
+        &self,
+        m: usize,
+        n: usize,
+        inference_ns: f64,
+        inputs_per_reload: u64,
+    ) -> f64 {
+        if inputs_per_reload == 0 || inference_ns <= 0.0 {
+            return 0.0;
+        }
+        let reload = self.matrix_reload_ns(m, n);
+        reload / (reload + inference_ns * inputs_per_reload as f64)
+    }
+
+    /// Runs several independent models *concurrently on disjoint channel
+    /// partitions* (Sec. III-D: "Different models can operate
+    /// simultaneously in different channels"). Each entry pairs a channel
+    /// count with a layer list and input; partitions are carved from this
+    /// system's channels in order. Returns one [`SystemRun`] per model;
+    /// the wall-clock of the whole batch is the max of the runs (they
+    /// overlap in time).
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::InvalidConfig`] if the partition sizes do not sum to
+    /// at most this system's channel count or any partition is empty;
+    /// layer shape errors as in [`NewtonSystem::run_model`].
+    pub fn run_models_partitioned(
+        &mut self,
+        jobs: &[(usize, &[MvProblem<'_>], &[Bf16])],
+    ) -> Result<Vec<SystemRun>, AimError> {
+        let total: usize = jobs.iter().map(|(c, _, _)| *c).sum();
+        if total > self.config.channels {
+            return Err(AimError::InvalidConfig(format!(
+                "partitions need {total} channels but the system has {}",
+                self.config.channels
+            )));
+        }
+        if jobs.iter().any(|(c, _, _)| *c == 0) {
+            return Err(AimError::InvalidConfig("empty channel partition".into()));
+        }
+        // Channels are symmetric and independent: a k-channel partition
+        // behaves exactly like a k-channel system. Run each job on a
+        // fresh sub-system and report them as overlapping in time.
+        let mut results = Vec::with_capacity(jobs.len());
+        for (channels, layers, input) in jobs {
+            let mut cfg = self.config.clone();
+            cfg.channels = *channels;
+            let mut sub = NewtonSystem::with_activation(cfg, self.activation)?;
+            results.push(sub.run_model(layers, input)?);
+        }
+        Ok(results)
+    }
+
+    /// Runs a sequence of layers end-to-end: every layer's matrix is
+    /// resident (stacked at increasing DRAM rows), each layer's output
+    /// feeds the next layer's input, host activation/normalization latency
+    /// is pipelined per Sec. III-C (only the first tile's normalization is
+    /// exposed), and refresh state carries across layers.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors if a layer's `n` does not match the incoming vector
+    /// length, or if the stacked matrices exceed bank capacity.
+    pub fn run_model(
+        &mut self,
+        layers: &[MvProblem<'_>],
+        input: &[Bf16],
+    ) -> Result<SystemRun, AimError> {
+        if layers.is_empty() {
+            return Err(AimError::Shape {
+                what: "model",
+                detail: "no layers".into(),
+            });
+        }
+        // Load every layer's matrix up front (all resident, Sec. III-E).
+        let mut base_row = 0;
+        let mut all_mappings = Vec::with_capacity(layers.len());
+        for layer in layers {
+            let (mappings, rows) = self.load_matrix_at(layer.matrix, layer.m, layer.n, base_row)?;
+            base_row += rows;
+            all_mappings.push(mappings);
+        }
+
+        let start = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+        let mut vector: Vec<Bf16> = input.to_vec();
+        let mut stats = AimStats::default();
+        let mut final_output = Vec::new();
+        let tck = self.config.dram.timing.tck_ns;
+
+        for (layer, mappings) in layers.iter().zip(&all_mappings) {
+            if vector.len() != layer.n {
+                return Err(AimError::Shape {
+                    what: "layer input",
+                    detail: format!("expected {} elements, got {}", layer.n, vector.len()),
+                });
+            }
+            // LUT readout is legal when every readout is final and no
+            // host-side normalization intervenes.
+            let lut_readout = !matches!(self.schedule_kind(), ScheduleKind::InterleavedFullReuse)
+                && !layer.batch_norm
+                && layer.activation != ActivationKind::Identity
+                && self.activation == layer.activation;
+            let run = self.run_loaded(mappings, layer.m, &vector, lut_readout)?;
+            stats.gwrite_commands += run.stats.gwrite_commands;
+            stats.compute_commands += run.stats.compute_commands;
+            stats.readres_commands += run.stats.readres_commands;
+            stats.activate_commands += run.stats.activate_commands;
+            stats.row_sets += run.stats.row_sets;
+            stats.refreshes += run.stats.refreshes;
+
+            // Host post-processing: batch norm (range scaling) and
+            // activation; only the first tile's normalization latency is
+            // exposed before the next layer starts (Sec. III-C).
+            let mut out = run.output;
+            if layer.batch_norm {
+                let max_abs = out.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+                if max_abs > 0.0 {
+                    for x in &mut out {
+                        *x /= max_abs;
+                    }
+                }
+                let exposure = (self.config.batch_norm_first_tile_ns / tck).ceil() as Cycle;
+                let now = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+                for ch in &mut self.channels {
+                    ch.advance_to(now + exposure);
+                }
+            }
+            if !lut_readout {
+                for x in &mut out {
+                    *x = layer.activation.apply_f32(*x);
+                }
+            }
+            if let Some(k) = layer.output_keep {
+                out.truncate(k);
+            }
+            vector = slice::from_f32(&out);
+            final_output = out;
+        }
+
+        let end = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+        let summaries = self
+            .channels
+            .iter()
+            .map(|c| c.channel().summary(end))
+            .collect();
+        Ok(SystemRun {
+            output: final_output,
+            cycles: end - start,
+            elapsed_ns: (end - start) as f64 * tck,
+            stats,
+            channel_summaries: summaries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptLevel;
+
+    fn bf(v: f32) -> Bf16 {
+        Bf16::from_f32(v)
+    }
+
+    fn small_cfg(channels: usize) -> NewtonConfig {
+        let mut c = NewtonConfig::paper_default();
+        c.channels = channels;
+        c
+    }
+
+    fn reference(matrix: &[Bf16], m: usize, n: usize, vector: &[Bf16]) -> Vec<f64> {
+        (0..m)
+            .map(|i| {
+                (0..n)
+                    .map(|j| matrix[i * n + j].to_f64() * vector[j].to_f64())
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_channel_matches_reference_and_single_channel_output() {
+        let (m, n) = (50, 700);
+        let matrix: Vec<Bf16> = (0..m * n).map(|k| bf(((k % 17) as f32 - 8.0) / 8.0)).collect();
+        let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 5) as f32 - 2.0) / 2.0)).collect();
+        let expect = reference(&matrix, m, n, &vector);
+
+        for channels in [1, 3, 24] {
+            let mut sys = NewtonSystem::new(small_cfg(channels)).unwrap();
+            let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
+            assert_eq!(run.output.len(), m);
+            for i in 0..m {
+                let bound = newton_bf16::reduce::dot_error_bound(n, 16, expect[i].abs().max(8.0));
+                assert!(
+                    (run.output[i] as f64 - expect[i]).abs() <= bound,
+                    "channels={channels} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_channels_is_faster() {
+        let (m, n) = (96, 512);
+        let matrix = vec![bf(1.0); m * n];
+        let vector = vec![bf(1.0); n];
+        let mut t = Vec::new();
+        for channels in [1, 2, 4] {
+            let mut sys = NewtonSystem::new(small_cfg(channels)).unwrap();
+            let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
+            t.push(run.cycles);
+        }
+        assert!(t[0] > t[1] && t[1] > t[2], "{t:?}");
+    }
+
+    #[test]
+    fn rows_distribute_round_robin() {
+        let sys = NewtonSystem::new(small_cfg(24)).unwrap();
+        assert_eq!(sys.channel_rows(0, 50), 3);
+        assert_eq!(sys.channel_rows(1, 50), 3);
+        assert_eq!(sys.channel_rows(2, 50), 2);
+        assert_eq!(sys.channel_rows(23, 50), 2);
+        let total: usize = (0..24).map(|c| sys.channel_rows(c, 50)).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn schedule_kind_follows_config() {
+        let mut cfg = small_cfg(1);
+        assert_eq!(
+            NewtonSystem::new(cfg.clone()).unwrap().schedule_kind(),
+            ScheduleKind::InterleavedFullReuse
+        );
+        cfg.opts.interleaved_reuse = false;
+        assert_eq!(
+            NewtonSystem::new(cfg.clone()).unwrap().schedule_kind(),
+            ScheduleKind::NoReuse
+        );
+        cfg.result_latches_per_bank = 4;
+        assert_eq!(
+            NewtonSystem::new(cfg).unwrap().schedule_kind(),
+            ScheduleKind::FourLatch
+        );
+    }
+
+    #[test]
+    fn model_run_chains_layers_numerically() {
+        let mut sys = NewtonSystem::new(small_cfg(2)).unwrap();
+        let (m1, n1) = (32, 64);
+        let (m2, n2) = (16, 32);
+        let w1: Vec<Bf16> = (0..m1 * n1).map(|k| bf(((k % 9) as f32 - 4.0) / 16.0)).collect();
+        let w2: Vec<Bf16> = (0..m2 * n2).map(|k| bf(((k % 11) as f32 - 5.0) / 16.0)).collect();
+        let input: Vec<Bf16> = (0..n1).map(|k| bf((k % 3) as f32 / 2.0)).collect();
+
+        let layers = [
+            MvProblem { matrix: &w1, m: m1, n: n1, activation: ActivationKind::Relu, batch_norm: false, output_keep: None },
+            MvProblem { matrix: &w2, m: m2, n: n2, activation: ActivationKind::Identity, batch_norm: false, output_keep: None },
+        ];
+        let run = sys.run_model(&layers, &input).unwrap();
+        assert_eq!(run.output.len(), m2);
+
+        // f64 reference of the chained computation (with bf16 re-rounding
+        // of the intermediate vector, as the system does).
+        let h1 = reference(&w1, m1, n1, &input);
+        let h1: Vec<Bf16> = h1.iter().map(|&x| Bf16::from_f64(x.max(0.0))).collect();
+        let expect = reference(&w2, m2, n2, &h1);
+        for i in 0..m2 {
+            assert!(
+                (run.output[i] as f64 - expect[i]).abs()
+                    <= newton_bf16::reduce::dot_error_bound(n2, 16, expect[i].abs().max(8.0)) + 0.25,
+                "row {i}: {} vs {}",
+                run.output[i],
+                expect[i]
+            );
+        }
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn batch_norm_exposes_first_tile_latency() {
+        let mut cfg = small_cfg(1);
+        cfg.batch_norm_first_tile_ns = 1000.0;
+        let (m, n) = (16, 32);
+        let w = vec![bf(0.5); m * n];
+        let input = vec![bf(1.0); n];
+        let mk = |bn: bool| {
+            [MvProblem {
+                matrix: &w,
+                m,
+                n,
+                activation: ActivationKind::Identity,
+                batch_norm: bn,
+                output_keep: None,
+            }]
+        };
+        let mut sys = NewtonSystem::new(cfg.clone()).unwrap();
+        let without = sys.run_model(&mk(false), &input).unwrap().cycles;
+        let mut sys = NewtonSystem::new(cfg).unwrap();
+        let with = sys.run_model(&mk(true), &input).unwrap().cycles;
+        assert!(with >= without + 1000, "with={with} without={without}");
+    }
+
+    #[test]
+    fn batch_runs_load_once_and_scale_time_linearly() {
+        let (m, n) = (32, 512);
+        let matrix = vec![bf(0.5); m * n];
+        let vectors: Vec<Vec<Bf16>> = (0..4)
+            .map(|k| vec![bf(1.0 + k as f32); n])
+            .collect();
+        let mut sys = NewtonSystem::new(small_cfg(2)).unwrap();
+        let runs = sys.run_mv_batch(&matrix, m, n, &vectors).unwrap();
+        assert_eq!(runs.len(), 4);
+        // Each inference computes its own input's product.
+        for (k, run) in runs.iter().enumerate() {
+            let expect = 0.5 * (1.0 + k as f32) * n as f32;
+            assert!(run.output.iter().all(|&v| v == expect), "batch item {k}");
+        }
+        // Per-inference time is flat in k (Figs. 11/12's Newton bars):
+        // later items take the same cycles as earlier ones (+/- refresh).
+        let times: Vec<_> = runs.iter().map(|r| r.cycles).collect();
+        let min = *times.iter().min().unwrap() as f64;
+        let max = *times.iter().max().unwrap() as f64;
+        assert!(max / min < 1.25, "batch items should cost ~equal time: {times:?}");
+        // Empty batch rejected.
+        assert!(sys.run_mv_batch(&matrix, m, n, &[]).is_err());
+    }
+
+    #[test]
+    fn ecc_reload_overhead_is_small_at_the_papers_cadence() {
+        // Sec. III-E: reload once per 1000 inputs => small overhead.
+        let sys = NewtonSystem::new(small_cfg(24)).unwrap();
+        let (m, n) = (4096, 1024); // GNMTs1
+        let reload = sys.matrix_reload_ns(m, n);
+        assert!(reload > 0.0);
+        // A Newton inference of this layer takes ~5-6 us; at 1/1000 the
+        // overhead must be well under 1%.
+        let frac = sys.reload_overhead_fraction(m, n, 5_500.0, 1000);
+        assert!(frac < 0.02, "reload overhead {frac}");
+        // Degenerate inputs.
+        assert_eq!(sys.reload_overhead_fraction(m, n, 5_500.0, 0), 0.0);
+        assert_eq!(sys.reload_overhead_fraction(m, n, 0.0, 10), 0.0);
+        // Reloading every input would dominate.
+        assert!(sys.reload_overhead_fraction(m, n, 5_500.0, 1) > 0.5);
+    }
+
+    #[test]
+    fn partitioned_models_run_concurrently_and_independently() {
+        let mut sys = NewtonSystem::new(small_cfg(4)).unwrap();
+        let w1 = vec![bf(1.0); 32 * 64];
+        let w2 = vec![bf(2.0); 16 * 32];
+        let in1 = [bf(1.0); 64];
+        let in2 = [bf(1.0); 32];
+        let l1 = [MvProblem {
+            matrix: &w1,
+            m: 32,
+            n: 64,
+            activation: ActivationKind::Identity,
+            batch_norm: false,
+            output_keep: None,
+        }];
+        let l2 = [MvProblem {
+            matrix: &w2,
+            m: 16,
+            n: 32,
+            activation: ActivationKind::Identity,
+            batch_norm: false,
+            output_keep: None,
+        }];
+        let runs = sys
+            .run_models_partitioned(&[(2, &l1[..], &in1[..]), (2, &l2[..], &in2[..])])
+            .unwrap();
+        assert_eq!(runs.len(), 2);
+        assert!(runs[0].output.iter().all(|&v| v == 64.0));
+        assert!(runs[1].output.iter().all(|&v| v == 64.0));
+
+        // Over-subscription is rejected.
+        assert!(sys
+            .run_models_partitioned(&[(3, &l1[..], &in1[..]), (2, &l2[..], &in2[..])])
+            .is_err());
+        assert!(sys.run_models_partitioned(&[(0, &l1[..], &in1[..])]).is_err());
+    }
+
+    #[test]
+    fn layer_shape_mismatch_rejected() {
+        let mut sys = NewtonSystem::new(small_cfg(1)).unwrap();
+        let w = vec![bf(1.0); 16 * 32];
+        let layers = [MvProblem {
+            matrix: &w,
+            m: 16,
+            n: 32,
+            activation: ActivationKind::Identity,
+            batch_norm: false,
+            output_keep: None,
+        }];
+        assert!(sys.run_model(&layers, &[bf(1.0); 33]).is_err());
+        assert!(sys.run_model(&[], &[bf(1.0); 32]).is_err());
+        assert!(sys.run_mv(&w, 16, 33, &[bf(1.0); 33]).is_err());
+    }
+
+    #[test]
+    fn opt_ladder_is_monotonically_faster() {
+        let (m, n) = (64, 1024);
+        let matrix = vec![bf(1.0); m * n];
+        let vector = vec![bf(1.0); n];
+        let mut times = Vec::new();
+        for level in OptLevel::ladder() {
+            let mut cfg = NewtonConfig::at_level(level);
+            cfg.channels = 1;
+            let mut sys = NewtonSystem::new(cfg).unwrap();
+            let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
+            times.push((level, run.cycles));
+        }
+        for w in times.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1,
+                "{:?} ({}) should not be slower than {:?} ({})",
+                w[1].0,
+                w[1].1,
+                w[0].0,
+                w[0].1
+            );
+        }
+        // And the full config is much faster than non-opt.
+        assert!(times[0].1 > 5 * times[5].1, "{times:?}");
+    }
+}

@@ -1,0 +1,468 @@
+//! Independent post-hoc timing audit.
+//!
+//! The channel's constraint engine computes earliest-legal cycles
+//! incrementally; the audit re-derives every constraint from the raw event
+//! log with simple quadratic-ish scans. The two implementations share no
+//! code, so agreement is strong evidence the incremental engine is right.
+//! Tests enable the audit on every scenario; long benchmark runs leave it
+//! off.
+
+use crate::timing::{Cycle, Timing};
+
+/// One primitive device event, as recorded at issue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// Row activation on `bank`.
+    Act {
+        /// Bank index.
+        bank: usize,
+        /// Row opened.
+        row: usize,
+        /// Issue cycle.
+        cycle: Cycle,
+    },
+    /// Precharge on `bank`.
+    Pre {
+        /// Bank index.
+        bank: usize,
+        /// Issue cycle.
+        cycle: Cycle,
+    },
+    /// Column read on `bank` (`external` = data crossed the PHY).
+    ColRd {
+        /// Bank index.
+        bank: usize,
+        /// Issue cycle.
+        cycle: Cycle,
+        /// Whether the data used the external bus.
+        external: bool,
+    },
+    /// Column write on `bank`.
+    ColWr {
+        /// Bank index.
+        bank: usize,
+        /// Issue cycle.
+        cycle: Cycle,
+    },
+    /// All-bank refresh.
+    Ref {
+        /// Issue cycle.
+        cycle: Cycle,
+    },
+    /// A command-bus slot was consumed (one per command, ganged or not).
+    Slot {
+        /// Issue cycle.
+        cycle: Cycle,
+        /// Which command bus carried the command.
+        bus: BusKind,
+    },
+}
+
+/// Which of the two HBM command buses a command used (HBM splits row
+/// commands — ACT/PRE/REF — from column commands — RD/WR and the AiM
+/// column-class commands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusKind {
+    /// The row-command bus (ACT, PRE, REF).
+    Row,
+    /// The column-command bus (RD, WR, COMP, GWRITE, READRES).
+    Column,
+}
+
+impl AuditEvent {
+    fn cycle(&self) -> Cycle {
+        match *self {
+            AuditEvent::Act { cycle, .. }
+            | AuditEvent::Pre { cycle, .. }
+            | AuditEvent::ColRd { cycle, .. }
+            | AuditEvent::ColWr { cycle, .. }
+            | AuditEvent::Ref { cycle }
+            | AuditEvent::Slot { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A violation found by the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Name of the violated constraint.
+    pub constraint: &'static str,
+    /// Description with the cycles involved.
+    pub detail: String,
+}
+
+/// Collects events and re-validates them against the raw constraint
+/// definitions.
+#[derive(Debug, Default)]
+pub struct Audit {
+    events: Vec<AuditEvent>,
+}
+
+impl Audit {
+    /// Creates an empty audit log.
+    #[must_use]
+    pub fn new() -> Audit {
+        Audit::default()
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: AuditEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Recorded events, in issue order.
+    #[must_use]
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Re-validates every recorded event. Returns all violations found
+    /// (empty = clean).
+    #[must_use]
+    pub fn validate(&self, t: &Timing) -> Vec<AuditViolation> {
+        let mut violations = Vec::new();
+        let mut events = self.events.clone();
+        events.sort_by_key(AuditEvent::cycle);
+
+        self.check_command_slots(&events, t, &mut violations);
+        self.check_faw(&events, t, &mut violations);
+        self.check_per_bank(&events, t, &mut violations);
+        self.check_refresh(&events, t, &mut violations);
+        violations
+    }
+
+    fn check_command_slots(
+        &self,
+        events: &[AuditEvent],
+        t: &Timing,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        for kind in [BusKind::Row, BusKind::Column] {
+            let slots: Vec<Cycle> = events
+                .iter()
+                .filter_map(|e| match e {
+                    AuditEvent::Slot { cycle, bus } if *bus == kind => Some(*cycle),
+                    _ => None,
+                })
+                .collect();
+            for w in slots.windows(2) {
+                if w[1] < w[0] + t.t_cmd {
+                    out.push(AuditViolation {
+                        constraint: "tCMD",
+                        detail: format!(
+                            "{kind:?}-bus command slots at {} and {} closer than tCMD={}",
+                            w[0], w[1], t.t_cmd
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_faw(&self, events: &[AuditEvent], t: &Timing, out: &mut Vec<AuditViolation>) {
+        let acts: Vec<Cycle> = events
+            .iter()
+            .filter_map(|e| match e {
+                AuditEvent::Act { cycle, .. } => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        // tFAW: any 5 consecutive activations must span more than tFAW
+        // (i.e. acts[i+4] >= acts[i] + tFAW).
+        for i in 0..acts.len().saturating_sub(4) {
+            if acts[i + 4] < acts[i] + t.t_faw {
+                out.push(AuditViolation {
+                    constraint: "tFAW",
+                    detail: format!(
+                        "5th activation at {} within tFAW={} of activation at {}",
+                        acts[i + 4],
+                        t.t_faw,
+                        acts[i]
+                    ),
+                });
+            }
+        }
+        // tRRD between activations at *different* cycles (ganged
+        // activations share a cycle by design).
+        for w in acts.windows(2) {
+            if w[1] != w[0] && w[1] < w[0] + t.t_rrd {
+                out.push(AuditViolation {
+                    constraint: "tRRD",
+                    detail: format!("activations at {} and {} closer than tRRD={}", w[0], w[1], t.t_rrd),
+                });
+            }
+        }
+    }
+
+    fn check_per_bank(&self, events: &[AuditEvent], t: &Timing, out: &mut Vec<AuditViolation>) {
+        let max_bank = events
+            .iter()
+            .filter_map(|e| match e {
+                AuditEvent::Act { bank, .. }
+                | AuditEvent::Pre { bank, .. }
+                | AuditEvent::ColRd { bank, .. }
+                | AuditEvent::ColWr { bank, .. } => Some(*bank),
+                _ => None,
+            })
+            .max();
+        let Some(max_bank) = max_bank else { return };
+
+        for bank in 0..=max_bank {
+            let mut last_act: Option<Cycle> = None;
+            let mut last_col: Option<Cycle> = None;
+            let mut last_rd: Option<Cycle> = None;
+            let mut last_wr: Option<Cycle> = None;
+            let mut last_pre: Option<Cycle> = None;
+            let mut open = false;
+            for e in events {
+                match *e {
+                    AuditEvent::Act { bank: b, cycle, .. } if b == bank => {
+                        if open {
+                            out.push(AuditViolation {
+                                constraint: "ACT-on-open",
+                                detail: format!("bank {bank}: activate at {cycle} while a row is open"),
+                            });
+                        }
+                        if let Some(p) = last_pre {
+                            if cycle < p + t.t_rp {
+                                out.push(AuditViolation {
+                                    constraint: "tRP",
+                                    detail: format!("bank {bank}: ACT at {cycle} < PRE {p} + tRP {}", t.t_rp),
+                                });
+                            }
+                        }
+                        if let Some(a) = last_act {
+                            if cycle < a + t.t_rc() {
+                                out.push(AuditViolation {
+                                    constraint: "tRC",
+                                    detail: format!("bank {bank}: ACT at {cycle} < ACT {a} + tRC {}", t.t_rc()),
+                                });
+                            }
+                        }
+                        last_act = Some(cycle);
+                        open = true;
+                    }
+                    AuditEvent::Pre { bank: b, cycle } if b == bank => {
+                        if !open {
+                            out.push(AuditViolation {
+                                constraint: "PRE-on-idle",
+                                detail: format!("bank {bank}: precharge at {cycle} with no open row"),
+                            });
+                        }
+                        if let Some(a) = last_act {
+                            if cycle < a + t.t_ras {
+                                out.push(AuditViolation {
+                                    constraint: "tRAS",
+                                    detail: format!("bank {bank}: PRE at {cycle} < ACT {a} + tRAS {}", t.t_ras),
+                                });
+                            }
+                        }
+                        if let Some(r) = last_rd {
+                            if cycle < r + t.t_rtp {
+                                out.push(AuditViolation {
+                                    constraint: "tRTP",
+                                    detail: format!("bank {bank}: PRE at {cycle} < RD {r} + tRTP {}", t.t_rtp),
+                                });
+                            }
+                        }
+                        if let Some(wcyc) = last_wr {
+                            if cycle < wcyc + t.t_aa + t.t_wr {
+                                out.push(AuditViolation {
+                                    constraint: "tWR",
+                                    detail: format!(
+                                        "bank {bank}: PRE at {cycle} < WR {wcyc} + tAA+tWR {}",
+                                        t.t_aa + t.t_wr
+                                    ),
+                                });
+                            }
+                        }
+                        last_pre = Some(cycle);
+                        open = false;
+                        last_col = None;
+                        last_rd = None;
+                        last_wr = None;
+                    }
+                    AuditEvent::ColRd { bank: b, cycle, .. } if b == bank => {
+                        self.check_column(bank, cycle, open, last_act, last_col, t, out);
+                        last_col = Some(cycle);
+                        last_rd = Some(cycle);
+                    }
+                    AuditEvent::ColWr { bank: b, cycle } if b == bank => {
+                        self.check_column(bank, cycle, open, last_act, last_col, t, out);
+                        last_col = Some(cycle);
+                        last_wr = Some(cycle);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_column(
+        &self,
+        bank: usize,
+        cycle: Cycle,
+        open: bool,
+        last_act: Option<Cycle>,
+        last_col: Option<Cycle>,
+        t: &Timing,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        if !open {
+            out.push(AuditViolation {
+                constraint: "COL-on-idle",
+                detail: format!("bank {bank}: column access at {cycle} with no open row"),
+            });
+        }
+        if let Some(a) = last_act {
+            if cycle < a + t.t_rcd {
+                out.push(AuditViolation {
+                    constraint: "tRCD",
+                    detail: format!("bank {bank}: column at {cycle} < ACT {a} + tRCD {}", t.t_rcd),
+                });
+            }
+        }
+        if let Some(c) = last_col {
+            if cycle < c + t.t_ccd {
+                out.push(AuditViolation {
+                    constraint: "tCCD",
+                    detail: format!("bank {bank}: column at {cycle} < column {c} + tCCD {}", t.t_ccd),
+                });
+            }
+        }
+    }
+
+    fn check_refresh(&self, events: &[AuditEvent], t: &Timing, out: &mut Vec<AuditViolation>) {
+        if t.t_refi == 0 {
+            return;
+        }
+        let refs: Vec<Cycle> = events
+            .iter()
+            .filter_map(|e| match e {
+                AuditEvent::Ref { cycle } => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        // During tRFC after a refresh, no activation may occur.
+        let acts: Vec<Cycle> = events
+            .iter()
+            .filter_map(|e| match e {
+                AuditEvent::Act { cycle, .. } => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        for &r in &refs {
+            for &a in &acts {
+                if a >= r && a < r + t.t_rfc {
+                    out.push(AuditViolation {
+                        constraint: "tRFC",
+                        detail: format!("activation at {a} during refresh [{r}, {})", r + t.t_rfc),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingParams;
+
+    fn timing() -> Timing {
+        TimingParams::hbm2e_like().to_cycles().unwrap()
+    }
+
+    #[test]
+    fn clean_sequence_passes() {
+        let t = timing();
+        let mut audit = Audit::new();
+        audit.record(AuditEvent::Slot { cycle: 0, bus: BusKind::Row });
+        audit.record(AuditEvent::Act { bank: 0, row: 0, cycle: 0 });
+        audit.record(AuditEvent::Slot { cycle: t.t_rcd, bus: BusKind::Column });
+        audit.record(AuditEvent::ColRd { bank: 0, cycle: t.t_rcd, external: true });
+        audit.record(AuditEvent::Slot { cycle: t.t_ras, bus: BusKind::Row });
+        audit.record(AuditEvent::Pre { bank: 0, cycle: t.t_ras });
+        assert_eq!(audit.validate(&t), vec![]);
+        assert_eq!(audit.len(), 6);
+    }
+
+    #[test]
+    fn trcd_violation_detected() {
+        let t = timing();
+        let mut audit = Audit::new();
+        audit.record(AuditEvent::Act { bank: 0, row: 0, cycle: 0 });
+        audit.record(AuditEvent::ColRd { bank: 0, cycle: t.t_rcd - 1, external: false });
+        let v = audit.validate(&t);
+        assert!(v.iter().any(|x| x.constraint == "tRCD"), "{v:?}");
+    }
+
+    #[test]
+    fn faw_violation_detected() {
+        let t = timing();
+        let mut audit = Audit::new();
+        for i in 0..5 {
+            audit.record(AuditEvent::Act { bank: i, row: 0, cycle: (i as Cycle) * t.t_rrd });
+        }
+        let v = audit.validate(&t);
+        assert!(v.iter().any(|x| x.constraint == "tFAW"), "{v:?}");
+    }
+
+    #[test]
+    fn ganged_acts_at_same_cycle_do_not_trip_trrd() {
+        let t = timing();
+        let mut audit = Audit::new();
+        for bank in 0..4 {
+            audit.record(AuditEvent::Act { bank, row: 0, cycle: 100 });
+        }
+        let v = audit.validate(&t);
+        assert!(v.iter().all(|x| x.constraint != "tRRD"), "{v:?}");
+    }
+
+    #[test]
+    fn command_slot_crowding_detected() {
+        let t = timing();
+        let mut audit = Audit::new();
+        audit.record(AuditEvent::Slot { cycle: 0, bus: BusKind::Column });
+        audit.record(AuditEvent::Slot { cycle: 1, bus: BusKind::Column });
+        let v = audit.validate(&t);
+        assert!(v.iter().any(|x| x.constraint == "tCMD"), "{v:?}");
+        // Different buses never contend for slots.
+        let mut audit = Audit::new();
+        audit.record(AuditEvent::Slot { cycle: 0, bus: BusKind::Row });
+        audit.record(AuditEvent::Slot { cycle: 1, bus: BusKind::Column });
+        assert!(audit.validate(&t).is_empty());
+    }
+
+    #[test]
+    fn activation_during_refresh_detected() {
+        let t = timing();
+        let mut audit = Audit::new();
+        audit.record(AuditEvent::Ref { cycle: 1000 });
+        audit.record(AuditEvent::Act { bank: 0, row: 0, cycle: 1000 + t.t_rfc - 1 });
+        let v = audit.validate(&t);
+        assert!(v.iter().any(|x| x.constraint == "tRFC"), "{v:?}");
+    }
+
+    #[test]
+    fn column_on_idle_bank_detected() {
+        let t = timing();
+        let mut audit = Audit::new();
+        audit.record(AuditEvent::ColRd { bank: 0, cycle: 50, external: true });
+        let v = audit.validate(&t);
+        assert!(v.iter().any(|x| x.constraint == "COL-on-idle"), "{v:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! The command bus and the external data bus.
+//!
+//! The command bus is the scarce resource at the heart of the paper's
+//! interface optimizations: every command — conventional or AiM — occupies
+//! one slot, and slots are spaced by the inter-command delay ("DRAM
+//! commands must be separated by a specified delay (e.g., 4 cycles)",
+//! Sec. III-D). Ganged commands (G_ACT, all-bank COMP, READRES) perform
+//! many bank operations but still consume a *single* slot, which is exactly
+//! how Newton saves the 16× and 3× command bandwidth the paper reports.
+//!
+//! The external data bus models the serialized path from the banks through
+//! the global bus to the host (Sec. II-A). AiM-internal column accesses do
+//! *not* occupy it — that is PIM's bandwidth advantage.
+
+use crate::error::DramError;
+use crate::timing::{Cycle, Timing};
+
+/// The shared command bus: one command per slot, slots spaced by tCMD.
+#[derive(Debug, Clone, Default)]
+pub struct CommandBus {
+    last_issue: Option<Cycle>,
+    issued: u64,
+}
+
+impl CommandBus {
+    /// Creates an idle command bus.
+    #[must_use]
+    pub fn new() -> CommandBus {
+        CommandBus::default()
+    }
+
+    /// Earliest cycle `>= hint` at which the next command may issue.
+    #[must_use]
+    pub fn earliest_slot(&self, hint: Cycle, t: &Timing) -> Cycle {
+        match self.last_issue {
+            Some(last) => hint.max(last + t.t_cmd),
+            None => hint,
+        }
+    }
+
+    /// Claims the slot at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Timing`] if `cycle` is earlier than the slot spacing
+    /// allows or would reorder the command stream.
+    pub fn issue(&mut self, cycle: Cycle, t: &Timing) -> Result<(), DramError> {
+        let earliest = self.earliest_slot(0, t);
+        if cycle < earliest {
+            return Err(DramError::Timing {
+                constraint: "tCMD (command bus slot)",
+                issued: cycle,
+                earliest,
+                bank: None,
+            });
+        }
+        self.last_issue = Some(cycle);
+        self.issued += 1;
+        Ok(())
+    }
+
+    /// Total commands issued (the denominator of command-bandwidth
+    /// utilization).
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Cycle of the most recent command, if any.
+    #[must_use]
+    pub fn last_issue(&self) -> Option<Cycle> {
+        self.last_issue
+    }
+}
+
+/// The external data bus (global bus + PHY): one burst at a time.
+#[derive(Debug, Clone, Default)]
+pub struct DataBus {
+    busy_until: Cycle,
+    bytes: u64,
+}
+
+impl DataBus {
+    /// Creates an idle data bus.
+    #[must_use]
+    pub fn new() -> DataBus {
+        DataBus::default()
+    }
+
+    /// Earliest cycle `>= hint` at which a new burst may start.
+    #[must_use]
+    pub fn earliest_transfer(&self, hint: Cycle) -> Cycle {
+        hint.max(self.busy_until)
+    }
+
+    /// Occupies the bus for one burst of `bytes` starting at `start`;
+    /// the burst lasts tCCD (the column cadence — the bus is saturated when
+    /// bursts are back to back).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Timing`] if the bus is still busy at `start`.
+    pub fn transfer(&mut self, start: Cycle, bytes: usize, t: &Timing) -> Result<(), DramError> {
+        if start < self.busy_until {
+            return Err(DramError::Timing {
+                constraint: "data bus busy",
+                issued: start,
+                earliest: self.busy_until,
+                bank: None,
+            });
+        }
+        self.busy_until = start + t.t_ccd;
+        self.bytes += bytes as u64;
+        Ok(())
+    }
+
+    /// Total bytes moved over the external interface.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The cycle the bus becomes free.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingParams;
+
+    fn timing() -> Timing {
+        TimingParams::hbm2e_like().to_cycles().unwrap()
+    }
+
+    #[test]
+    fn command_slots_are_spaced_by_tcmd() {
+        let t = timing();
+        let mut bus = CommandBus::new();
+        assert_eq!(bus.earliest_slot(0, &t), 0);
+        bus.issue(0, &t).unwrap();
+        assert_eq!(bus.earliest_slot(0, &t), t.t_cmd);
+        assert!(bus.issue(t.t_cmd - 1, &t).is_err());
+        bus.issue(t.t_cmd, &t).unwrap();
+        assert_eq!(bus.issued(), 2);
+        assert_eq!(bus.last_issue(), Some(t.t_cmd));
+    }
+
+    #[test]
+    fn command_slots_may_be_late_but_not_early() {
+        let t = timing();
+        let mut bus = CommandBus::new();
+        bus.issue(100, &t).unwrap();
+        // A gap larger than tCMD is always fine.
+        bus.issue(100 + 10 * t.t_cmd, &t).unwrap();
+    }
+
+    #[test]
+    fn data_bus_serializes_bursts() {
+        let t = timing();
+        let mut bus = DataBus::new();
+        bus.transfer(10, 32, &t).unwrap();
+        assert_eq!(bus.busy_until(), 10 + t.t_ccd);
+        assert!(bus.transfer(10 + t.t_ccd - 1, 32, &t).is_err());
+        bus.transfer(10 + t.t_ccd, 32, &t).unwrap();
+        assert_eq!(bus.bytes(), 64);
+    }
+
+    #[test]
+    fn back_to_back_bursts_reach_peak_bandwidth() {
+        let t = timing();
+        let mut bus = DataBus::new();
+        let mut c = 0;
+        for _ in 0..100 {
+            c = bus.earliest_transfer(c);
+            bus.transfer(c, 32, &t).unwrap();
+        }
+        // 100 bursts x tCCD, ending exactly at 100 * tCCD.
+        assert_eq!(bus.busy_until(), 100 * t.t_ccd);
+        assert_eq!(bus.bytes(), 3200);
+    }
+}

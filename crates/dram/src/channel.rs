@@ -1,0 +1,849 @@
+//! The assembled DRAM channel: banks + buses + storage + refresh + stats.
+//!
+//! The channel exposes a *query/issue* API: `earliest_*` methods report the
+//! first legal cycle for an operation given every constraint the channel
+//! tracks, and `issue_*` methods validate and apply the operation at an
+//! explicit cycle. Controllers (the Newton controller in `newton-core`, the
+//! streaming reader in [`crate::stream`]) decide *when*; the channel
+//! enforces *legality*. Ganged issue paths perform several bank operations
+//! under a single command-bus slot — the mechanism behind Newton's G_ACT
+//! and all-bank COMP/READRES commands.
+//!
+//! As in HBM, the command interface is split into a **row-command bus**
+//! (ACT, PRE, REF) and a **column-command bus** (RD, WR and the AiM
+//! column-class commands). Column traffic therefore never starves row
+//! commands, which is what lets both the Ideal Non-PIM stream and Newton
+//! overlap activations with data movement. Each bus issues at most one
+//! command per tCMD slot; commands on one bus must be issued in
+//! non-decreasing time order.
+
+use crate::audit::{Audit, AuditEvent, BusKind};
+use crate::bank::Bank;
+use crate::bus::{CommandBus, DataBus};
+use crate::config::DramConfig;
+use crate::error::DramError;
+use crate::faw::FawTracker;
+use crate::stats::{ChannelStats, RunSummary};
+use crate::storage::Storage;
+use crate::timing::{Cycle, Timing};
+
+/// One DRAM (pseudo-)channel with full timing and functional state.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Channel {
+    config: DramConfig,
+    timing: Timing,
+    banks: Vec<Bank>,
+    faw: FawTracker,
+    row_bus: CommandBus,
+    col_bus: CommandBus,
+    data_bus: DataBus,
+    storage: Storage,
+    stats: ChannelStats,
+    /// Cycle at which the next all-bank refresh falls due.
+    next_refresh_due: Cycle,
+    refresh_enabled: bool,
+    audit: Option<Audit>,
+}
+
+impl Channel {
+    /// Creates a channel in the reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: DramConfig) -> Result<Channel, DramError> {
+        config.validate()?;
+        let timing = config.timing.to_cycles()?;
+        Ok(Channel {
+            banks: (0..config.banks).map(Bank::new).collect(),
+            faw: FawTracker::new(),
+            row_bus: CommandBus::new(),
+            col_bus: CommandBus::new(),
+            data_bus: DataBus::new(),
+            storage: Storage::new(&config),
+            stats: ChannelStats::default(),
+            next_refresh_due: timing.t_refi,
+            refresh_enabled: true,
+            audit: None,
+            config,
+            timing,
+        })
+    }
+
+    /// The channel's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Derived integer-cycle timing.
+    #[must_use]
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Event counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Functional storage (read side).
+    #[must_use]
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Functional storage (write side) — host-initiated backing-store
+    /// writes, e.g. loading a matrix before timing simulation starts.
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Enables post-hoc timing auditing (records every event; see
+    /// [`crate::audit`]). Intended for tests — auditing a long benchmark
+    /// run costs memory proportional to the command count.
+    pub fn enable_audit(&mut self) {
+        self.audit = Some(Audit::new());
+    }
+
+    /// The audit log, if auditing is enabled.
+    #[must_use]
+    pub fn audit(&self) -> Option<&Audit> {
+        self.audit.as_ref()
+    }
+
+    /// Disables refresh-deadline tracking (for micro-tests that span less
+    /// than one tREFI or deliberately study refresh-free behaviour).
+    pub fn disable_refresh(&mut self) {
+        self.refresh_enabled = false;
+    }
+
+    /// Whether refresh tracking is enabled.
+    #[must_use]
+    pub fn refresh_enabled(&self) -> bool {
+        self.refresh_enabled
+    }
+
+    /// The cycle by which the next all-bank refresh must be issued.
+    /// `Cycle::MAX` when refresh is disabled.
+    #[must_use]
+    pub fn refresh_due(&self) -> Cycle {
+        if self.refresh_enabled {
+            self.next_refresh_due
+        } else {
+            Cycle::MAX
+        }
+    }
+
+    /// The open row of `bank`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn open_row(&self, bank: usize) -> Option<usize> {
+        self.banks[bank].state().open_row()
+    }
+
+    fn check_bank(&self, bank: usize) -> Result<(), DramError> {
+        if bank >= self.banks.len() {
+            return Err(DramError::AddressOutOfRange {
+                kind: "bank",
+                index: bank,
+                limit: self.banks.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, event: AuditEvent) {
+        if let Some(a) = &mut self.audit {
+            a.record(event);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Activation (row bus)
+    // ------------------------------------------------------------------
+
+    /// Earliest legal cycle to activate a row in `bank` (single ACT).
+    #[must_use]
+    pub fn earliest_activate(&self, bank: usize) -> Cycle {
+        let b = self.banks[bank].earliest_activate();
+        let f = self.faw.earliest_activate(b, 1, &self.timing);
+        self.row_bus.earliest_slot(f, &self.timing)
+    }
+
+    /// Earliest legal cycle for a ganged activation of the given banks
+    /// (Newton's G_ACT; at most 4 banks, per the tFAW window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or has more than 4 entries.
+    #[must_use]
+    pub fn earliest_ganged_activate(&self, banks: &[usize]) -> Cycle {
+        assert!(
+            !banks.is_empty() && banks.len() <= 4,
+            "ganged activation must cover 1..=4 banks"
+        );
+        let mut hint = 0;
+        for &b in banks {
+            hint = hint.max(self.banks[b].earliest_activate());
+        }
+        let f = self.faw.earliest_activate(hint, banks.len(), &self.timing);
+        self.row_bus.earliest_slot(f, &self.timing)
+    }
+
+    /// Issues a single-bank ACT at `cycle`. Returns `cycle` for chaining.
+    ///
+    /// # Errors
+    ///
+    /// Any constraint violation ([`DramError::Timing`]), bank-state error,
+    /// or out-of-range index.
+    pub fn issue_activate(
+        &mut self,
+        cycle: Cycle,
+        bank: usize,
+        row: usize,
+    ) -> Result<Cycle, DramError> {
+        self.issue_ganged_activate(cycle, &[(bank, row)])
+    }
+
+    /// Issues a ganged ACT of up to four `(bank, row)` pairs at `cycle`,
+    /// consuming one row-bus command slot. Returns `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Any constraint violation, bank-state error, or out-of-range index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or longer than 4.
+    pub fn issue_ganged_activate(
+        &mut self,
+        cycle: Cycle,
+        pairs: &[(usize, usize)],
+    ) -> Result<Cycle, DramError> {
+        assert!(
+            !pairs.is_empty() && pairs.len() <= 4,
+            "ganged activation must cover 1..=4 banks"
+        );
+        for &(bank, row) in pairs {
+            self.check_bank(bank)?;
+            if row >= self.config.rows_per_bank {
+                return Err(DramError::AddressOutOfRange {
+                    kind: "row",
+                    index: row,
+                    limit: self.config.rows_per_bank,
+                });
+            }
+        }
+        self.check_refresh_not_overdue(cycle)?;
+        let faw_earliest = self.faw.earliest_activate(0, pairs.len(), &self.timing);
+        if cycle < faw_earliest {
+            return Err(DramError::Timing {
+                constraint: "tRRD/tFAW (activate)",
+                issued: cycle,
+                earliest: faw_earliest,
+                bank: None,
+            });
+        }
+        // Validate all banks before mutating any (atomic gang).
+        for &(bank, _) in pairs {
+            let earliest = self.banks[bank].earliest_activate();
+            if cycle < earliest {
+                return Err(DramError::Timing {
+                    constraint: "tRP/tRC (activate)",
+                    issued: cycle,
+                    earliest,
+                    bank: Some(bank),
+                });
+            }
+        }
+        self.row_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        for &(bank, row) in pairs {
+            self.banks[bank].activate(cycle, row, &self.timing)?;
+            self.record(AuditEvent::Act { bank, row, cycle });
+        }
+        self.faw.record(cycle, pairs.len());
+        self.stats.activates += pairs.len() as u64;
+        if pairs.len() > 1 {
+            self.stats.ganged_commands += 1;
+        }
+        Ok(cycle)
+    }
+
+    // ------------------------------------------------------------------
+    // Column access (column bus)
+    // ------------------------------------------------------------------
+
+    /// Earliest legal cycle `>= after` for an *external* column read on
+    /// `bank` (column-bus slot + bank tRCD/tCCD + external data bus at
+    /// `cycle + tAA`).
+    #[must_use]
+    pub fn earliest_column_read(&self, after: Cycle, bank: usize) -> Cycle {
+        let b = self.banks[bank].earliest_column().max(after);
+        let slot = self.col_bus.earliest_slot(b, &self.timing);
+        // Data appears tAA after the command; find the first slot whose
+        // data beat clears the bus.
+        let bus_free = self.data_bus.earliest_transfer(slot + self.timing.t_aa);
+        slot.max(bus_free.saturating_sub(self.timing.t_aa))
+    }
+
+    /// Earliest legal cycle `>= after` for a ganged *internal* column read
+    /// (Newton COMP path: no external bus involvement).
+    #[must_use]
+    pub fn earliest_ganged_column_read(&self, after: Cycle, banks: &[usize]) -> Cycle {
+        let mut hint = after;
+        for &b in banks {
+            hint = hint.max(self.banks[b].earliest_column());
+        }
+        self.col_bus.earliest_slot(hint, &self.timing)
+    }
+
+    /// Issues an external column read at `cycle`; returns the issue cycle
+    /// and the data (available to the host at `cycle + tAA`).
+    ///
+    /// # Errors
+    ///
+    /// Constraint violations, bank-state errors, or bad indices.
+    pub fn issue_column_read_external(
+        &mut self,
+        cycle: Cycle,
+        bank: usize,
+        col: usize,
+    ) -> Result<(Cycle, Vec<u8>), DramError> {
+        self.check_bank(bank)?;
+        self.col_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        let row = self.banks[bank].column_access(cycle, false, &self.timing)?;
+        self.data_bus
+            .transfer(cycle + self.timing.t_aa, self.config.col_bytes(), &self.timing)?;
+        self.record(AuditEvent::ColRd { bank, cycle, external: true });
+        self.stats.col_reads_external += 1;
+        let data = self.storage.column(bank, row, col)?.to_vec();
+        Ok((cycle, data))
+    }
+
+    /// Issues an external column write at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Constraint violations, bank-state errors, bad indices, or wrong
+    /// data size.
+    pub fn issue_column_write_external(
+        &mut self,
+        cycle: Cycle,
+        bank: usize,
+        col: usize,
+        data: &[u8],
+    ) -> Result<Cycle, DramError> {
+        self.check_bank(bank)?;
+        self.col_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        let row = self.banks[bank].column_access(cycle, true, &self.timing)?;
+        self.data_bus
+            .transfer(cycle + self.timing.t_aa, data.len(), &self.timing)?;
+        self.record(AuditEvent::ColWr { bank, cycle });
+        self.stats.col_writes_external += 1;
+        self.storage.write_column(bank, row, col, data)?;
+        Ok(cycle)
+    }
+
+    /// Issues a ganged *internal* column read at `cycle` under a single
+    /// column-bus slot: every `(bank, col)` pair reads one column from its
+    /// open row, and `sink(bank, data)` receives each bank's bytes (this
+    /// is the data path into Newton's per-bank multipliers).
+    ///
+    /// # Errors
+    ///
+    /// Constraint violations, bank-state errors, or bad indices. Banks are
+    /// validated before any state mutates.
+    pub fn issue_ganged_column_read_internal(
+        &mut self,
+        cycle: Cycle,
+        pairs: &[(usize, usize)],
+        mut sink: impl FnMut(usize, &[u8]),
+    ) -> Result<Cycle, DramError> {
+        for &(bank, col) in pairs {
+            self.check_bank(bank)?;
+            if col >= self.config.cols_per_row {
+                return Err(DramError::AddressOutOfRange {
+                    kind: "column",
+                    index: col,
+                    limit: self.config.cols_per_row,
+                });
+            }
+            let earliest = self.banks[bank].earliest_column();
+            if cycle < earliest {
+                return Err(DramError::Timing {
+                    constraint: "tRCD/tCCD (column)",
+                    issued: cycle,
+                    earliest,
+                    bank: Some(bank),
+                });
+            }
+        }
+        self.col_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        let audit_on = self.audit.is_some();
+        for &(bank, col) in pairs {
+            let row = self.banks[bank].column_access(cycle, false, &self.timing)?;
+            if audit_on {
+                self.record(AuditEvent::ColRd { bank, cycle, external: false });
+            }
+            let data = self.storage.column(bank, row, col)?;
+            sink(bank, data);
+        }
+        self.stats.col_reads_internal += pairs.len() as u64;
+        if pairs.len() > 1 {
+            self.stats.ganged_commands += 1;
+        }
+        Ok(cycle)
+    }
+
+    /// Issues a broadcast-class command (e.g. Newton GWRITE): consumes one
+    /// column-bus slot and moves `bytes` over the external bus at
+    /// `cycle + tAA`, but touches no bank array.
+    ///
+    /// # Errors
+    ///
+    /// Command-bus or data-bus violations.
+    pub fn issue_broadcast_write(&mut self, cycle: Cycle, bytes: usize) -> Result<Cycle, DramError> {
+        self.col_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.data_bus
+            .transfer(cycle + self.timing.t_aa, bytes, &self.timing)?;
+        self.stats.broadcast_bytes += bytes as u64;
+        Ok(cycle)
+    }
+
+    /// Earliest cycle `>= after` for a broadcast-class command.
+    #[must_use]
+    pub fn earliest_broadcast_write(&self, after: Cycle) -> Cycle {
+        let slot = self.col_bus.earliest_slot(after, &self.timing);
+        let bus_free = self.data_bus.earliest_transfer(slot + self.timing.t_aa);
+        slot.max(bus_free.saturating_sub(self.timing.t_aa))
+    }
+
+    /// Issues a result-readout-class command (e.g. Newton READRES): one
+    /// column-bus slot, `bytes` over the external bus toward the host, no
+    /// bank array access.
+    ///
+    /// # Errors
+    ///
+    /// Command-bus or data-bus violations.
+    pub fn issue_result_read(&mut self, cycle: Cycle, bytes: usize) -> Result<Cycle, DramError> {
+        self.col_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.data_bus
+            .transfer(cycle + self.timing.t_aa, bytes, &self.timing)?;
+        Ok(cycle)
+    }
+
+    /// Earliest cycle `>= after` for a result-readout-class command.
+    #[must_use]
+    pub fn earliest_result_read(&self, after: Cycle) -> Cycle {
+        self.earliest_broadcast_write(after)
+    }
+
+    /// Issues a control-only command at `cycle`: consumes one column-bus
+    /// slot, touches no bank and no data bus. Used to model the *simple*
+    /// command expansion of an AiM compute step (broadcast trigger /
+    /// multiply-add trigger) when complex commands are disabled.
+    ///
+    /// # Errors
+    ///
+    /// Command-bus violations.
+    pub fn issue_control_command(&mut self, cycle: Cycle) -> Result<Cycle, DramError> {
+        self.col_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        Ok(cycle)
+    }
+
+    /// Earliest cycle `>= after` for a control-only command.
+    #[must_use]
+    pub fn earliest_control_command(&self, after: Cycle) -> Cycle {
+        self.col_bus.earliest_slot(after, &self.timing)
+    }
+
+    // ------------------------------------------------------------------
+    // Precharge (row bus)
+    // ------------------------------------------------------------------
+
+    /// Earliest legal cycle to precharge `bank`.
+    #[must_use]
+    pub fn earliest_precharge(&self, bank: usize) -> Cycle {
+        self.row_bus
+            .earliest_slot(self.banks[bank].earliest_precharge(), &self.timing)
+    }
+
+    /// Earliest legal cycle for precharge-all (every open bank's gate).
+    #[must_use]
+    pub fn earliest_precharge_all(&self) -> Cycle {
+        let mut hint = 0;
+        for b in &self.banks {
+            if b.state().open_row().is_some() {
+                hint = hint.max(b.earliest_precharge());
+            }
+        }
+        self.row_bus.earliest_slot(hint, &self.timing)
+    }
+
+    /// Issues a single-bank PRE at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Constraint violations or bank-state errors.
+    pub fn issue_precharge(&mut self, cycle: Cycle, bank: usize) -> Result<Cycle, DramError> {
+        self.check_bank(bank)?;
+        self.row_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        self.banks[bank].precharge(cycle, &self.timing)?;
+        self.record(AuditEvent::Pre { bank, cycle });
+        self.stats.precharges += 1;
+        Ok(cycle)
+    }
+
+    /// Issues a precharge-all at `cycle`: closes every open bank under one
+    /// row-bus slot (a standard DRAM PREA command).
+    ///
+    /// # Errors
+    ///
+    /// Constraint violations; banks are validated before any mutates.
+    pub fn issue_precharge_all(&mut self, cycle: Cycle) -> Result<Cycle, DramError> {
+        for b in &self.banks {
+            if b.state().open_row().is_some() && cycle < b.earliest_precharge() {
+                return Err(DramError::Timing {
+                    constraint: "tRAS/tRTP/tWR (precharge-all)",
+                    issued: cycle,
+                    earliest: b.earliest_precharge(),
+                    bank: None,
+                });
+            }
+        }
+        self.row_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        let mut closed = 0;
+        for bank in 0..self.banks.len() {
+            if self.banks[bank].state().open_row().is_some() {
+                self.banks[bank].precharge(cycle, &self.timing)?;
+                self.record(AuditEvent::Pre { bank, cycle });
+                closed += 1;
+            }
+        }
+        self.stats.precharges += closed;
+        if closed > 1 {
+            self.stats.ganged_commands += 1;
+        }
+        Ok(cycle)
+    }
+
+    // ------------------------------------------------------------------
+    // Refresh (row bus)
+    // ------------------------------------------------------------------
+
+    fn check_refresh_not_overdue(&self, cycle: Cycle) -> Result<(), DramError> {
+        if self.refresh_enabled && cycle > self.next_refresh_due {
+            return Err(DramError::RefreshOverdue {
+                deadline: self.next_refresh_due,
+                observed: cycle,
+            });
+        }
+        Ok(())
+    }
+
+    /// Issues an all-bank refresh at `cycle`. All banks must be idle; they
+    /// are blocked until `cycle + tRFC`. The next deadline is one tREFI
+    /// after this refresh (pull-in semantics).
+    ///
+    /// # Errors
+    ///
+    /// Bank-state errors if any bank has an open row; command-bus
+    /// violations.
+    pub fn issue_refresh_all(&mut self, cycle: Cycle) -> Result<Cycle, DramError> {
+        for (i, b) in self.banks.iter().enumerate() {
+            if let Some(row) = b.state().open_row() {
+                return Err(DramError::BankState {
+                    bank: i,
+                    attempted: "refresh-all",
+                    actual: format!("Active {{ row: {row} }}"),
+                });
+            }
+        }
+        self.row_bus.issue(cycle, &self.timing)?;
+        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        self.record(AuditEvent::Ref { cycle });
+        let until = cycle + self.timing.t_rfc;
+        for b in &mut self.banks {
+            b.block_for_refresh(until)?;
+        }
+        self.stats.refreshes += 1;
+        self.next_refresh_due = cycle + self.timing.t_refi;
+        Ok(cycle)
+    }
+
+    // ------------------------------------------------------------------
+    // Summary
+    // ------------------------------------------------------------------
+
+    /// Snapshot of counters and elapsed time through `end_cycle`.
+    #[must_use]
+    pub fn summary(&self, end_cycle: Cycle) -> RunSummary {
+        RunSummary {
+            stats: self.stats,
+            commands: self.row_bus.issued() + self.col_bus.issued(),
+            external_bytes: self.data_bus.bytes(),
+            bank_open_cycles: self.banks.iter().map(Bank::open_cycles).sum(),
+            end_cycle,
+            tck_ns: self.timing.tck_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingParams;
+
+    fn channel() -> Channel {
+        let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+        ch.enable_audit();
+        ch
+    }
+
+    fn timing() -> Timing {
+        TimingParams::hbm2e_like().to_cycles().unwrap()
+    }
+
+    #[test]
+    fn activate_read_precharge_roundtrip_with_audit() {
+        let mut ch = channel();
+        let t = timing();
+        let row: Vec<u8> = (0..1024).map(|i| (i * 7 % 256) as u8).collect();
+        ch.storage_mut().write_row(2, 9, &row).unwrap();
+
+        let a = ch.earliest_activate(2);
+        ch.issue_activate(a, 2, 9).unwrap();
+        assert_eq!(ch.open_row(2), Some(9));
+
+        let r = ch.earliest_column_read(a, 2);
+        assert_eq!(r, a + t.t_rcd);
+        let (_, data) = ch.issue_column_read_external(r, 2, 4).unwrap();
+        assert_eq!(data, &row[128..160]);
+
+        let p = ch.earliest_precharge(2);
+        ch.issue_precharge(p, 2).unwrap();
+        assert_eq!(ch.open_row(2), None);
+
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+        let s = ch.summary(p);
+        assert_eq!(s.stats.activates, 1);
+        assert_eq!(s.stats.col_reads_external, 1);
+        assert_eq!(s.stats.precharges, 1);
+        assert_eq!(s.external_bytes, 32);
+        assert_eq!(s.commands, 3);
+    }
+
+    #[test]
+    fn ganged_activate_uses_one_slot_and_counts_four_acts() {
+        let mut ch = channel();
+        let t = timing();
+        let pairs = [(0, 1), (1, 1), (2, 1), (3, 1)];
+        let c = ch.earliest_ganged_activate(&[0, 1, 2, 3]);
+        ch.issue_ganged_activate(c, &pairs).unwrap();
+        let s = ch.summary(c);
+        assert_eq!(s.stats.activates, 4);
+        assert_eq!(s.stats.ganged_commands, 1);
+        assert_eq!(s.commands, 1);
+        // Next gang must wait tFAW.
+        assert_eq!(ch.earliest_ganged_activate(&[4, 5, 6, 7]), c + t.t_faw);
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+    }
+
+    #[test]
+    fn ganged_internal_read_hits_all_banks_in_one_slot() {
+        let mut ch = channel();
+        let t = timing();
+        for bank in 0..4 {
+            let row: Vec<u8> = vec![bank as u8; 1024];
+            ch.storage_mut().write_row(bank, 0, &row).unwrap();
+        }
+        let c = ch
+            .issue_ganged_activate(0, &[(0, 0), (1, 0), (2, 0), (3, 0)])
+            .unwrap();
+        let rd = ch.earliest_ganged_column_read(c, &[0, 1, 2, 3]);
+        assert_eq!(rd, c + t.t_rcd);
+        let mut seen = Vec::new();
+        ch.issue_ganged_column_read_internal(rd, &[(0, 5), (1, 5), (2, 5), (3, 5)], |bank, data| {
+            seen.push((bank, data[0]));
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let s = ch.summary(rd);
+        assert_eq!(s.stats.col_reads_internal, 4);
+        assert_eq!(s.external_bytes, 0, "internal reads never touch the PHY");
+        assert_eq!(s.commands, 2);
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+    }
+
+    #[test]
+    fn early_commands_are_rejected_not_clamped() {
+        let mut ch = channel();
+        let t = timing();
+        ch.issue_activate(0, 0, 0).unwrap();
+        let err = ch.issue_column_read_external(t.t_rcd - 1, 0, 0).unwrap_err();
+        assert!(matches!(err, DramError::Timing { .. }));
+        // Row bus slot / tRRD also enforced: second ACT at the same cycle.
+        let err = ch.issue_activate(0, 1, 0).unwrap_err();
+        assert!(matches!(err, DramError::Timing { .. }));
+    }
+
+    #[test]
+    fn row_and_column_buses_are_independent() {
+        let mut ch = channel();
+        let t = timing();
+        ch.issue_activate(0, 0, 0).unwrap();
+        // A column command may share cycle tRCD with a row command on the
+        // other bus.
+        ch.issue_activate(t.t_rrd.max(t.t_cmd), 1, 0).unwrap();
+        // Column read on bank 0 at tRCD: row bus just used nearby, but the
+        // column bus is free.
+        ch.issue_column_read_external(t.t_rcd, 0, 0).unwrap();
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+    }
+
+    #[test]
+    fn precharge_all_closes_every_open_bank() {
+        let mut ch = channel();
+        let t = timing();
+        let c0 = ch
+            .issue_ganged_activate(0, &[(0, 3), (1, 3), (2, 3), (3, 3)])
+            .unwrap();
+        let p = ch.earliest_precharge_all();
+        assert!(p >= c0 + t.t_ras);
+        ch.issue_precharge_all(p).unwrap();
+        for bank in 0..4 {
+            assert_eq!(ch.open_row(bank), None);
+        }
+        assert_eq!(ch.summary(p).stats.precharges, 4);
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+    }
+
+    #[test]
+    fn refresh_blocks_activation_for_trfc_and_resets_deadline() {
+        let mut ch = channel();
+        let t = timing();
+        assert_eq!(ch.refresh_due(), t.t_refi);
+        ch.issue_refresh_all(100).unwrap();
+        assert_eq!(ch.refresh_due(), 100 + t.t_refi);
+        let a = ch.earliest_activate(0);
+        assert_eq!(a, 100 + t.t_rfc);
+        ch.issue_activate(a, 0, 0).unwrap();
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+    }
+
+    #[test]
+    fn refresh_requires_idle_banks() {
+        let mut ch = channel();
+        ch.issue_activate(0, 0, 0).unwrap();
+        assert!(matches!(
+            ch.issue_refresh_all(1000),
+            Err(DramError::BankState { .. })
+        ));
+    }
+
+    #[test]
+    fn overdue_refresh_blocks_new_activations() {
+        let mut ch = channel();
+        let t = timing();
+        let late = t.t_refi + 1;
+        let err = ch.issue_activate(late, 0, 0).unwrap_err();
+        assert!(matches!(err, DramError::RefreshOverdue { .. }));
+        // With refresh disabled, the same activation succeeds.
+        let mut ch = channel();
+        ch.disable_refresh();
+        assert_eq!(ch.refresh_due(), Cycle::MAX);
+        ch.issue_activate(late, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn broadcast_and_result_commands_use_slot_and_phy_only() {
+        let mut ch = channel();
+        let t = timing();
+        let c = ch.issue_broadcast_write(0, 32).unwrap();
+        let c2 = ch.earliest_broadcast_write(c);
+        assert_eq!(c2, c + t.t_cmd);
+        ch.issue_broadcast_write(c2, 32).unwrap();
+        let c3 = ch.earliest_result_read(c2);
+        ch.issue_result_read(c3, 32).unwrap();
+        let s = ch.summary(c3);
+        assert_eq!(s.stats.broadcast_bytes, 64);
+        assert_eq!(s.external_bytes, 96);
+        assert_eq!(s.stats.activates, 0);
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected_everywhere() {
+        let mut ch = channel();
+        assert!(ch.issue_activate(0, 16, 0).is_err());
+        assert!(ch.issue_activate(0, 0, 40_000).is_err());
+        ch.issue_activate(0, 0, 0).unwrap();
+        let t = *ch.timing();
+        assert!(ch
+            .issue_ganged_column_read_internal(t.t_rcd, &[(0, 99)], |_, _| {})
+            .is_err());
+    }
+
+    #[test]
+    fn sixteen_bank_staggered_activation_respects_faw_audit() {
+        // Activate all 16 banks as fast as legality allows, then audit.
+        let mut ch = channel();
+        let t = timing();
+        for bank in 0..16 {
+            let c = ch.earliest_activate(bank);
+            ch.issue_activate(c, bank, 0).unwrap();
+        }
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+        // 16 singles: groups of 4 fit per tFAW window; the 16th lands at
+        // >= 3 * tFAW.
+        let acts: Vec<_> = ch
+            .audit()
+            .unwrap()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                AuditEvent::Act { cycle, .. } => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acts.len(), 16);
+        assert!(acts[15] >= 3 * t.t_faw);
+    }
+
+    #[test]
+    fn external_read_stream_saturates_at_tccd() {
+        // Back-to-back reads from two banks reach one column per tCCD —
+        // the external-bandwidth ceiling the Ideal Non-PIM model assumes.
+        let mut ch = channel();
+        let t = timing();
+        ch.issue_activate(0, 0, 0).unwrap();
+        ch.issue_activate(t.t_rrd.max(t.t_cmd), 1, 0).unwrap();
+        let mut c = t.t_rcd;
+        let n = 64;
+        for i in 0..n {
+            let bank = (i % 2) as usize;
+            let rd = ch.earliest_column_read(c, bank);
+            ch.issue_column_read_external(rd, bank, (i / 2 % 32) as usize).unwrap();
+            c = rd;
+        }
+        // First read at tRCD, each subsequent exactly tCCD later.
+        assert_eq!(c, t.t_rcd + (n - 1) * t.t_ccd);
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+    }
+}

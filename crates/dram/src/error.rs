@@ -1,0 +1,144 @@
+//! Error types for the DRAM simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::timing::Cycle;
+
+/// An error raised by the DRAM channel model.
+///
+/// Timing violations are *simulator-user* bugs (a controller issued a
+/// command earlier than the constraint engine allows), so they carry enough
+/// context to debug the offending command stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A command was issued before its earliest legal cycle.
+    Timing {
+        /// Human-readable name of the violated constraint (e.g. `"tRCD"`).
+        constraint: &'static str,
+        /// The cycle the command was issued at.
+        issued: Cycle,
+        /// The earliest cycle the command would have been legal.
+        earliest: Cycle,
+        /// The bank involved, if the constraint is bank-scoped.
+        bank: Option<usize>,
+    },
+    /// An activate was issued to a bank that already has an open row, or a
+    /// column access / precharge was issued to a bank in the wrong state.
+    BankState {
+        /// The bank involved.
+        bank: usize,
+        /// What the controller tried to do.
+        attempted: &'static str,
+        /// The state the bank was actually in.
+        actual: String,
+    },
+    /// A bank, row, or column index was outside the configured geometry.
+    AddressOutOfRange {
+        /// Which coordinate overflowed.
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive limit for that coordinate.
+        limit: usize,
+    },
+    /// A configuration failed validation.
+    InvalidConfig(String),
+    /// A refresh deadline elapsed without a refresh being issued.
+    RefreshOverdue {
+        /// The cycle at which the refresh interval expired.
+        deadline: Cycle,
+        /// The cycle at which the violation was detected.
+        observed: Cycle,
+    },
+    /// A functional storage access had a malformed size.
+    StorageSize {
+        /// What the access expected.
+        expected: usize,
+        /// What the caller provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::Timing {
+                constraint,
+                issued,
+                earliest,
+                bank,
+            } => match bank {
+                Some(b) => write!(
+                    f,
+                    "timing violation of {constraint} on bank {b}: issued at cycle {issued}, \
+                     earliest legal cycle is {earliest}"
+                ),
+                None => write!(
+                    f,
+                    "timing violation of {constraint}: issued at cycle {issued}, \
+                     earliest legal cycle is {earliest}"
+                ),
+            },
+            DramError::BankState {
+                bank,
+                attempted,
+                actual,
+            } => write!(
+                f,
+                "illegal bank operation: attempted {attempted} on bank {bank} in state {actual}"
+            ),
+            DramError::AddressOutOfRange { kind, index, limit } => {
+                write!(f, "{kind} index {index} out of range (limit {limit})")
+            }
+            DramError::InvalidConfig(msg) => write!(f, "invalid DRAM configuration: {msg}"),
+            DramError::RefreshOverdue { deadline, observed } => write!(
+                f,
+                "refresh overdue: deadline was cycle {deadline}, observed at cycle {observed}"
+            ),
+            DramError::StorageSize { expected, actual } => write!(
+                f,
+                "storage access size mismatch: expected {expected} bytes, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = DramError::Timing {
+            constraint: "tRCD",
+            issued: 10,
+            earliest: 14,
+            bank: Some(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("tRCD") && s.contains("bank 3") && s.contains("14"));
+
+        let e = DramError::AddressOutOfRange {
+            kind: "row",
+            index: 40000,
+            limit: 32768,
+        };
+        assert!(e.to_string().contains("row index 40000"));
+
+        let e = DramError::StorageSize {
+            expected: 1024,
+            actual: 512,
+        };
+        assert!(e.to_string().contains("expected 1024"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good_err<E: Error + Send + Sync + 'static>() {}
+        assert_good_err::<DramError>();
+    }
+}

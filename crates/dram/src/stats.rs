@@ -1,0 +1,113 @@
+//! Event counters for performance and energy accounting.
+
+use crate::timing::Cycle;
+
+/// Raw event counts accumulated by a [`crate::Channel`].
+///
+/// These are mechanical counts; derived metrics (bandwidth, average power)
+/// are computed by `newton-model` from these counters plus elapsed time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Row activations (each bank counted, even when ganged).
+    pub activates: u64,
+    /// Row precharges (each bank counted, even in precharge-all).
+    pub precharges: u64,
+    /// External column reads (data crossed the channel PHY).
+    pub col_reads_external: u64,
+    /// External column writes.
+    pub col_writes_external: u64,
+    /// Internal column reads (consumed by in-DRAM compute; each bank
+    /// counted, even when ganged).
+    pub col_reads_internal: u64,
+    /// All-bank refresh operations.
+    pub refreshes: u64,
+    /// Commands that ganged multiple bank operations into one slot.
+    pub ganged_commands: u64,
+    /// Bytes written into on-die buffers via broadcast-class commands
+    /// (e.g. Newton's GWRITE); counted separately from column writes
+    /// because they do not touch bank arrays.
+    pub broadcast_bytes: u64,
+}
+
+impl ChannelStats {
+    /// Total column accesses of any kind.
+    #[must_use]
+    pub fn total_columns(&self) -> u64 {
+        self.col_reads_external + self.col_writes_external + self.col_reads_internal
+    }
+}
+
+/// A completed-run summary: counters plus the time span they cover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Event counts.
+    pub stats: ChannelStats,
+    /// Total commands issued on the command bus.
+    pub commands: u64,
+    /// Bytes moved over the external data bus.
+    pub external_bytes: u64,
+    /// Aggregate bank-open time (sum over banks), in cycles.
+    pub bank_open_cycles: Cycle,
+    /// Completion cycle of the measured activity.
+    pub end_cycle: Cycle,
+    /// Command-clock period, for converting to wall-clock.
+    pub tck_ns: f64,
+}
+
+impl RunSummary {
+    /// Elapsed simulated time in nanoseconds.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> f64 {
+        self.end_cycle as f64 * self.tck_ns
+    }
+
+    /// Achieved external bandwidth in bytes per nanosecond.
+    #[must_use]
+    pub fn external_bandwidth(&self) -> f64 {
+        if self.end_cycle == 0 {
+            0.0
+        } else {
+            self.external_bytes as f64 / self.elapsed_ns()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_bandwidth() {
+        let stats = ChannelStats {
+            col_reads_external: 10,
+            col_writes_external: 5,
+            col_reads_internal: 100,
+            ..ChannelStats::default()
+        };
+        assert_eq!(stats.total_columns(), 115);
+
+        let summary = RunSummary {
+            stats,
+            commands: 50,
+            external_bytes: 4800,
+            bank_open_cycles: 0,
+            end_cycle: 600,
+            tck_ns: 1.0,
+        };
+        assert_eq!(summary.elapsed_ns(), 600.0);
+        assert_eq!(summary.external_bandwidth(), 8.0);
+    }
+
+    #[test]
+    fn zero_time_bandwidth_is_zero() {
+        let summary = RunSummary {
+            stats: ChannelStats::default(),
+            commands: 0,
+            external_bytes: 0,
+            bank_open_cycles: 0,
+            end_cycle: 0,
+            tck_ns: 1.0,
+        };
+        assert_eq!(summary.external_bandwidth(), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Functional row storage: the actual bytes behind every (bank, row).
+//!
+//! Rows are lazily allocated (an untouched HBM2E channel is 512 MiB; a
+//! typical Newton workload touches only the rows holding its matrix).
+//! Reads of never-written rows return zeros, matching a simulator-reset
+//! device.
+
+use crate::config::DramConfig;
+use crate::error::DramError;
+
+/// Per-channel functional storage, indexed by bank and row.
+#[derive(Debug)]
+pub struct Storage {
+    banks: Vec<Vec<Option<Box<[u8]>>>>,
+    row_bytes: usize,
+    col_bytes: usize,
+    cols_per_row: usize,
+    /// Shared read-only zero row for never-written rows.
+    zero_row: Box<[u8]>,
+}
+
+impl Storage {
+    /// Creates empty (all-zero) storage for the given geometry.
+    #[must_use]
+    pub fn new(config: &DramConfig) -> Storage {
+        Storage {
+            banks: (0..config.banks)
+                .map(|_| vec![None; config.rows_per_bank])
+                .collect(),
+            row_bytes: config.row_bytes(),
+            col_bytes: config.col_bytes(),
+            cols_per_row: config.cols_per_row,
+            zero_row: vec![0u8; config.row_bytes()].into_boxed_slice(),
+        }
+    }
+
+    fn check_bank_row(&self, bank: usize, row: usize) -> Result<(), DramError> {
+        if bank >= self.banks.len() {
+            return Err(DramError::AddressOutOfRange {
+                kind: "bank",
+                index: bank,
+                limit: self.banks.len(),
+            });
+        }
+        if row >= self.banks[bank].len() {
+            return Err(DramError::AddressOutOfRange {
+                kind: "row",
+                index: row,
+                limit: self.banks[bank].len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads an entire row (zeros if never written).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad indices.
+    pub fn row(&self, bank: usize, row: usize) -> Result<&[u8], DramError> {
+        self.check_bank_row(bank, row)?;
+        Ok(self.banks[bank][row]
+            .as_deref()
+            .unwrap_or(&self.zero_row))
+    }
+
+    /// Overwrites an entire row.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad indices;
+    /// [`DramError::StorageSize`] if `data` is not exactly one row.
+    pub fn write_row(&mut self, bank: usize, row: usize, data: &[u8]) -> Result<(), DramError> {
+        self.check_bank_row(bank, row)?;
+        if data.len() != self.row_bytes {
+            return Err(DramError::StorageSize {
+                expected: self.row_bytes,
+                actual: data.len(),
+            });
+        }
+        self.banks[bank][row] = Some(data.to_vec().into_boxed_slice());
+        Ok(())
+    }
+
+    /// Reads one column I/O worth of bytes from a row.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad bank/row/column indices.
+    pub fn column(&self, bank: usize, row: usize, col: usize) -> Result<&[u8], DramError> {
+        if col >= self.cols_per_row {
+            return Err(DramError::AddressOutOfRange {
+                kind: "column",
+                index: col,
+                limit: self.cols_per_row,
+            });
+        }
+        let row_data = self.row(bank, row)?;
+        let start = col * self.col_bytes;
+        Ok(&row_data[start..start + self.col_bytes])
+    }
+
+    /// Writes one column I/O worth of bytes into a row, allocating the row
+    /// if it was never touched.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad indices;
+    /// [`DramError::StorageSize`] if `data` is not exactly one column.
+    pub fn write_column(
+        &mut self,
+        bank: usize,
+        row: usize,
+        col: usize,
+        data: &[u8],
+    ) -> Result<(), DramError> {
+        self.check_bank_row(bank, row)?;
+        if col >= self.cols_per_row {
+            return Err(DramError::AddressOutOfRange {
+                kind: "column",
+                index: col,
+                limit: self.cols_per_row,
+            });
+        }
+        if data.len() != self.col_bytes {
+            return Err(DramError::StorageSize {
+                expected: self.col_bytes,
+                actual: data.len(),
+            });
+        }
+        let row_bytes = self.row_bytes;
+        let slot = &mut self.banks[bank][row];
+        let row_data =
+            slot.get_or_insert_with(|| vec![0u8; row_bytes].into_boxed_slice());
+        let start = col * self.col_bytes;
+        row_data[start..start + self.col_bytes].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Flips one bit in a stored row — a transient-error injection hook
+    /// for studying the paper's Sec. III-E ECC discussion ("only the
+    /// matrix resides in the DRAM for long periods of time with the
+    /// possibility of collecting transient errors"). Allocates the row if
+    /// it was never written (flipping a bit of an all-zero row).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad bank/row indices or a bit
+    /// index beyond the row.
+    pub fn flip_bit(&mut self, bank: usize, row: usize, bit: usize) -> Result<(), DramError> {
+        self.check_bank_row(bank, row)?;
+        if bit >= self.row_bytes * 8 {
+            return Err(DramError::AddressOutOfRange {
+                kind: "bit",
+                index: bit,
+                limit: self.row_bytes * 8,
+            });
+        }
+        let row_bytes = self.row_bytes;
+        let slot = &mut self.banks[bank][row];
+        let data = slot.get_or_insert_with(|| vec![0u8; row_bytes].into_boxed_slice());
+        data[bit / 8] ^= 1 << (bit % 8);
+        Ok(())
+    }
+
+    /// Number of rows that have been materialized (allocated) so far.
+    #[must_use]
+    pub fn allocated_rows(&self) -> usize {
+        self.banks
+            .iter()
+            .map(|b| b.iter().filter(|r| r.is_some()).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage() -> Storage {
+        Storage::new(&DramConfig::hbm2e_like())
+    }
+
+    #[test]
+    fn unwritten_rows_read_as_zero() {
+        let s = storage();
+        assert!(s.row(3, 100).unwrap().iter().all(|&b| b == 0));
+        assert!(s.column(3, 100, 31).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(s.allocated_rows(), 0);
+    }
+
+    #[test]
+    fn row_write_read_roundtrip() {
+        let mut s = storage();
+        let data: Vec<u8> = (0..1024).map(|i| (i % 256) as u8).collect();
+        s.write_row(0, 5, &data).unwrap();
+        assert_eq!(s.row(0, 5).unwrap(), &data[..]);
+        // Column 2 covers bytes 64..96.
+        assert_eq!(s.column(0, 5, 2).unwrap(), &data[64..96]);
+        assert_eq!(s.allocated_rows(), 1);
+    }
+
+    #[test]
+    fn column_write_allocates_and_preserves_rest() {
+        let mut s = storage();
+        s.write_column(1, 7, 3, &[0xFFu8; 32]).unwrap();
+        let row = s.row(1, 7).unwrap();
+        assert!(row[..96].iter().all(|&b| b == 0));
+        assert!(row[96..128].iter().all(|&b| b == 0xFF));
+        assert!(row[128..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let mut s = storage();
+        assert!(matches!(
+            s.row(16, 0),
+            Err(DramError::AddressOutOfRange { kind: "bank", .. })
+        ));
+        assert!(matches!(
+            s.row(0, 32_768),
+            Err(DramError::AddressOutOfRange { kind: "row", .. })
+        ));
+        assert!(matches!(
+            s.column(0, 0, 32),
+            Err(DramError::AddressOutOfRange { kind: "column", .. })
+        ));
+        assert!(matches!(
+            s.write_column(0, 0, 32, &[0u8; 32]),
+            Err(DramError::AddressOutOfRange { kind: "column", .. })
+        ));
+    }
+
+    #[test]
+    fn flip_bit_injects_and_reverts_faults() {
+        let mut s = storage();
+        s.write_row(0, 3, &vec![0u8; 1024]).unwrap();
+        s.flip_bit(0, 3, 17).unwrap();
+        assert_eq!(s.row(0, 3).unwrap()[2], 0b10, "bit 17 = byte 2 bit 1");
+        // Flipping again restores the original value.
+        s.flip_bit(0, 3, 17).unwrap();
+        assert!(s.row(0, 3).unwrap().iter().all(|&b| b == 0));
+        // Works on never-written rows too.
+        s.flip_bit(1, 0, 0).unwrap();
+        assert_eq!(s.row(1, 0).unwrap()[0], 1);
+        // Bounds.
+        assert!(s.flip_bit(0, 3, 1024 * 8).is_err());
+        assert!(s.flip_bit(16, 0, 0).is_err());
+    }
+
+    #[test]
+    fn wrong_sizes_are_rejected() {
+        let mut s = storage();
+        assert!(matches!(
+            s.write_row(0, 0, &[0u8; 100]),
+            Err(DramError::StorageSize { expected: 1024, actual: 100 })
+        ));
+        assert!(matches!(
+            s.write_column(0, 0, 0, &[0u8; 31]),
+            Err(DramError::StorageSize { expected: 32, actual: 31 })
+        ));
+    }
+}

@@ -1,0 +1,20 @@
+//! Analytical models from the Newton paper: the Sec. III-F performance
+//! model and the Fig. 13 average-power model.
+//!
+//! * [`perf`]: the paper's closed-form speedup prediction over Ideal
+//!   Non-PIM (`n / (o + 1)` with `o` the activation-overhead ratio),
+//!   plus a *refined* variant that also charges the precharge turnaround
+//!   our cycle simulator faithfully exposes.
+//! * [`power`]: a component power model anchored to the one ratio the
+//!   paper publishes — all-bank COMP streaming draws ≈ 4× the power of a
+//!   conventional DRAM reading at peak external bandwidth — and used to
+//!   reproduce Fig. 13's ~2.8× mean normalized average power.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod perf;
+pub mod power;
+
+pub use perf::PerfModel;
+pub use power::PowerModel;

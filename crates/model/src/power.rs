@@ -1,0 +1,288 @@
+//! The Fig. 13 average-power model.
+//!
+//! The paper's power parameters are proprietary; the one published anchor
+//! is that "Newton when performing the all-bank parallel computation
+//! (i.e., when executing the COMP command) consumes about 4x as much
+//! power as Ideal Non-PIM when reading DRAM at peak bandwidth" (Sec. IV).
+//! We express power in units of that baseline (conventional DRAM
+//! streaming at peak external bandwidth ≡ 1.0) and decompose it into
+//! components whose *rates* the simulator counts:
+//!
+//! | component | what it scales with |
+//! |-----------|----------------------|
+//! | background | elapsed time |
+//! | bank-open  | open-bank · ns (Newton holds all banks open — Sec. IV) |
+//! | activation | row activations |
+//! | array      | bank-array column accesses (internal or external) |
+//! | PHY        | bytes crossing the external interface |
+//! | MAC        | per-bank COMP operations |
+//!
+//! The constants below are solved from two calibration equations:
+//! conventional peak-read streaming ≡ 1.0, and the *COMP phase* of a
+//! row-set (the window where all banks stream column reads into their
+//! MACs) ≡ 4.0 instantaneous — the paper's "when executing the COMP
+//! command" anchor. Averaged over a full row-set (activation chain,
+//! readout, turnaround), steady-state Newton lands near the paper's
+//! ~2.8×; both anchors are verified by unit tests. Everything else — the
+//! per-benchmark variation of Fig. 13 — emerges from measured activity
+//! counts.
+
+use newton_dram::stats::RunSummary;
+
+/// Aggregate activity over a run (summed across channels).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ActivityCounts {
+    /// Wall-clock duration, ns.
+    pub elapsed_ns: f64,
+    /// Row activations.
+    pub activates: f64,
+    /// Bank-array column accesses (internal + external).
+    pub array_accesses: f64,
+    /// Per-bank COMP operations (0 for non-PIM runs).
+    pub mac_ops: f64,
+    /// Bytes crossing the external PHY.
+    pub phy_bytes: f64,
+    /// Integrated open-bank time, bank·ns.
+    pub bank_open_ns: f64,
+    /// Number of channels the counts cover (power is reported per
+    /// channel so different systems compare fairly).
+    pub channels: f64,
+}
+
+impl ActivityCounts {
+    /// Builds counts from per-channel DRAM summaries of an AiM run
+    /// (internal column reads are COMP operations).
+    #[must_use]
+    pub fn from_aim_summaries(summaries: &[RunSummary]) -> ActivityCounts {
+        Self::from_summaries(summaries, true)
+    }
+
+    /// Builds counts from per-channel DRAM summaries of a conventional
+    /// (non-PIM) run.
+    #[must_use]
+    pub fn from_conventional_summaries(summaries: &[RunSummary]) -> ActivityCounts {
+        Self::from_summaries(summaries, false)
+    }
+
+    fn from_summaries(summaries: &[RunSummary], aim: bool) -> ActivityCounts {
+        let mut c = ActivityCounts {
+            channels: summaries.len() as f64,
+            ..ActivityCounts::default()
+        };
+        for s in summaries {
+            c.elapsed_ns = c.elapsed_ns.max(s.elapsed_ns());
+            c.activates += s.stats.activates as f64;
+            c.array_accesses += (s.stats.col_reads_internal
+                + s.stats.col_reads_external
+                + s.stats.col_writes_external) as f64;
+            if aim {
+                c.mac_ops += s.stats.col_reads_internal as f64;
+            }
+            c.phy_bytes += s.external_bytes as f64;
+            c.bank_open_ns += s.bank_open_cycles as f64 * s.tck_ns;
+        }
+        c
+    }
+}
+
+/// Average power decomposed by component, in units of the conventional
+/// peak-read baseline, per channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Static background power.
+    pub background: f64,
+    /// Open-bank (activated-row) standby power.
+    pub bank_open: f64,
+    /// Row-activation power.
+    pub activation: f64,
+    /// Bank-array column access power.
+    pub array: f64,
+    /// External-interface transfer power.
+    pub phy: f64,
+    /// Multiply/adder-tree power.
+    pub mac: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.background + self.bank_open + self.activation + self.array + self.phy + self.mac
+    }
+}
+
+/// The component power model (see module docs for the calibration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Background power (fraction of baseline).
+    pub p_background: f64,
+    /// Open-bank power per bank (fraction of baseline).
+    pub p_open_per_bank: f64,
+    /// Energy per activation (baseline-power · ns).
+    pub e_act: f64,
+    /// Energy per bank-array column access.
+    pub e_array: f64,
+    /// Energy per column-I/O worth of bytes over the PHY.
+    pub e_phy: f64,
+    /// Energy per per-bank COMP (multipliers + adder tree).
+    pub e_mac: f64,
+    /// Bytes per column I/O (PHY energy granularity).
+    pub col_bytes: f64,
+}
+
+impl Default for PowerModel {
+    /// Constants solved from the two calibration equations in the module
+    /// docs (conventional peak streaming = 1.0; COMP streaming = 4.0).
+    fn default() -> PowerModel {
+        PowerModel {
+            p_background: 0.25,
+            p_open_per_bank: 0.01,
+            e_act: 4.0,
+            e_array: 0.7,
+            e_phy: 2.095,
+            e_mac: 0.197,
+            col_bytes: 32.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Creates the calibrated model.
+    #[must_use]
+    pub fn new() -> PowerModel {
+        PowerModel::default()
+    }
+
+    /// Average power (per channel, normalized to the conventional
+    /// peak-read baseline) for the given activity.
+    #[must_use]
+    pub fn average_power(&self, c: &ActivityCounts) -> PowerBreakdown {
+        if c.elapsed_ns <= 0.0 {
+            return PowerBreakdown::default();
+        }
+        let per_channel_time = c.elapsed_ns * c.channels.max(1.0);
+        PowerBreakdown {
+            background: self.p_background,
+            bank_open: self.p_open_per_bank * c.bank_open_ns / c.elapsed_ns / c.channels.max(1.0),
+            activation: self.e_act * c.activates / per_channel_time,
+            array: self.e_array * c.array_accesses / per_channel_time,
+            phy: self.e_phy * (c.phy_bytes / self.col_bytes) / per_channel_time,
+            mac: self.e_mac * c.mac_ops / per_channel_time,
+        }
+    }
+
+    /// Newton's average power normalized to a measured conventional
+    /// baseline run (Fig. 13's y-axis).
+    #[must_use]
+    pub fn normalized(&self, newton: &ActivityCounts, conventional: &ActivityCounts) -> f64 {
+        let n = self.average_power(newton).total();
+        let c = self.average_power(conventional).total();
+        if c == 0.0 {
+            0.0
+        } else {
+            n / c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic counts for conventional DRAM streaming reads at peak:
+    /// per 128 ns window — 1 activation, 32 external column accesses,
+    /// ~2 banks open (current + pre-activated next).
+    fn conventional_streaming(windows: f64) -> ActivityCounts {
+        ActivityCounts {
+            elapsed_ns: 128.0 * windows,
+            activates: windows,
+            array_accesses: 32.0 * windows,
+            mac_ops: 0.0,
+            phy_bytes: 32.0 * 32.0 * windows,
+            bank_open_ns: 2.0 * 128.0 * windows,
+            channels: 1.0,
+        }
+    }
+
+    /// Synthetic counts for the pure COMP phase: 32 ganged COMPs over
+    /// 128 ns — 512 bank-array reads + MACs, all 16 banks open, no
+    /// activations (those belong to the preceding activation phase).
+    fn comp_phase(windows: f64) -> ActivityCounts {
+        ActivityCounts {
+            elapsed_ns: 128.0 * windows,
+            activates: 0.0,
+            array_accesses: 512.0 * windows,
+            mac_ops: 512.0 * windows,
+            phy_bytes: 0.0,
+            bank_open_ns: 16.0 * 128.0 * windows,
+            channels: 1.0,
+        }
+    }
+
+    /// Synthetic counts for a full steady-state Newton row-set (~232 ns):
+    /// the COMP phase plus 16 activations, a READRES, and the precharge
+    /// turnaround.
+    fn rowset_streaming(row_sets: f64) -> ActivityCounts {
+        ActivityCounts {
+            elapsed_ns: 232.0 * row_sets,
+            activates: 16.0 * row_sets,
+            array_accesses: 512.0 * row_sets,
+            mac_ops: 512.0 * row_sets,
+            phy_bytes: 2.0 * 32.0 * row_sets, // READRES + amortized GWRITE
+            bank_open_ns: 16.0 * 232.0 * row_sets,
+            channels: 1.0,
+        }
+    }
+
+    #[test]
+    fn conventional_peak_streaming_is_the_unit_baseline() {
+        let model = PowerModel::new();
+        let p = model.average_power(&conventional_streaming(100.0)).total();
+        assert!((p - 1.0).abs() < 0.02, "baseline power {p} should be 1.0");
+    }
+
+    #[test]
+    fn comp_phase_is_four_times_baseline() {
+        // The paper's anchor: "when executing the COMP command" Newton
+        // draws ~4x peak-read power.
+        let model = PowerModel::new();
+        let p = model.average_power(&comp_phase(100.0)).total();
+        assert!((p - 4.0).abs() < 0.1, "COMP-phase power {p} should be ~4.0");
+    }
+
+    #[test]
+    fn steady_rowset_average_is_near_the_papers_mean() {
+        // Averaged over the whole row-set the paper's Fig. 13 mean of
+        // ~2.8x emerges.
+        let model = PowerModel::new();
+        let r = model.normalized(&rowset_streaming(10.0), &conventional_streaming(10.0));
+        assert!((2.4..3.1).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn idle_time_dilutes_average_power() {
+        let model = PowerModel::new();
+        let mut c = rowset_streaming(10.0);
+        c.elapsed_ns *= 2.0; // same work over twice the time
+        let p = model.average_power(&c).total();
+        assert!(p < 2.0, "{p}");
+        assert!(p > model.p_background);
+    }
+
+    #[test]
+    fn zero_elapsed_is_zero_power() {
+        let model = PowerModel::new();
+        let p = model.average_power(&ActivityCounts::default());
+        assert_eq!(p.total(), 0.0);
+        assert_eq!(model.normalized(&ActivityCounts::default(), &ActivityCounts::default()), 0.0);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let model = PowerModel::new();
+        let b = model.average_power(&rowset_streaming(5.0));
+        let sum = b.background + b.bank_open + b.activation + b.array + b.phy + b.mac;
+        assert!((sum - b.total()).abs() < 1e-12);
+        assert!(b.mac > 0.0 && b.array > b.phy);
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end BERT-large inference on Newton: 24 encoder blocks of
+//! attention projections and FFNs (144 fully-connected layers), with
+//! layer normalization pipelined per the paper's Sec. III-C and refresh
+//! state carried across layers.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example bert_inference
+//! ```
+
+use newton_aim::baselines::TitanVModel;
+use newton_aim::bench::to_activation_kind;
+use newton_aim::core::config::NewtonConfig;
+use newton_aim::core::system::{MvProblem, NewtonSystem};
+use newton_aim::core::AimError;
+use newton_aim::workloads::models::EndToEndModel;
+use newton_aim::workloads::generator;
+
+fn main() -> Result<(), AimError> {
+    let model = EndToEndModel::bert();
+    println!(
+        "BERT-large on Newton: {} FC layers, {:.0} M parameters, {:.0} MB of bf16 weights",
+        model.layers.len(),
+        model.total_macs() as f64 / 1e6,
+        model.total_weight_bytes() as f64 / 1e6
+    );
+
+    // Generate weights once per unique shape (timing is identical; the
+    // DRAM still holds every layer at its own rows).
+    let matrices: Vec<_> = model
+        .layers
+        .iter()
+        .map(|l| generator::matrix(l.shape, l.benchmark.seed()))
+        .collect();
+    let problems: Vec<MvProblem<'_>> = model
+        .layers
+        .iter()
+        .zip(&matrices)
+        .map(|(l, w)| MvProblem {
+            matrix: w,
+            m: l.shape.m,
+            n: l.shape.n,
+            activation: to_activation_kind(l.activation),
+            batch_norm: l.batch_norm,
+            output_keep: l.output_keep,
+        })
+        .collect();
+
+    let cfg = NewtonConfig::paper_default();
+    let mut system = NewtonSystem::new(cfg)?;
+    let input = generator::vector(model.input_len(), 7);
+
+    let t0 = std::time::Instant::now();
+    let run = system.run_model(&problems, &input)?;
+    println!(
+        "\nsimulated inference: {:.1} us of device time ({} refreshes interposed)",
+        run.elapsed_ns / 1e3,
+        run.stats.refreshes
+    );
+    println!("simulator wall time: {:.1} s", t0.elapsed().as_secs_f64());
+
+    let gpu = TitanVModel::new();
+    let gpu_ns = gpu.model_time_ns(&model, 1);
+    println!(
+        "Titan-V-like GPU (calibrated model): {:.1} us -> Newton speedup {:.1}x",
+        gpu_ns / 1e3,
+        gpu_ns / run.elapsed_ns
+    );
+
+    println!(
+        "\ncommand totals: {} COMP, {} GWRITE, {} READRES, {} activations over {} row-sets",
+        run.stats.compute_commands,
+        run.stats.gwrite_commands,
+        run.stats.readres_commands,
+        run.stats.activate_commands,
+        run.stats.row_sets
+    );
+    println!("final output: {} logits, first 4 = {:?}", run.output.len(), &run.output[..4]);
+    Ok(())
+}

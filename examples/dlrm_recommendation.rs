@@ -1,0 +1,83 @@
+//! DLRM recommendation inference at the edge: small batches, tiny
+//! latency budgets — the workload Newton targets. Compares Newton,
+//! Ideal Non-PIM and the GPU across batch sizes and shows the refresh
+//! window effect the paper highlights for DLRM.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example dlrm_recommendation
+//! ```
+
+use newton_aim::baselines::{IdealNonPim, TitanVModel};
+use newton_aim::bench::to_activation_kind;
+use newton_aim::core::config::NewtonConfig;
+use newton_aim::core::system::{MvProblem, NewtonSystem};
+use newton_aim::core::AimError;
+use newton_aim::workloads::models::EndToEndModel;
+use newton_aim::workloads::{generator, Benchmark};
+
+fn main() -> Result<(), AimError> {
+    let cfg = NewtonConfig::paper_default();
+    let shape = Benchmark::DlrmS1.shape();
+    println!("DLRM MLP layer: {shape} ({} KB of weights)", shape.matrix_bytes() / 1024);
+
+    // Single layer at batch 1: Newton's home turf.
+    let matrix = generator::matrix(shape, Benchmark::DlrmS1.seed());
+    let vector = generator::vector(shape.n, 1);
+    let mut system = NewtonSystem::new(cfg.clone())?;
+    let run = system.run_mv(&matrix, shape.m, shape.n, &vector)?;
+    println!(
+        "Newton: {:.0} ns per inference, {} refreshes (fits inside the refresh window)",
+        run.elapsed_ns, run.stats.refreshes
+    );
+
+    let ideal = IdealNonPim::new(cfg.dram.clone(), cfg.channels);
+    let gpu = TitanVModel::new();
+    println!("\nper-inference latency vs batch size:");
+    println!("{:>6} {:>14} {:>14} {:>14}", "batch", "Newton", "Ideal non-PIM", "GPU");
+    for k in [1usize, 2, 4, 8, 16, 64] {
+        let newton_ns = run.elapsed_ns; // Newton cannot exploit batch reuse
+        let ideal_ns = ideal
+            .per_inference_ns(shape.m, shape.n, k)
+            .map_err(newton_aim::core::AimError::from)?;
+        let gpu_ns = gpu.per_inference_ns(shape, k);
+        println!(
+            "{k:>6} {:>11.0} ns {:>11.0} ns {:>11.0} ns",
+            newton_ns, ideal_ns, gpu_ns
+        );
+    }
+
+    // Full six-layer MLP end-to-end: refresh now interposes between
+    // layers (the paper's 70x -> 47x effect).
+    let model = EndToEndModel::dlrm();
+    let matrices: Vec<_> = model
+        .layers
+        .iter()
+        .map(|l| generator::matrix(l.shape, l.benchmark.seed()))
+        .collect();
+    let problems: Vec<MvProblem<'_>> = model
+        .layers
+        .iter()
+        .zip(&matrices)
+        .map(|(l, w)| MvProblem {
+            matrix: w,
+            m: l.shape.m,
+            n: l.shape.n,
+            activation: to_activation_kind(l.activation),
+            batch_norm: l.batch_norm,
+            output_keep: l.output_keep,
+        })
+        .collect();
+    let mut system = NewtonSystem::new(cfg)?;
+    let input = generator::vector(model.input_len(), 9);
+    let e2e = system.run_model(&problems, &input)?;
+    println!(
+        "\nend-to-end 6-layer MLP: {:.2} us, {} refreshes interposed",
+        e2e.elapsed_ns / 1e3,
+        e2e.stats.refreshes
+    );
+    let ranked = newton_aim::workloads::postprocess::top_k(&e2e.output, 5);
+    println!("top-5 recommended items: {ranked:?}");
+    Ok(())
+}

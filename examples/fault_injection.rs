@@ -1,0 +1,78 @@
+//! Transient-error injection and the paper's ECC strategy (Sec. III-E):
+//! "only the matrix resides in the DRAM for long periods of time with the
+//! possibility of collecting transient errors ... we envision re-loading
+//! the matrix, and thereby discarding any errors, from a non-AiM copy
+//! every so often for a small bandwidth overhead (e.g., once per 1000
+//! inputs)."
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use newton_aim::core::config::NewtonConfig;
+use newton_aim::core::layout::MatrixMapping;
+use newton_aim::core::lut::ActivationKind;
+use newton_aim::core::controller::NewtonChannel;
+use newton_aim::core::tiling::{Schedule, ScheduleKind};
+use newton_aim::core::AimError;
+use newton_aim::workloads::{generator, MvShape};
+
+fn main() -> Result<(), AimError> {
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 1;
+    let shape = MvShape::new(64, 512);
+    let matrix = generator::matrix(shape, 77);
+    let vector = generator::vector(shape.n, 77);
+
+    let mapping = MatrixMapping::new(
+        ScheduleKind::InterleavedFullReuse.layout(),
+        shape.m,
+        shape.n,
+        cfg.dram.banks,
+        cfg.row_elems(),
+        0,
+    )?;
+    let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+
+    let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity)?;
+    ch.load_matrix(&mapping, &matrix)?;
+    let clean = ch.run_mv(&mapping, &schedule, &vector, false)?;
+    println!("clean run:   output[0..4] = {:?}", &clean.outputs[..4]);
+
+    // A high-order exponent bit flips in the chunk of matrix row 0
+    // (bank 0, DRAM row 0) — the kind of retention error ECC would catch
+    // in a conventional system but the in-DRAM compute path bypasses.
+    ch.channel_mut().storage_mut().flip_bit(0, 0, 14)?;
+    let faulty = ch.run_mv(&mapping, &schedule, &vector, false)?;
+    println!("faulty run:  output[0..4] = {:?}", &faulty.outputs[..4]);
+    let corrupted: Vec<usize> = clean
+        .outputs
+        .iter()
+        .zip(&faulty.outputs)
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, _)| i)
+        .collect();
+    println!("corrupted output rows: {corrupted:?}");
+    assert_eq!(corrupted, vec![0], "a matrix-row fault corrupts exactly its output row");
+
+    // The paper's fix: reload the matrix from its clean (ECC-protected,
+    // non-AiM) copy. The interleaved layout makes this a plain re-load.
+    ch.load_matrix(&mapping, &matrix)?;
+    let reloaded = ch.run_mv(&mapping, &schedule, &vector, false)?;
+    assert_eq!(reloaded.outputs, clean.outputs);
+    println!("after reload: outputs match the clean run again");
+
+    // And the bandwidth overhead of doing that every 1000 inputs:
+    let mut sys_cfg = NewtonConfig::paper_default();
+    sys_cfg.channels = 24;
+    let sys = newton_aim::core::system::NewtonSystem::new(sys_cfg)?;
+    let frac = sys.reload_overhead_fraction(4096, 1024, 5_500.0, 1000);
+    println!(
+        "GNMTs1 reload every 1000 inputs costs {:.3}% of device time (paper: \"small\")",
+        frac * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Smoke tests for the experiment harness: the cheap experiments run in
+//! debug builds and reproduce the paper's headline *shapes* (full-scale
+//! numbers come from `cargo bench` / the `reproduce` binary in release).
+
+use newton_aim::bench;
+use newton_aim::core::config::{NewtonConfig, OptLevel};
+use newton_aim::workloads::Benchmark;
+
+#[test]
+fn model_validation_refined_matches_simulator() {
+    let v = bench::model_validation().expect("model validation");
+    assert!((9.0..10.5).contains(&v.paper_model_x), "{v:?}");
+    assert!(v.refined_model_x < v.paper_model_x);
+    let rel = (v.refined_model_x - v.measured_x).abs() / v.measured_x;
+    assert!(rel < 0.03, "refined model off by {:.1}%", rel * 100.0);
+}
+
+#[test]
+fn fig07_trace_has_the_table_i_commands() {
+    let trace = bench::fig07_command_trace().expect("trace");
+    for needle in ["GWRITE", "G_ACT", "COMP", "READRES"] {
+        assert!(trace.contains(needle), "missing {needle} in:\n{trace}");
+    }
+}
+
+#[test]
+fn dlrm_layer_measurement_shape() {
+    // DLRM is the cheapest benchmark; check the Fig. 8 orderings.
+    let m = bench::measure_layer(&NewtonConfig::paper_default(), Benchmark::DlrmS1)
+        .expect("measure");
+    assert!(m.numerics_ok, "numeric error {}", m.max_numeric_error);
+    assert!(m.newton_ns < m.ideal_ns, "Newton beats Ideal Non-PIM");
+    assert!(m.ideal_ns < m.gpu_ns, "Ideal Non-PIM beats the GPU");
+    // DLRM fits inside one refresh window (Sec. V-A).
+    let refreshes: u64 = m.newton_summaries.iter().map(|s| s.stats.refreshes).sum();
+    assert_eq!(refreshes, 0);
+}
+
+#[test]
+fn nonopt_is_much_slower_but_correct() {
+    let full = bench::measure_layer(&NewtonConfig::paper_default(), Benchmark::DlrmS1).unwrap();
+    let non = bench::measure_layer(&NewtonConfig::at_level(OptLevel::NonOpt), Benchmark::DlrmS1)
+        .unwrap();
+    assert!(non.numerics_ok);
+    assert!(
+        non.newton_ns > 5.0 * full.newton_ns,
+        "non-opt {} vs full {}",
+        non.newton_ns,
+        full.newton_ns
+    );
+}
+
+#[test]
+fn power_model_yields_plausible_dlrm_ratio() {
+    use newton_aim::model::power::{ActivityCounts, PowerModel};
+    let m = bench::measure_layer(&NewtonConfig::paper_default(), Benchmark::DlrmS1).unwrap();
+    let newton = ActivityCounts::from_aim_summaries(&m.newton_summaries);
+    let conventional =
+        ActivityCounts::from_conventional_summaries(std::slice::from_ref(&m.ideal_summary));
+    let r = PowerModel::new().normalized(&newton, &conventional);
+    assert!((1.0..4.2).contains(&r), "normalized power {r}");
+}
+
+#[test]
+fn batch_scaling_directions() {
+    use newton_aim::baselines::{IdealNonPim, TitanVModel};
+    let cfg = NewtonConfig::paper_default();
+    let shape = Benchmark::DlrmS1.shape();
+    let ideal = IdealNonPim::new(cfg.dram.clone(), cfg.channels);
+    let gpu = TitanVModel::new();
+    // Both baselines improve with batching; Newton would not.
+    let i1 = ideal.per_inference_ns(shape.m, shape.n, 1).unwrap();
+    let i16 = ideal.per_inference_ns(shape.m, shape.n, 16).unwrap();
+    assert!((i1 / i16 - 16.0).abs() < 1e-9);
+    let g1 = gpu.per_inference_ns(shape, 1);
+    let g64 = gpu.per_inference_ns(shape, 64);
+    assert!(g64 < g1 / 10.0);
+}

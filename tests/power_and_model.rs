@@ -1,0 +1,96 @@
+//! Integration of the analytical models with real simulator runs: the
+//! power breakdown on measured activity, and the Sec. III-F performance
+//! model tracked across bank counts.
+
+use newton_aim::bench;
+use newton_aim::core::config::NewtonConfig;
+use newton_aim::core::system::NewtonSystem;
+use newton_aim::model::power::{ActivityCounts, PowerModel};
+use newton_aim::model::PerfModel;
+use newton_aim::workloads::{generator, MvShape};
+
+#[test]
+fn power_breakdown_on_a_real_run_is_comp_dominated() {
+    // A large single-chunk layer spends most of its activity in COMP
+    // streaming; array + MAC power must dominate the breakdown, and the
+    // total must sit between the background floor and the 4x COMP peak.
+    let m = bench::measure_layer(&NewtonConfig::paper_default(), newton_aim::workloads::Benchmark::GnmtS1)
+        .expect("measure");
+    let counts = ActivityCounts::from_aim_summaries(&m.newton_summaries);
+    let model = PowerModel::new();
+    let b = model.average_power(&counts);
+    assert!(b.array + b.mac > b.background, "{b:?}");
+    assert!(b.array + b.mac > b.phy, "internal compute outweighs PHY: {b:?}");
+    let total = b.total();
+    assert!(
+        (model.p_background..4.2).contains(&total),
+        "total {total} outside [background, COMP peak]"
+    );
+}
+
+#[test]
+fn refined_model_tracks_the_simulator_across_bank_counts() {
+    // The Sec. III-F structure must hold at 8 and 32 banks too, not just
+    // the calibrated 16 (Fig. 10's underlying mechanism).
+    for banks in [8usize, 16, 32] {
+        let mut cfg = NewtonConfig::paper_default();
+        cfg.dram = cfg.dram.with_banks(banks);
+        cfg.channels = 1;
+        let (m, n) = (banks * 48, 512);
+        let matrix = generator::matrix(MvShape::new(m, n), 1);
+        let vector = generator::vector(n, 1);
+        let mut sys = NewtonSystem::new(cfg.clone()).unwrap();
+        for ch in sys.channels_mut() {
+            ch.channel_mut().disable_refresh();
+        }
+        let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
+        let rows = (m * n * 2) / 1024;
+        let ideal_ns = rows as f64 * 32.0 * 4.0;
+        let measured = ideal_ns / run.elapsed_ns;
+        let predicted = PerfModel::new(cfg.effective_dram()).speedup_vs_ideal_refined();
+        let rel = (measured - predicted).abs() / predicted;
+        assert!(
+            rel < 0.05,
+            "{banks} banks: measured {measured:.2} vs refined model {predicted:.2}"
+        );
+    }
+}
+
+#[test]
+fn idle_gaps_dilute_measured_average_power() {
+    // Insert host-exposed idle time between two identical layers: same
+    // activity, longer elapsed => lower average power.
+    let run_with_gap = |gap_ns: f64| {
+        let mut cfg = NewtonConfig::paper_default();
+        cfg.channels = 1;
+        cfg.batch_norm_first_tile_ns = gap_ns;
+        let (m, n) = (512, 512); // square so the layers chain
+        let w = generator::matrix(MvShape::new(m, n), 2);
+        let input = generator::vector(n, 2);
+        let layers = [
+            newton_aim::core::system::MvProblem {
+                matrix: &w,
+                m,
+                n,
+                activation: newton_aim::core::lut::ActivationKind::Identity,
+                batch_norm: true,
+                output_keep: None,
+            },
+            newton_aim::core::system::MvProblem {
+                matrix: &w,
+                m,
+                n,
+                activation: newton_aim::core::lut::ActivationKind::Identity,
+                batch_norm: false,
+                output_keep: None,
+            },
+        ];
+        let mut sys = NewtonSystem::new(cfg).unwrap();
+        let run = sys.run_model(&layers, &input).unwrap();
+        let counts = ActivityCounts::from_aim_summaries(&run.channel_summaries);
+        PowerModel::new().average_power(&counts).total()
+    };
+    let busy = run_with_gap(0.0);
+    let idle = run_with_gap(20_000.0);
+    assert!(idle < busy, "idle {idle} should be below busy {busy}");
+}

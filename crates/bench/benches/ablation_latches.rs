@@ -22,7 +22,12 @@ fn main() {
             fx(r.slowdown()),
         ]);
     }
-    t.row(&["geomean".into(), String::new(), String::new(), fx(geomean(&ratios))]);
+    t.row(&[
+        "geomean".into(),
+        String::new(),
+        String::new(),
+        fx(geomean(&ratios)),
+    ]);
     println!("{}", t.render());
     println!("paper: the two options perform virtually similarly");
 

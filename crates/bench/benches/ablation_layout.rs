@@ -23,7 +23,12 @@ fn main() {
             fx(r.slowdown()),
         ]);
     }
-    t.row(&["geomean".into(), String::new(), String::new(), fx(geomean(&slow))]);
+    t.row(&[
+        "geomean".into(),
+        String::new(),
+        String::new(),
+        fx(geomean(&slow)),
+    ]);
     println!("{}", t.render());
     println!("paper: significant performance drop for Newton-no-reuse");
 

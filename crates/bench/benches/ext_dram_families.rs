@@ -38,7 +38,13 @@ fn main() {
     for r in &rows {
         // Measurement within 10% of the per-family refined model.
         let rel = (r.measured_x - r.predicted_x).abs() / r.predicted_x;
-        assert!(rel < 0.10, "{}: measured {} vs model {}", r.name, r.measured_x, r.predicted_x);
+        assert!(
+            rel < 0.10,
+            "{}: measured {} vs model {}",
+            r.name,
+            r.measured_x,
+            r.predicted_x
+        );
         // Every family must show a clear PIM advantage.
         assert!(r.measured_x > 2.0, "{}: {}", r.name, r.measured_x);
     }

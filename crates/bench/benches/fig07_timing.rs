@@ -12,7 +12,11 @@ fn main() {
     // Structural checks mirroring the figure.
     let lines: Vec<&str> = trace.lines().collect();
     let count = |needle: &str| lines.iter().filter(|l| l.contains(needle)).count();
-    assert_eq!(count("GWRITE"), 32, "a 512-element chunk loads in 32 GWRITEs");
+    assert_eq!(
+        count("GWRITE"),
+        32,
+        "a 512-element chunk loads in 32 GWRITEs"
+    );
     assert_eq!(count("G_ACT"), 4, "four ganged activations cover 16 banks");
     assert_eq!(count("COMP"), 32, "one COMP per column I/O of the row");
     assert_eq!(count("READRES"), 1, "one ganged result read per row-set");

@@ -15,7 +15,12 @@ fn main() {
     let rows = fig08_layers(&layers).expect("fig08 layers");
     let mut t = Table::new(&["layer", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
     for r in &rows {
-        t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+        t.row(&[
+            r.name.clone(),
+            fx(r.newton_x),
+            fx(r.ideal_x),
+            fx(r.nonopt_x),
+        ]);
     }
     println!("{}", t.render());
     let g = rows.last().expect("geomean row");
@@ -31,7 +36,12 @@ fn main() {
     let rows = fig08_end_to_end().expect("fig08 e2e");
     let mut t = Table::new(&["model", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
     for r in &rows {
-        t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+        t.row(&[
+            r.name.clone(),
+            fx(r.newton_x),
+            fx(r.ideal_x),
+            fx(r.nonopt_x),
+        ]);
     }
     println!("{}", t.render());
     println!("paper: DLRM 47x, AlexNet 1.2x, mean(all) 20x, mean(key targets) 49x");

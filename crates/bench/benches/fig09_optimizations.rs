@@ -32,7 +32,13 @@ fn main() {
         );
     }
     // And ganged compute is the largest single step.
-    let gains: Vec<f64> = rows.windows(2).map(|w| w[1].speedup_x / w[0].speedup_x).collect();
+    let gains: Vec<f64> = rows
+        .windows(2)
+        .map(|w| w[1].speedup_x / w[0].speedup_x)
+        .collect();
     let max = gains.iter().cloned().fold(0.0f64, f64::max);
-    assert!((gains[0] - max).abs() < 1e-9, "gang should be the largest step: {gains:?}");
+    assert!(
+        (gains[0] - max).abs() < 1e-9,
+        "gang should be the largest step: {gains:?}"
+    );
 }

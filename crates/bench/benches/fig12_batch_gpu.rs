@@ -32,9 +32,20 @@ fn main() {
     println!("paper: the GPU needs batch 64 to outperform Newton; Newton wins at k <= 8");
 
     let ratio_at = |k_idx: usize| -> f64 {
-        let rs: Vec<f64> = rows.iter().map(|r| r.other[k_idx] / r.newton[k_idx]).collect();
+        let rs: Vec<f64> = rows
+            .iter()
+            .map(|r| r.other[k_idx] / r.newton[k_idx])
+            .collect();
         geomean(&rs)
     };
-    assert!(ratio_at(3) < 1.0, "at k=8 Newton still wins: {}", ratio_at(3));
-    assert!(ratio_at(5) > 1.0, "at k=64 the GPU has passed Newton: {}", ratio_at(5));
+    assert!(
+        ratio_at(3) < 1.0,
+        "at k=8 Newton still wins: {}",
+        ratio_at(3)
+    );
+    assert!(
+        ratio_at(5) > 1.0,
+        "at k=64 the GPU has passed Newton: {}",
+        ratio_at(5)
+    );
 }

@@ -27,6 +27,11 @@ fn main() {
     // Every per-benchmark value must stay below the 4x COMP-streaming
     // ceiling (overheads only dilute power).
     for r in &rows {
-        assert!(r.normalized_power < 4.2, "{}: {}", r.name, r.normalized_power);
+        assert!(
+            r.normalized_power < 4.2,
+            "{}: {}",
+            r.name,
+            r.normalized_power
+        );
     }
 }

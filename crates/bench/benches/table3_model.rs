@@ -18,20 +18,38 @@ fn main() {
     t.row(&["banks".into(), cfg.banks.to_string()]);
     t.row(&["rows per bank".into(), cfg.rows_per_bank.to_string()]);
     t.row(&["column I/Os per row".into(), cfg.cols_per_row.to_string()]);
-    t.row(&["column I/O width".into(), format!("{} b (16 bf16)", cfg.col_io_bits)]);
+    t.row(&[
+        "column I/O width".into(),
+        format!("{} b (16 bf16)", cfg.col_io_bits),
+    ]);
     t.row(&["multipliers per bank".into(), "16".into()]);
-    t.row(&["tRCD / tRP".into(), format!("{} / {} ns", cfg.timing.t_rcd_ns, cfg.timing.t_rp_ns)]);
+    t.row(&[
+        "tRCD / tRP".into(),
+        format!("{} / {} ns", cfg.timing.t_rcd_ns, cfg.timing.t_rp_ns),
+    ]);
     t.row(&["tRAS".into(), format!("{} ns", cfg.timing.t_ras_ns)]);
-    t.row(&["tAA".into(), format!("{} ns (paper range 22-29)", cfg.timing.t_aa_ns)]);
+    t.row(&[
+        "tAA".into(),
+        format!("{} ns (paper range 22-29)", cfg.timing.t_aa_ns),
+    ]);
     t.row(&["tFAW (base / aggressive)".into(), "30 / 22 ns".into()]);
     println!("{}", t.render());
 
     println!("=== Sec. III-F: analytical model vs cycle simulator ===");
     let v = model_validation().expect("model validation");
     let mut t = Table::new(&["prediction", "speedup vs Ideal Non-PIM"]);
-    t.row(&["paper formula n/(o+1)".into(), format!("{:.2}x", v.paper_model_x)]);
-    t.row(&["refined (+ tRTP + tRP - tCCD)".into(), format!("{:.2}x", v.refined_model_x)]);
-    t.row(&["measured (cycle simulator)".into(), format!("{:.2}x", v.measured_x)]);
+    t.row(&[
+        "paper formula n/(o+1)".into(),
+        format!("{:.2}x", v.paper_model_x),
+    ]);
+    t.row(&[
+        "refined (+ tRTP + tRP - tCCD)".into(),
+        format!("{:.2}x", v.refined_model_x),
+    ]);
+    t.row(&[
+        "measured (cycle simulator)".into(),
+        format!("{:.2}x", v.measured_x),
+    ]);
     println!("{}", t.render());
     println!("paper: model 9.8x vs simulator 10x (within 2%)");
 

@@ -5,40 +5,72 @@
 //! Usage:
 //!
 //! ```sh
-//! reproduce                 # everything (~35 s in release)
-//! reproduce --list          # list experiment names
-//! reproduce --only fig09    # any subset, by substring (comma-separated)
+//! reproduce                        # everything (~35 s in release)
+//! reproduce --list                 # list experiment names
+//! reproduce --only fig09          # any subset, by substring (comma-separated)
+//! reproduce --snapshot-dir DIR    # where metrics snapshots go (default target/snapshots)
+//! reproduce --no-snapshots        # skip snapshot files
 //! ```
+//!
+//! Besides the printed tables, every experiment writes a versioned JSON
+//! metrics snapshot (`<snapshot-dir>/<experiment>.json`, schema version
+//! `newton_trace::SNAPSHOT_SCHEMA_VERSION`) so results diff across
+//! commits.
 
 use newton_bench::report::{fns, fx, geomean, Table};
+use newton_bench::snapshot::{add_table, SnapshotWriter};
 use newton_bench::*;
+use newton_trace::MetricsSnapshot;
 use newton_workloads::Benchmark;
+use std::path::PathBuf;
 
 const EXPERIMENTS: &[&str] = &[
-    "table2", "table3", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-    "ablations", "extensions",
+    "table2",
+    "table3",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablations",
+    "extensions",
 ];
 
-struct Filter(Vec<String>);
+struct Args {
+    only: Vec<String>,
+    snapshot_dir: Option<PathBuf>,
+}
 
-impl Filter {
-    fn from_args() -> Filter {
+impl Args {
+    fn from_env() -> Args {
         let args: Vec<String> = std::env::args().skip(1).collect();
         if args.iter().any(|a| a == "--list") {
             println!("experiments: {}", EXPERIMENTS.join(", "));
             std::process::exit(0);
         }
         let mut only = Vec::new();
+        let mut snapshot_dir = Some(PathBuf::from("target/snapshots"));
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
-            if a == "--only" {
-                match it.next() {
+            match a.as_str() {
+                "--only" => match it.next() {
                     Some(v) => only.extend(v.split(',').map(|s| s.trim().to_string())),
                     None => {
                         eprintln!("error: --only requires a value (try --list)");
                         std::process::exit(2);
                     }
-                }
+                },
+                "--snapshot-dir" => match it.next() {
+                    Some(v) => snapshot_dir = Some(PathBuf::from(v)),
+                    None => {
+                        eprintln!("error: --snapshot-dir requires a path");
+                        std::process::exit(2);
+                    }
+                },
+                "--no-snapshots" => snapshot_dir = None,
+                _ => {}
             }
         }
         // Reject filters that match nothing rather than silently running
@@ -49,16 +81,23 @@ impl Filter {
                 std::process::exit(2);
             }
         }
-        Filter(only)
+        Args { only, snapshot_dir }
     }
 
     fn wants(&self, name: &str) -> bool {
-        self.0.is_empty() || self.0.iter().any(|f| name.contains(f.as_str()))
+        self.only.is_empty() || self.only.iter().any(|f| name.contains(f.as_str()))
     }
 }
 
 fn main() {
-    let filter = Filter::from_args();
+    let args = Args::from_env();
+    let filter = &args;
+    let mut snapshots = SnapshotWriter::new(args.snapshot_dir.as_deref());
+    let mut save = |snap: &MetricsSnapshot| {
+        if let Err(e) = snapshots.write(snap) {
+            eprintln!("warning: snapshot {} not written: {e}", snap.experiment());
+        }
+    };
     let t0 = std::time::Instant::now();
     println!("Newton (MICRO 2020) reproduction\n");
 
@@ -74,6 +113,10 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
+        let mut snap = MetricsSnapshot::new("table2");
+        snap.count("workloads", Benchmark::all().len() as u64);
+        add_table(&mut snap, "Table II: workloads", &t);
+        save(&snap);
     }
 
     if filter.wants("table3") {
@@ -82,6 +125,11 @@ fn main() {
         println!("  paper formula : {}", fx(mv.paper_model_x));
         println!("  refined model : {}", fx(mv.refined_model_x));
         println!("  measured      : {}\n", fx(mv.measured_x));
+        let mut snap = MetricsSnapshot::new("table3");
+        snap.scalar("paper_model_x", mv.paper_model_x)
+            .scalar("refined_model_x", mv.refined_model_x)
+            .scalar("measured_x", mv.measured_x);
+        save(&snap);
     }
 
     if filter.wants("fig07") {
@@ -91,6 +139,9 @@ fn main() {
             println!("  {line}");
         }
         println!();
+        let mut snap = MetricsSnapshot::new("fig07");
+        snap.count("commands", trace.lines().count() as u64);
+        save(&snap);
     }
 
     let needs_layers = filter.wants("fig08")
@@ -113,25 +164,78 @@ fn main() {
         Vec::new()
     };
 
-
     if filter.wants("fig08") {
         println!("Fig. 8 (left): per-layer speedup over the Titan-V-like GPU");
         let rows = fig08_layers(&layers).expect("fig08 layers");
+        let mut snap = MetricsSnapshot::new("fig08");
+        snap.scalar(
+            "geomean_newton_x",
+            geomean(&rows.iter().map(|r| r.newton_x).collect::<Vec<_>>()),
+        )
+        .scalar(
+            "geomean_ideal_x",
+            geomean(&rows.iter().map(|r| r.ideal_x).collect::<Vec<_>>()),
+        );
         let mut t = Table::new(&["layer", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
         for r in &rows {
-            t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+            t.row(&[
+                r.name.clone(),
+                fx(r.newton_x),
+                fx(r.ideal_x),
+                fx(r.nonopt_x),
+            ]);
         }
         println!("{}", t.render());
         println!("paper: geomean Newton 54x, Ideal 5.4x, Non-opt 1.48x\n");
+        add_table(&mut snap, "Fig. 8 (left): per-layer speedup vs GPU", &t);
+
+        // Cycle attribution behind the speedups: where Newton's banks spend
+        // their time, and the bandwidth the Ideal stream actually sustained.
+        let mut attr = Table::new(&[
+            "layer",
+            "Newton bank util",
+            "Newton acts",
+            "Ideal ext BW (B/ns)",
+        ]);
+        for m in &layers {
+            let util = if m.newton_summaries.is_empty() {
+                0.0
+            } else {
+                m.newton_summaries
+                    .iter()
+                    .map(newton_dram::stats::RunSummary::bank_utilization)
+                    .sum::<f64>()
+                    / m.newton_summaries.len() as f64
+            };
+            let acts: u64 = m.newton_summaries.iter().map(|s| s.stats.activates).sum();
+            attr.row(&[
+                m.benchmark.name().into(),
+                format!("{util:.3}"),
+                acts.to_string(),
+                format!("{:.2}", m.ideal_summary.external_bandwidth()),
+            ]);
+        }
+        add_table(
+            &mut snap,
+            "Attribution: Newton vs Ideal DRAM activity",
+            &attr,
+        );
 
         println!("Fig. 8 (right): end-to-end speedup over the Titan-V-like GPU");
         let rows = fig08_end_to_end().expect("fig08 e2e");
         let mut t = Table::new(&["model", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
         for r in &rows {
-            t.row(&[r.name.clone(), fx(r.newton_x), fx(r.ideal_x), fx(r.nonopt_x)]);
+            t.row(&[
+                r.name.clone(),
+                fx(r.newton_x),
+                fx(r.ideal_x),
+                fx(r.nonopt_x),
+            ]);
         }
         println!("{}", t.render());
         println!("paper: DLRM 47x, AlexNet 1.2x, mean(all) 20x, mean(key targets) 49x\n");
+        add_table(&mut snap, "Fig. 8 (right): end-to-end speedup vs GPU", &t);
+        save(&snap);
     }
 
     if filter.wants("fig09") {
@@ -142,6 +246,9 @@ fn main() {
             t.row(&[r.level.label().into(), fx(r.speedup_x)]);
         }
         println!("{}", t.render());
+        let mut snap = MetricsSnapshot::new("fig09");
+        add_table(&mut snap, "Fig. 9: optimization ladder", &t);
+        save(&snap);
     }
 
     if filter.wants("fig10") {
@@ -158,6 +265,9 @@ fn main() {
         }
         println!("{}", t.render());
         println!("paper: geomean 28x / 54x / 96x\n");
+        let mut snap = MetricsSnapshot::new("fig10");
+        add_table(&mut snap, "Fig. 10: banks-per-channel sensitivity", &t);
+        save(&snap);
     }
 
     let batch_header = || -> Vec<String> {
@@ -184,6 +294,9 @@ fn main() {
         }
         println!("{}", t.render());
         println!("paper: Ideal nearly catches Newton at k=8, ~1.6x ahead at k=16\n");
+        let mut snap = MetricsSnapshot::new("fig11");
+        add_table(&mut snap, "Fig. 11: batch sensitivity vs Ideal Non-PIM", &t);
+        save(&snap);
     }
 
     if filter.wants("fig12") {
@@ -202,6 +315,9 @@ fn main() {
         }
         println!("{}", t.render());
         println!("paper: the GPU needs batch 64 to outperform Newton\n");
+        let mut snap = MetricsSnapshot::new("fig12");
+        add_table(&mut snap, "Fig. 12: batch sensitivity vs GPU", &t);
+        save(&snap);
     }
 
     if filter.wants("fig13") {
@@ -213,32 +329,64 @@ fn main() {
         }
         println!("{}", t.render());
         println!("paper: ~2.8x mean\n");
+        let mut snap = MetricsSnapshot::new("fig13");
+        snap.scalar(
+            "mean_normalized_power",
+            rows.iter().map(|r| r.normalized_power).sum::<f64>() / rows.len().max(1) as f64,
+        );
+        add_table(&mut snap, "Fig. 13: normalized power", &t);
+        save(&snap);
     }
 
     if filter.wants("ablations") {
         println!("Ablation (Sec. III-C): interleaved full-reuse vs Newton-no-reuse");
         let rows = ablation_layout().expect("ablation layout");
+        let mut snap = MetricsSnapshot::new("ablations");
         let mut t = Table::new(&["layer", "Newton", "no-reuse", "slowdown"]);
         let mut slow = Vec::new();
         for r in &rows {
             slow.push(r.slowdown());
-            t.row(&[r.name.clone(), fns(r.newton_ns), fns(r.variant_ns), fx(r.slowdown())]);
+            t.row(&[
+                r.name.clone(),
+                fns(r.newton_ns),
+                fns(r.variant_ns),
+                fx(r.slowdown()),
+            ]);
         }
-        t.row(&["geomean".into(), String::new(), String::new(), fx(geomean(&slow))]);
+        t.row(&[
+            "geomean".into(),
+            String::new(),
+            String::new(),
+            fx(geomean(&slow)),
+        ]);
         println!("{}", t.render());
+        snap.scalar("no_reuse_geomean_slowdown", geomean(&slow));
+        add_table(
+            &mut snap,
+            "Ablation: interleaved full-reuse vs no-reuse",
+            &t,
+        );
 
         println!("Ablation (Sec. III-C): four result latches per bank vs full Newton");
         let rows = ablation_latches().expect("ablation latches");
         let mut t = Table::new(&["layer", "Newton", "4-latch", "ratio"]);
         for r in &rows {
-            t.row(&[r.name.clone(), fns(r.newton_ns), fns(r.variant_ns), fx(r.slowdown())]);
+            t.row(&[
+                r.name.clone(),
+                fns(r.newton_ns),
+                fns(r.variant_ns),
+                fx(r.slowdown()),
+            ]);
         }
         println!("{}", t.render());
+        add_table(&mut snap, "Ablation: four result latches per bank", &t);
+        save(&snap);
     }
 
     if filter.wants("extensions") {
         println!("Extension (Sec. III-E): Newton across DRAM families");
         let rows = ext_dram_families().expect("families");
+        let mut snap = MetricsSnapshot::new("extensions");
         let mut t = Table::new(&["family", "banks", "measured", "model"]);
         for r in &rows {
             t.row(&[
@@ -249,6 +397,7 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
+        add_table(&mut snap, "Extension: DRAM families", &t);
 
         println!("Extension (Sec. V-C): channel scaling (GNMTs1)");
         let rows = ext_channel_sweep().expect("sweep");
@@ -261,7 +410,19 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
+        add_table(&mut snap, "Extension: channel scaling", &t);
+        save(&snap);
     }
 
+    if !snapshots.written().is_empty() {
+        println!(
+            "metrics snapshots: {} file(s) in {}",
+            snapshots.written().len(),
+            args.snapshot_dir
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        );
+    }
     println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
 }

@@ -107,7 +107,10 @@ pub fn measure_layer(cfg: &NewtonConfig, b: Benchmark) -> Result<LayerMeasuremen
 ///
 /// Propagates simulator errors.
 pub fn measure_all_layers(cfg: &NewtonConfig) -> Result<Vec<LayerMeasurement>, AimError> {
-    Benchmark::all().iter().map(|&b| measure_layer(cfg, b)).collect()
+    Benchmark::all()
+        .iter()
+        .map(|&b| measure_layer(cfg, b))
+        .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -164,10 +167,21 @@ pub fn fig08_layers(layers: &[LayerMeasurement]) -> Result<Vec<SpeedupRow>, AimE
     Ok(rows)
 }
 
+/// One prepared layer: the owned weight matrix plus the `MvProblem`
+/// fields (m, n, activation, batch-norm, output-keep).
+type LayerProblem = (
+    Vec<newton_bf16::Bf16>,
+    usize,
+    usize,
+    Activation,
+    bool,
+    Option<usize>,
+);
+
 /// Builds the `MvProblem` list (and owned matrices) for an end-to-end
 /// model. Weight matrices are shared per unique benchmark shape (the
 /// timing is identical; host memory stays bounded).
-fn model_problems(model: &EndToEndModel) -> Vec<(Vec<newton_bf16::Bf16>, usize, usize, Activation, bool, Option<usize>)> {
+fn model_problems(model: &EndToEndModel) -> Vec<LayerProblem> {
     model
         .layers
         .iter()
@@ -242,7 +256,11 @@ pub fn measure_end_to_end(
 
     // Ideal Non-PIM end-to-end: stream every layer's matrix.
     let ideal = IdealNonPim::new(cfg.dram.clone(), cfg.channels);
-    let shapes: Vec<(usize, usize)> = model.layers.iter().map(|l| (l.shape.m, l.shape.n)).collect();
+    let shapes: Vec<(usize, usize)> = model
+        .layers
+        .iter()
+        .map(|l| (l.shape.m, l.shape.n))
+        .collect();
     let ideal_total = ideal.run_model(&shapes)?.time_ns + non_fc;
 
     // Non-opt Newton end-to-end: serialized per-layer times.
@@ -539,8 +557,7 @@ pub fn model_validation() -> Result<ModelValidation, AimError> {
     // Ideal bound for the same data: the analytic col*tCCD per row (the
     // model's denominator), measured refresh-free.
     let rows = (m * n * 2) / 1024;
-    let ideal_ns =
-        rows as f64 * cfg.dram.cols_per_row as f64 * cfg.dram.timing.t_ccd_ns;
+    let ideal_ns = rows as f64 * cfg.dram.cols_per_row as f64 * cfg.dram.timing.t_ccd_ns;
 
     Ok(ModelValidation {
         paper_model_x: model.speedup_vs_ideal(),
@@ -683,8 +700,7 @@ pub fn ext_dram_families() -> Result<Vec<FamilyRow>, AimError> {
         }
         let run = sys.run_mv(&matrix, m, n, &vector)?;
         let rows_needed = (m * n * 2) / dram.row_bytes();
-        let ideal_ns =
-            rows_needed as f64 * dram.cols_per_row as f64 * dram.timing.t_ccd_ns;
+        let ideal_ns = rows_needed as f64 * dram.cols_per_row as f64 * dram.timing.t_ccd_ns;
         let model = PerfModel::new(cfg.effective_dram());
         rows.push(FamilyRow {
             name,

@@ -11,5 +11,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod snapshot;
 
 pub use experiments::*;

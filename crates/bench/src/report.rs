@@ -39,12 +39,25 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The rows appended so far.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders with column alignment: first column left, rest right.
     #[must_use]
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

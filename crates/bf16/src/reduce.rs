@@ -51,7 +51,11 @@ pub fn tree_reduce_wide(values: &[Bf16]) -> f32 {
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
         for pair in level.chunks(2) {
-            next.push(if pair.len() == 2 { pair[0] + pair[1] } else { pair[0] });
+            next.push(if pair.len() == 2 {
+                pair[0] + pair[1]
+            } else {
+                pair[0]
+            });
         }
         level = next;
     }
@@ -76,7 +80,11 @@ pub fn tree_reduce_bf16(values: &[Bf16]) -> Bf16 {
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
         for pair in level.chunks(2) {
-            next.push(if pair.len() == 2 { pair[0] + pair[1] } else { pair[0] });
+            next.push(if pair.len() == 2 {
+                pair[0] + pair[1]
+            } else {
+                pair[0]
+            });
         }
         level = next;
     }
@@ -152,12 +160,7 @@ pub fn dot_chunk_bf16(weights: &[Bf16], inputs: &[Bf16]) -> Bf16 {
 /// assert_eq!(latch.to_f32(), 16.0);
 /// ```
 #[must_use]
-pub fn comp_step(
-    latch: Bf16,
-    weights: &[Bf16],
-    inputs: &[Bf16],
-    precision: TreePrecision,
-) -> Bf16 {
+pub fn comp_step(latch: Bf16, weights: &[Bf16], inputs: &[Bf16], precision: TreePrecision) -> Bf16 {
     match precision {
         TreePrecision::Wide => latch.accumulate_wide(dot_chunk_wide(weights, inputs)),
         TreePrecision::PerStage => latch + dot_chunk_bf16(weights, inputs),

@@ -432,8 +432,14 @@ mod tests {
         let halfway_up = f32::from_bits(0x3F81_8000);
         assert_eq!(Bf16::from_f32(halfway_up), Bf16::from_bits(0x3F82));
         // Just below/above the tie round toward the nearer value.
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x3F80_7FFF)), Bf16::from_bits(0x3F80));
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x3F80_8001)), Bf16::from_bits(0x3F81));
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x3F80_7FFF)),
+            Bf16::from_bits(0x3F80)
+        );
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x3F80_8001)),
+            Bf16::from_bits(0x3F81)
+        );
     }
 
     #[test]
@@ -503,7 +509,13 @@ mod tests {
             Bf16::INFINITY,
         ];
         for w in samples.windows(2) {
-            assert_eq!(w[0].total_cmp(&w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+            assert_eq!(
+                w[0].total_cmp(&w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
         }
         assert_eq!(Bf16::NAN.total_cmp(&Bf16::NAN), Ordering::Equal);
     }

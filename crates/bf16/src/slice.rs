@@ -138,7 +138,10 @@ mod tests {
         let input = [0.0_f32, 1.0, -2.5, 0.15625, 1024.0];
         let bf = from_f32(&input);
         assert_eq!(to_f32(&bf), input.to_vec());
-        assert_eq!(to_f64(&bf), input.iter().map(|&x| x as f64).collect::<Vec<_>>());
+        assert_eq!(
+            to_f64(&bf),
+            input.iter().map(|&x| x as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]

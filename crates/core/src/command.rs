@@ -97,14 +97,26 @@ impl fmt::Display for AimCommand {
                 write!(f, "COMP{subchunk} bank={bank}")
             }
             AimCommand::BroadcastInput { subchunk } => write!(f, "BCAST{subchunk}"),
-            AimCommand::ColumnRead { subchunk, bank: Some(b) } => {
+            AimCommand::ColumnRead {
+                subchunk,
+                bank: Some(b),
+            } => {
                 write!(f, "RD{subchunk} bank={b}")
             }
-            AimCommand::ColumnRead { subchunk, bank: None } => write!(f, "RD{subchunk} all-banks"),
-            AimCommand::MultiplyAdd { subchunk, bank: Some(b) } => {
+            AimCommand::ColumnRead {
+                subchunk,
+                bank: None,
+            } => write!(f, "RD{subchunk} all-banks"),
+            AimCommand::MultiplyAdd {
+                subchunk,
+                bank: Some(b),
+            } => {
                 write!(f, "MAC{subchunk} bank={b}")
             }
-            AimCommand::MultiplyAdd { subchunk, bank: None } => write!(f, "MAC{subchunk} all-banks"),
+            AimCommand::MultiplyAdd {
+                subchunk,
+                bank: None,
+            } => write!(f, "MAC{subchunk} all-banks"),
             AimCommand::ReadRes => write!(f, "READRES"),
             AimCommand::ReadResBank { bank } => write!(f, "READRES bank={bank}"),
             AimCommand::PreAll => write!(f, "PRE_ALL"),
@@ -183,7 +195,11 @@ mod tests {
     fn display_matches_table_i_vocabulary() {
         assert_eq!(AimCommand::Gwrite { index: 3 }.to_string(), "GWRITE3");
         assert_eq!(
-            AimCommand::GAct { cluster: 1, row: 42 }.to_string(),
+            AimCommand::GAct {
+                cluster: 1,
+                row: 42
+            }
+            .to_string(),
             "G_ACT1 row=42"
         );
         assert_eq!(AimCommand::Comp { subchunk: 31 }.to_string(), "COMP31");

@@ -303,10 +303,16 @@ mod tests {
         assert_eq!(ladder[5].flags(), OptFlags::all());
         // Each step adds exactly one flag.
         let count = |f: OptFlags| {
-            [f.ganged_comp, f.complex_comp, f.interleaved_reuse, f.ganged_act, f.aggressive_tfaw]
-                .iter()
-                .filter(|&&b| b)
-                .count()
+            [
+                f.ganged_comp,
+                f.complex_comp,
+                f.interleaved_reuse,
+                f.ganged_act,
+                f.aggressive_tfaw,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count()
         };
         for (i, level) in ladder.iter().enumerate() {
             assert_eq!(count(level.flags()), i, "{level:?}");

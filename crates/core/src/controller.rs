@@ -122,7 +122,10 @@ impl NewtonChannel {
     /// # Errors
     ///
     /// [`AimError::InvalidConfig`] if the configuration fails validation.
-    pub fn new(config: &NewtonConfig, activation: ActivationKind) -> Result<NewtonChannel, AimError> {
+    pub fn new(
+        config: &NewtonConfig,
+        activation: ActivationKind,
+    ) -> Result<NewtonChannel, AimError> {
         config.validate()?;
         let dram = config.effective_dram();
         let channel = Channel::new(dram)?;
@@ -181,9 +184,12 @@ impl NewtonChannel {
             let c = self.channel.earliest_column_read(a, request.bank);
             let (cycle, data) = match &request.write {
                 Some(data) => {
-                    let c = self
-                        .channel
-                        .issue_column_write_external(c, request.bank, request.col, data)?;
+                    let c = self.channel.issue_column_write_external(
+                        c,
+                        request.bank,
+                        request.col,
+                        data,
+                    )?;
                     (c, Vec::new())
                 }
                 None => self
@@ -193,7 +199,11 @@ impl NewtonChannel {
             let p = self.channel.earliest_precharge(request.bank).max(cycle);
             self.channel.issue_precharge(p, request.bank)?;
             self.now = self.now.max(cycle);
-            self.host_responses.push(HostResponse { request, cycle, data });
+            self.host_responses.push(HostResponse {
+                request,
+                cycle,
+                data,
+            });
         }
         Ok(())
     }
@@ -246,7 +256,11 @@ impl NewtonChannel {
     /// # Errors
     ///
     /// Shape/capacity/storage errors from [`MatrixMapping::load`].
-    pub fn load_matrix(&mut self, mapping: &MatrixMapping, matrix: &[Bf16]) -> Result<(), AimError> {
+    pub fn load_matrix(
+        &mut self,
+        mapping: &MatrixMapping,
+        matrix: &[Bf16],
+    ) -> Result<(), AimError> {
         mapping.load(&mut self.channel, matrix)
     }
 
@@ -401,16 +415,26 @@ impl NewtonChannel {
                 let banks: Vec<usize> = pairs.iter().map(|p| p.0).collect();
                 let t = self.channel.earliest_ganged_activate(&banks).max(cursor);
                 self.channel.issue_ganged_activate(t, &pairs)?;
-                self.trace
-                    .record(t, AimCommand::GAct { cluster, row: rs.dram_row });
+                self.trace.record(
+                    t,
+                    AimCommand::GAct {
+                        cluster,
+                        row: rs.dram_row,
+                    },
+                );
                 cmds += 1;
             }
         } else {
             for w in &rs.work {
                 let t = self.channel.earliest_activate(w.bank).max(cursor);
                 self.channel.issue_activate(t, w.bank, rs.dram_row)?;
-                self.trace
-                    .record(t, AimCommand::Act { bank: w.bank, row: rs.dram_row });
+                self.trace.record(
+                    t,
+                    AimCommand::Act {
+                        bank: w.bank,
+                        row: rs.dram_row,
+                    },
+                );
                 cmds += 1;
             }
         }
@@ -443,11 +467,8 @@ impl NewtonChannel {
                     cmds += 1;
                 }
                 // Column read (+ multiply-add when complex).
-                let pairs: Vec<(usize, usize)> =
-                    banks.iter().map(|&b| (b, sub)).collect();
-                let t = self
-                    .channel
-                    .earliest_ganged_column_read(self.now, &banks);
+                let pairs: Vec<(usize, usize)> = banks.iter().map(|&b| (b, sub)).collect();
+                let t = self.channel.earliest_ganged_column_read(self.now, &banks);
                 let device = &mut self.device;
                 let latch = rs.latch;
                 self.channel
@@ -459,7 +480,10 @@ impl NewtonChannel {
                     if self.config.opts.complex_comp {
                         AimCommand::Comp { subchunk: sub }
                     } else {
-                        AimCommand::ColumnRead { subchunk: sub, bank: None }
+                        AimCommand::ColumnRead {
+                            subchunk: sub,
+                            bank: None,
+                        }
                     },
                 );
                 self.now = t;
@@ -469,8 +493,13 @@ impl NewtonChannel {
                     // Simple expansion step 3: the multiply-add trigger.
                     let t = self.channel.earliest_control_command(self.now);
                     self.channel.issue_control_command(t)?;
-                    self.trace
-                        .record(t, AimCommand::MultiplyAdd { subchunk: sub, bank: None });
+                    self.trace.record(
+                        t,
+                        AimCommand::MultiplyAdd {
+                            subchunk: sub,
+                            bank: None,
+                        },
+                    );
                     self.now = t;
                     cmds += 1;
                 }
@@ -497,7 +526,10 @@ impl NewtonChannel {
                         })?;
                     self.trace.record(
                         t,
-                        AimCommand::CompBank { bank: w.bank, subchunk: sub },
+                        AimCommand::CompBank {
+                            bank: w.bank,
+                            subchunk: sub,
+                        },
                     );
                     self.now = t;
                     last_col = last_col.max(t);
@@ -507,7 +539,10 @@ impl NewtonChannel {
                         self.channel.issue_control_command(t)?;
                         self.trace.record(
                             t,
-                            AimCommand::MultiplyAdd { subchunk: sub, bank: Some(w.bank) },
+                            AimCommand::MultiplyAdd {
+                                subchunk: sub,
+                                bank: Some(w.bank),
+                            },
                         );
                         self.now = t;
                         cmds += 1;
@@ -557,7 +592,8 @@ impl NewtonChannel {
             for r in &rs.read_after {
                 let at = self.channel.earliest_result_read(self.now.max(tree_done));
                 self.channel.issue_result_read(at, 2)?;
-                self.trace.record(at, AimCommand::ReadResBank { bank: r.bank });
+                self.trace
+                    .record(at, AimCommand::ReadResBank { bank: r.bank });
                 self.now = at;
                 end = end.max(at + t.t_aa + t.t_ccd);
                 cmds += 1;
@@ -574,8 +610,7 @@ impl NewtonChannel {
         let t = *self.channel.timing();
         // Banks are idle between row-sets by construction; if not (first
         // call with look-ahead rows open), close them.
-        let any_open =
-            (0..self.config.dram.banks).any(|b| self.channel.open_row(b).is_some());
+        let any_open = (0..self.config.dram.banks).any(|b| self.channel.open_row(b).is_some());
         if any_open {
             let p = self.channel.earliest_precharge_all().max(self.now);
             self.channel.issue_precharge_all(p)?;
@@ -616,8 +651,8 @@ impl NewtonChannel {
         } else {
             banks.div_ceil(4) * t.t_faw + banks * t.t_cmd + t.t_rcd
         };
-        let per_comp_cmds = if opts.complex_comp { 1 } else { 3 }
-            * if opts.ganged_comp { 1 } else { banks };
+        let per_comp_cmds =
+            if opts.complex_comp { 1 } else { 3 } * if opts.ganged_comp { 1 } else { banks };
         let comp = n_sub * per_comp_cmds * t.t_cmd.max(t.t_ccd);
         let reads = rs.read_after.len() as Cycle * t.t_cmd + self.config.adder_tree_latency;
         gwrite + act + comp + reads + t.t_rtp + t.t_rp + 4 * t.t_cmd
@@ -655,13 +690,19 @@ mod tests {
         let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
         ch.channel_mut().enable_audit();
 
-        let matrix: Vec<Bf16> = (0..m * n).map(|k| bf(((k % 13) as f32 - 6.0) / 4.0)).collect();
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 13) as f32 - 6.0) / 4.0))
+            .collect();
         let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 7) as f32 - 3.0) / 2.0)).collect();
         ch.load_matrix(&mapping, &matrix).unwrap();
         let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
 
         // Audit every constraint.
-        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        let violations = ch
+            .channel()
+            .audit()
+            .unwrap()
+            .validate(ch.channel().timing());
         assert_eq!(violations, vec![], "{level:?}");
 
         // Numerical check against f64 reference.
@@ -694,7 +735,10 @@ mod tests {
         let (run, _) = run_and_check(OptLevel::Full, 40, 1200);
         // 3 chunks x 3 groups = 9 row-sets; GWRITE once per chunk.
         assert_eq!(run.stats.row_sets, 9);
-        assert_eq!(run.stats.gwrite_commands, 32 + 32 + 11 /* 176-elem tail */);
+        assert_eq!(
+            run.stats.gwrite_commands,
+            32 + 32 + 11 /* 176-elem tail */
+        );
     }
 
     #[test]
@@ -726,9 +770,15 @@ mod tests {
         //   max(tRRD, tFAW) * (n/4 - 1) + tACT + col * tCCD
         // plus the precharge turnaround our simulator faithfully exposes.
         let cfg = cfg1(OptLevel::Full);
-        let mapping =
-            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16 * 20, 512, 16, 512, 0)
-                .unwrap();
+        let mapping = MatrixMapping::new(
+            crate::layout::Layout::ChunkInterleaved,
+            16 * 20,
+            512,
+            16,
+            512,
+            0,
+        )
+        .unwrap();
         let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
         let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
         ch.channel_mut().disable_refresh();
@@ -749,9 +799,15 @@ mod tests {
     #[test]
     fn refresh_interposes_on_long_runs_and_is_periodic() {
         let cfg = cfg1(OptLevel::Full);
-        let mapping =
-            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16 * 40, 512, 16, 512, 0)
-                .unwrap();
+        let mapping = MatrixMapping::new(
+            crate::layout::Layout::ChunkInterleaved,
+            16 * 40,
+            512,
+            16,
+            512,
+            0,
+        )
+        .unwrap();
         let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
         let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
         ch.channel_mut().enable_audit();
@@ -761,7 +817,11 @@ mod tests {
         let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
         // 40 row-sets x ~228 cycles ≈ 9.1 µs: at least 2 refreshes.
         assert!(run.stats.refreshes >= 2, "{}", run.stats.refreshes);
-        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        let violations = ch
+            .channel()
+            .audit()
+            .unwrap()
+            .validate(ch.channel().timing());
         assert_eq!(violations, vec![]);
     }
 
@@ -806,7 +866,12 @@ mod tests {
             .storage_mut()
             .write_column(3, 1000, 7, &[0xEEu8; 32])
             .unwrap();
-        ch.enqueue_host_request(HostRequest { bank: 3, row: 1000, col: 7, write: None });
+        ch.enqueue_host_request(HostRequest {
+            bank: 3,
+            row: 1000,
+            col: 7,
+            write: None,
+        });
         ch.enqueue_host_request(HostRequest {
             bank: 5,
             row: 1001,
@@ -829,7 +894,11 @@ mod tests {
         // Responses drained.
         assert!(ch.take_host_responses().is_empty());
 
-        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        let violations = ch
+            .channel()
+            .audit()
+            .unwrap()
+            .validate(ch.channel().timing());
         assert_eq!(violations, vec![]);
     }
 
@@ -838,22 +907,41 @@ mod tests {
         let cfg = cfg1(OptLevel::Full);
         let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
         ch.channel_mut().enable_audit();
-        ch.enqueue_host_request(HostRequest { bank: 0, row: 5, col: 0, write: None });
+        ch.enqueue_host_request(HostRequest {
+            bank: 0,
+            row: 5,
+            col: 0,
+            write: None,
+        });
         ch.service_host_requests().unwrap();
         let responses = ch.take_host_responses();
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].data, vec![0u8; 32], "unwritten row reads zero");
-        assert_eq!(ch.channel().open_row(0), None, "bank precharged after service");
-        let violations = ch.channel().audit().unwrap().validate(ch.channel().timing());
+        assert_eq!(
+            ch.channel().open_row(0),
+            None,
+            "bank precharged after service"
+        );
+        let violations = ch
+            .channel()
+            .audit()
+            .unwrap()
+            .validate(ch.channel().timing());
         assert_eq!(violations, vec![]);
     }
 
     #[test]
     fn host_traffic_delays_but_does_not_corrupt_long_runs() {
         let cfg = cfg1(OptLevel::Full);
-        let mapping =
-            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16 * 8, 512, 16, 512, 0)
-                .unwrap();
+        let mapping = MatrixMapping::new(
+            crate::layout::Layout::ChunkInterleaved,
+            16 * 8,
+            512,
+            16,
+            512,
+            0,
+        )
+        .unwrap();
         let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
         let run_with = |n_host: usize| {
             let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();

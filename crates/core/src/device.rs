@@ -78,7 +78,11 @@ impl GlobalBuffer {
         if data.len() > self.subchunk {
             return Err(AimError::Shape {
                 what: "global buffer write",
-                detail: format!("{} elements exceed sub-chunk width {}", data.len(), self.subchunk),
+                detail: format!(
+                    "{} elements exceed sub-chunk width {}",
+                    data.len(),
+                    self.subchunk
+                ),
             });
         }
         let start = index * self.subchunk;
@@ -204,7 +208,9 @@ impl NewtonDevice {
     ) -> NewtonDevice {
         NewtonDevice {
             global: GlobalBuffer::new(row_elems, subchunk),
-            macs: (0..banks).map(|_| MacUnit::new(latches, precision)).collect(),
+            macs: (0..banks)
+                .map(|_| MacUnit::new(latches, precision))
+                .collect(),
             lut: ActivationLut::new(activation),
             subchunk,
         }
@@ -349,14 +355,7 @@ mod tests {
 
     #[test]
     fn device_comp_bank_reads_bytes_and_uses_global_buffer() {
-        let mut dev = NewtonDevice::new(
-            2,
-            512,
-            16,
-            1,
-            TreePrecision::Wide,
-            ActivationKind::Relu,
-        );
+        let mut dev = NewtonDevice::new(2, 512, 16, 1, TreePrecision::Wide, ActivationKind::Relu);
         dev.global_buffer_mut()
             .write_subchunk(0, &[bf(2.0); 16])
             .unwrap();

@@ -26,6 +26,7 @@
 //!   with refresh interposition.
 //! * [`system`]: multi-channel execution, layer and end-to-end model runs,
 //!   host-side reduction/activation/batch-norm.
+//! * [`export`]: Chrome trace-event (Perfetto) export of command traces.
 //!
 //! # Example: one fully-optimized matrix–vector product
 //!
@@ -57,6 +58,7 @@ pub mod config;
 pub mod controller;
 pub mod device;
 pub mod error;
+pub mod export;
 pub mod layout;
 pub mod lut;
 pub mod system;
@@ -65,3 +67,4 @@ pub mod timeline;
 
 pub use config::{NewtonConfig, OptFlags, OptLevel};
 pub use error::AimError;
+pub use export::export_chrome_trace;

@@ -213,7 +213,12 @@ impl NewtonSystem {
         let kind = self.schedule_kind();
         let c = self.config.channels;
         // All channels start together (barrier at layer entry).
-        let start = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+        let start = self
+            .channels
+            .iter()
+            .map(NewtonChannel::now)
+            .max()
+            .unwrap_or(0);
 
         // Threads pay off only when each channel simulates substantial
         // work; small layers stay serial (thread spawn and cache effects
@@ -443,7 +448,12 @@ impl NewtonSystem {
             all_mappings.push(mappings);
         }
 
-        let start = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+        let start = self
+            .channels
+            .iter()
+            .map(NewtonChannel::now)
+            .max()
+            .unwrap_or(0);
         let mut vector: Vec<Bf16> = input.to_vec();
         let mut stats = AimStats::default();
         let mut final_output = Vec::new();
@@ -482,7 +492,12 @@ impl NewtonSystem {
                     }
                 }
                 let exposure = (self.config.batch_norm_first_tile_ns / tck).ceil() as Cycle;
-                let now = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+                let now = self
+                    .channels
+                    .iter()
+                    .map(NewtonChannel::now)
+                    .max()
+                    .unwrap_or(0);
                 for ch in &mut self.channels {
                     ch.advance_to(now + exposure);
                 }
@@ -499,7 +514,12 @@ impl NewtonSystem {
             final_output = out;
         }
 
-        let end = self.channels.iter().map(NewtonChannel::now).max().unwrap_or(0);
+        let end = self
+            .channels
+            .iter()
+            .map(NewtonChannel::now)
+            .max()
+            .unwrap_or(0);
         let summaries = self
             .channels
             .iter()
@@ -543,7 +563,9 @@ mod tests {
     #[test]
     fn multi_channel_matches_reference_and_single_channel_output() {
         let (m, n) = (50, 700);
-        let matrix: Vec<Bf16> = (0..m * n).map(|k| bf(((k % 17) as f32 - 8.0) / 8.0)).collect();
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 17) as f32 - 8.0) / 8.0))
+            .collect();
         let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 5) as f32 - 2.0) / 2.0)).collect();
         let expect = reference(&matrix, m, n, &vector);
 
@@ -551,10 +573,10 @@ mod tests {
             let mut sys = NewtonSystem::new(small_cfg(channels)).unwrap();
             let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
             assert_eq!(run.output.len(), m);
-            for i in 0..m {
-                let bound = newton_bf16::reduce::dot_error_bound(n, 16, expect[i].abs().max(8.0));
+            for (i, (&got, &want)) in run.output.iter().zip(&expect).enumerate() {
+                let bound = newton_bf16::reduce::dot_error_bound(n, 16, want.abs().max(8.0));
                 assert!(
-                    (run.output[i] as f64 - expect[i]).abs() <= bound,
+                    (got as f64 - want).abs() <= bound,
                     "channels={channels} row {i}"
                 );
             }
@@ -610,13 +632,31 @@ mod tests {
         let mut sys = NewtonSystem::new(small_cfg(2)).unwrap();
         let (m1, n1) = (32, 64);
         let (m2, n2) = (16, 32);
-        let w1: Vec<Bf16> = (0..m1 * n1).map(|k| bf(((k % 9) as f32 - 4.0) / 16.0)).collect();
-        let w2: Vec<Bf16> = (0..m2 * n2).map(|k| bf(((k % 11) as f32 - 5.0) / 16.0)).collect();
+        let w1: Vec<Bf16> = (0..m1 * n1)
+            .map(|k| bf(((k % 9) as f32 - 4.0) / 16.0))
+            .collect();
+        let w2: Vec<Bf16> = (0..m2 * n2)
+            .map(|k| bf(((k % 11) as f32 - 5.0) / 16.0))
+            .collect();
         let input: Vec<Bf16> = (0..n1).map(|k| bf((k % 3) as f32 / 2.0)).collect();
 
         let layers = [
-            MvProblem { matrix: &w1, m: m1, n: n1, activation: ActivationKind::Relu, batch_norm: false, output_keep: None },
-            MvProblem { matrix: &w2, m: m2, n: n2, activation: ActivationKind::Identity, batch_norm: false, output_keep: None },
+            MvProblem {
+                matrix: &w1,
+                m: m1,
+                n: n1,
+                activation: ActivationKind::Relu,
+                batch_norm: false,
+                output_keep: None,
+            },
+            MvProblem {
+                matrix: &w2,
+                m: m2,
+                n: n2,
+                activation: ActivationKind::Identity,
+                batch_norm: false,
+                output_keep: None,
+            },
         ];
         let run = sys.run_model(&layers, &input).unwrap();
         assert_eq!(run.output.len(), m2);
@@ -626,13 +666,11 @@ mod tests {
         let h1 = reference(&w1, m1, n1, &input);
         let h1: Vec<Bf16> = h1.iter().map(|&x| Bf16::from_f64(x.max(0.0))).collect();
         let expect = reference(&w2, m2, n2, &h1);
-        for i in 0..m2 {
+        for (i, (&got, &want)) in run.output.iter().zip(&expect).enumerate() {
             assert!(
-                (run.output[i] as f64 - expect[i]).abs()
-                    <= newton_bf16::reduce::dot_error_bound(n2, 16, expect[i].abs().max(8.0)) + 0.25,
-                "row {i}: {} vs {}",
-                run.output[i],
-                expect[i]
+                (got as f64 - want).abs()
+                    <= newton_bf16::reduce::dot_error_bound(n2, 16, want.abs().max(8.0)) + 0.25,
+                "row {i}: {got} vs {want}"
             );
         }
         assert!(run.cycles > 0);
@@ -666,9 +704,7 @@ mod tests {
     fn batch_runs_load_once_and_scale_time_linearly() {
         let (m, n) = (32, 512);
         let matrix = vec![bf(0.5); m * n];
-        let vectors: Vec<Vec<Bf16>> = (0..4)
-            .map(|k| vec![bf(1.0 + k as f32); n])
-            .collect();
+        let vectors: Vec<Vec<Bf16>> = (0..4).map(|k| vec![bf(1.0 + k as f32); n]).collect();
         let mut sys = NewtonSystem::new(small_cfg(2)).unwrap();
         let runs = sys.run_mv_batch(&matrix, m, n, &vectors).unwrap();
         assert_eq!(runs.len(), 4);
@@ -682,7 +718,10 @@ mod tests {
         let times: Vec<_> = runs.iter().map(|r| r.cycles).collect();
         let min = *times.iter().min().unwrap() as f64;
         let max = *times.iter().max().unwrap() as f64;
-        assert!(max / min < 1.25, "batch items should cost ~equal time: {times:?}");
+        assert!(
+            max / min < 1.25,
+            "batch items should cost ~equal time: {times:?}"
+        );
         // Empty batch rejected.
         assert!(sys.run_mv_batch(&matrix, m, n, &[]).is_err());
     }
@@ -739,7 +778,9 @@ mod tests {
         assert!(sys
             .run_models_partitioned(&[(3, &l1[..], &in1[..]), (2, &l2[..], &in2[..])])
             .is_err());
-        assert!(sys.run_models_partitioned(&[(0, &l1[..], &in1[..])]).is_err());
+        assert!(sys
+            .run_models_partitioned(&[(0, &l1[..], &in1[..])])
+            .is_err());
     }
 
     #[test]

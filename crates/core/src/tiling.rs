@@ -215,13 +215,13 @@ impl Schedule {
                         // Read every latch of the super-group.
                         (0..span)
                             .flat_map(|s| {
-                                Self::active_work(mapping, g0 + s, banks)
-                                    .into_iter()
-                                    .map(move |w| ReadOut {
+                                Self::active_work(mapping, g0 + s, banks).into_iter().map(
+                                    move |w| ReadOut {
                                         bank: w.bank,
                                         latch: s,
                                         matrix_row: w.matrix_row,
-                                    })
+                                    },
+                                )
                             })
                             .collect()
                     } else {
@@ -319,7 +319,14 @@ mod tests {
             ScheduleKind::NoReuse,
             ScheduleKind::FourLatch,
         ] {
-            for (m, n) in [(16, 512), (20, 700), (1, 1), (100, 1536), (7, 512), (64, 513)] {
+            for (m, n) in [
+                (16, 512),
+                (20, 700),
+                (1, 1),
+                (100, 1536),
+                (7, 512),
+                (64, 513),
+            ] {
                 assert_covers_iteration_space(kind, m, n);
             }
         }
@@ -352,7 +359,10 @@ mod tests {
         assert_eq!(sched.chunk_loads(), 8);
         // Latch resets only at group starts; reads only at group ends.
         let resets: Vec<bool> = sched.row_sets().iter().map(|r| r.reset_latch).collect();
-        assert_eq!(resets, vec![true, false, true, false, true, false, true, false]);
+        assert_eq!(
+            resets,
+            vec![true, false, true, false, true, false, true, false]
+        );
         assert_eq!(sched.total_readouts(), 64);
     }
 

@@ -27,9 +27,10 @@ const LANES: [(Lane, &str); 5] = [
 fn lane_of(cmd: &AimCommand) -> (Lane, char) {
     match cmd {
         AimCommand::Gwrite { .. } => (Lane::Gwrite, 'W'),
-        AimCommand::GAct { cluster, .. } => {
-            (Lane::Activate, char::from_digit(*cluster as u32 % 10, 10).unwrap_or('A'))
-        }
+        AimCommand::GAct { cluster, .. } => (
+            Lane::Activate,
+            char::from_digit(*cluster as u32 % 10, 10).unwrap_or('A'),
+        ),
         AimCommand::Act { .. } => (Lane::Activate, 'a'),
         AimCommand::Comp { .. } | AimCommand::CompBank { .. } => (Lane::Compute, 'C'),
         AimCommand::BroadcastInput { .. } => (Lane::Compute, 'b'),
@@ -117,10 +118,21 @@ mod tests {
             t.record(4 * i, AimCommand::Gwrite { index: i as usize });
         }
         for c in 0..4u64 {
-            t.record(22 * c, AimCommand::GAct { cluster: c as usize, row: 0 });
+            t.record(
+                22 * c,
+                AimCommand::GAct {
+                    cluster: c as usize,
+                    row: 0,
+                },
+            );
         }
         for s in 0..8u64 {
-            t.record(80 + 4 * s, AimCommand::Comp { subchunk: s as usize });
+            t.record(
+                80 + 4 * s,
+                AimCommand::Comp {
+                    subchunk: s as usize,
+                },
+            );
         }
         t.record(124, AimCommand::ReadRes);
         t.record(120, AimCommand::PreAll);
@@ -170,7 +182,10 @@ mod tests {
 
     #[test]
     fn empty_trace_renders_placeholder() {
-        assert_eq!(render_gantt(&CommandTrace::enabled(), 4, 80), "(empty trace)\n");
+        assert_eq!(
+            render_gantt(&CommandTrace::enabled(), 4, 80),
+            "(empty trace)\n"
+        );
     }
 
     #[test]
@@ -183,8 +198,20 @@ mod tests {
     fn simple_command_expansion_uses_distinct_glyphs() {
         let mut t = CommandTrace::enabled();
         t.record(0, AimCommand::BroadcastInput { subchunk: 0 });
-        t.record(4, AimCommand::ColumnRead { subchunk: 0, bank: None });
-        t.record(8, AimCommand::MultiplyAdd { subchunk: 0, bank: None });
+        t.record(
+            4,
+            AimCommand::ColumnRead {
+                subchunk: 0,
+                bank: None,
+            },
+        );
+        t.record(
+            8,
+            AimCommand::MultiplyAdd {
+                subchunk: 0,
+                bank: None,
+            },
+        );
         let chart = render_gantt(&t, 4, 80);
         let comp = chart.lines().nth(3).unwrap();
         assert!(comp.contains('b') && comp.contains('r') && comp.contains('m'));

@@ -22,7 +22,8 @@ fn compute_commands(level: OptLevel) -> u64 {
     let mapping = MatrixMapping::new(kind.layout(), 16, 512, 16, 512, 0).unwrap();
     let schedule = Schedule::build(kind, &mapping);
     let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
-    ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 512]).unwrap();
+    ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 512])
+        .unwrap();
     let run = ch
         .run_mv(&mapping, &schedule, &vec![Bf16::ONE; 512], false)
         .unwrap();
@@ -63,7 +64,8 @@ fn readres_gangs_sixteen_bank_reads_into_one_command() {
         let mapping = MatrixMapping::new(kind.layout(), 16, 512, 16, 512, 0).unwrap();
         let schedule = Schedule::build(kind, &mapping);
         let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
-        ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 512]).unwrap();
+        ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 512])
+            .unwrap();
         let run = ch
             .run_mv(&mapping, &schedule, &vec![Bf16::ONE; 512], false)
             .unwrap();
@@ -81,7 +83,8 @@ fn gact_quarters_the_activation_commands() {
         let mapping = MatrixMapping::new(kind.layout(), 16, 512, 16, 512, 0).unwrap();
         let schedule = Schedule::build(kind, &mapping);
         let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
-        ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 512]).unwrap();
+        ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 512])
+            .unwrap();
         let run = ch
             .run_mv(&mapping, &schedule, &vec![Bf16::ONE; 512], false)
             .unwrap();
@@ -98,7 +101,8 @@ fn partial_final_subchunk_issues_fewer_comps() {
     let mapping = MatrixMapping::new(kind.layout(), 16, 700, 16, 512, 0).unwrap();
     let schedule = Schedule::build(kind, &mapping);
     let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
-    ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 700]).unwrap();
+    ch.load_matrix(&mapping, &vec![Bf16::ONE; 16 * 700])
+        .unwrap();
     let run = ch
         .run_mv(&mapping, &schedule, &vec![Bf16::ONE; 700], false)
         .unwrap();

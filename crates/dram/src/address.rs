@@ -83,7 +83,10 @@ impl AddressMapper {
         let within = addr % self.row_bytes;
         let (bank, row) = match self.interleave {
             Interleave::BankInterleaved => (row_block % self.banks, row_block / self.banks),
-            Interleave::BankSequential => (row_block / self.rows_per_bank, row_block % self.rows_per_bank),
+            Interleave::BankSequential => (
+                row_block / self.rows_per_bank,
+                row_block % self.rows_per_bank,
+            ),
         };
         Ok(Location {
             bank,
@@ -183,7 +186,10 @@ impl SuperPageAllocator {
                 limit: self.capacity,
             });
         }
-        let page = SuperPage { base: self.next, len };
+        let page = SuperPage {
+            base: self.next,
+            len,
+        };
         self.next += len;
         Ok(page)
     }
@@ -241,16 +247,36 @@ mod tests {
         let m = mapper(Interleave::BankInterleaved);
         assert!(m.decode(m.capacity()).is_err());
         assert!(m
-            .encode(Location { bank: 16, row: 0, col: 0, offset: 0 })
+            .encode(Location {
+                bank: 16,
+                row: 0,
+                col: 0,
+                offset: 0
+            })
             .is_err());
         assert!(m
-            .encode(Location { bank: 0, row: 40_000, col: 0, offset: 0 })
+            .encode(Location {
+                bank: 0,
+                row: 40_000,
+                col: 0,
+                offset: 0
+            })
             .is_err());
         assert!(m
-            .encode(Location { bank: 0, row: 0, col: 32, offset: 0 })
+            .encode(Location {
+                bank: 0,
+                row: 0,
+                col: 32,
+                offset: 0
+            })
             .is_err());
         assert!(m
-            .encode(Location { bank: 0, row: 0, col: 0, offset: 32 })
+            .encode(Location {
+                bank: 0,
+                row: 0,
+                col: 0,
+                offset: 32
+            })
             .is_err());
     }
 

@@ -200,7 +200,10 @@ impl Audit {
             if w[1] != w[0] && w[1] < w[0] + t.t_rrd {
                 out.push(AuditViolation {
                     constraint: "tRRD",
-                    detail: format!("activations at {} and {} closer than tRRD={}", w[0], w[1], t.t_rrd),
+                    detail: format!(
+                        "activations at {} and {} closer than tRRD={}",
+                        w[0], w[1], t.t_rrd
+                    ),
                 });
             }
         }
@@ -232,14 +235,19 @@ impl Audit {
                         if open {
                             out.push(AuditViolation {
                                 constraint: "ACT-on-open",
-                                detail: format!("bank {bank}: activate at {cycle} while a row is open"),
+                                detail: format!(
+                                    "bank {bank}: activate at {cycle} while a row is open"
+                                ),
                             });
                         }
                         if let Some(p) = last_pre {
                             if cycle < p + t.t_rp {
                                 out.push(AuditViolation {
                                     constraint: "tRP",
-                                    detail: format!("bank {bank}: ACT at {cycle} < PRE {p} + tRP {}", t.t_rp),
+                                    detail: format!(
+                                        "bank {bank}: ACT at {cycle} < PRE {p} + tRP {}",
+                                        t.t_rp
+                                    ),
                                 });
                             }
                         }
@@ -247,7 +255,10 @@ impl Audit {
                             if cycle < a + t.t_rc() {
                                 out.push(AuditViolation {
                                     constraint: "tRC",
-                                    detail: format!("bank {bank}: ACT at {cycle} < ACT {a} + tRC {}", t.t_rc()),
+                                    detail: format!(
+                                        "bank {bank}: ACT at {cycle} < ACT {a} + tRC {}",
+                                        t.t_rc()
+                                    ),
                                 });
                             }
                         }
@@ -258,14 +269,19 @@ impl Audit {
                         if !open {
                             out.push(AuditViolation {
                                 constraint: "PRE-on-idle",
-                                detail: format!("bank {bank}: precharge at {cycle} with no open row"),
+                                detail: format!(
+                                    "bank {bank}: precharge at {cycle} with no open row"
+                                ),
                             });
                         }
                         if let Some(a) = last_act {
                             if cycle < a + t.t_ras {
                                 out.push(AuditViolation {
                                     constraint: "tRAS",
-                                    detail: format!("bank {bank}: PRE at {cycle} < ACT {a} + tRAS {}", t.t_ras),
+                                    detail: format!(
+                                        "bank {bank}: PRE at {cycle} < ACT {a} + tRAS {}",
+                                        t.t_ras
+                                    ),
                                 });
                             }
                         }
@@ -273,7 +289,10 @@ impl Audit {
                             if cycle < r + t.t_rtp {
                                 out.push(AuditViolation {
                                     constraint: "tRTP",
-                                    detail: format!("bank {bank}: PRE at {cycle} < RD {r} + tRTP {}", t.t_rtp),
+                                    detail: format!(
+                                        "bank {bank}: PRE at {cycle} < RD {r} + tRTP {}",
+                                        t.t_rtp
+                                    ),
                                 });
                             }
                         }
@@ -331,7 +350,10 @@ impl Audit {
             if cycle < a + t.t_rcd {
                 out.push(AuditViolation {
                     constraint: "tRCD",
-                    detail: format!("bank {bank}: column at {cycle} < ACT {a} + tRCD {}", t.t_rcd),
+                    detail: format!(
+                        "bank {bank}: column at {cycle} < ACT {a} + tRCD {}",
+                        t.t_rcd
+                    ),
                 });
             }
         }
@@ -339,7 +361,10 @@ impl Audit {
             if cycle < c + t.t_ccd {
                 out.push(AuditViolation {
                     constraint: "tCCD",
-                    detail: format!("bank {bank}: column at {cycle} < column {c} + tCCD {}", t.t_ccd),
+                    detail: format!(
+                        "bank {bank}: column at {cycle} < column {c} + tCCD {}",
+                        t.t_ccd
+                    ),
                 });
             }
         }
@@ -390,12 +415,32 @@ mod tests {
     fn clean_sequence_passes() {
         let t = timing();
         let mut audit = Audit::new();
-        audit.record(AuditEvent::Slot { cycle: 0, bus: BusKind::Row });
-        audit.record(AuditEvent::Act { bank: 0, row: 0, cycle: 0 });
-        audit.record(AuditEvent::Slot { cycle: t.t_rcd, bus: BusKind::Column });
-        audit.record(AuditEvent::ColRd { bank: 0, cycle: t.t_rcd, external: true });
-        audit.record(AuditEvent::Slot { cycle: t.t_ras, bus: BusKind::Row });
-        audit.record(AuditEvent::Pre { bank: 0, cycle: t.t_ras });
+        audit.record(AuditEvent::Slot {
+            cycle: 0,
+            bus: BusKind::Row,
+        });
+        audit.record(AuditEvent::Act {
+            bank: 0,
+            row: 0,
+            cycle: 0,
+        });
+        audit.record(AuditEvent::Slot {
+            cycle: t.t_rcd,
+            bus: BusKind::Column,
+        });
+        audit.record(AuditEvent::ColRd {
+            bank: 0,
+            cycle: t.t_rcd,
+            external: true,
+        });
+        audit.record(AuditEvent::Slot {
+            cycle: t.t_ras,
+            bus: BusKind::Row,
+        });
+        audit.record(AuditEvent::Pre {
+            bank: 0,
+            cycle: t.t_ras,
+        });
         assert_eq!(audit.validate(&t), vec![]);
         assert_eq!(audit.len(), 6);
     }
@@ -404,8 +449,16 @@ mod tests {
     fn trcd_violation_detected() {
         let t = timing();
         let mut audit = Audit::new();
-        audit.record(AuditEvent::Act { bank: 0, row: 0, cycle: 0 });
-        audit.record(AuditEvent::ColRd { bank: 0, cycle: t.t_rcd - 1, external: false });
+        audit.record(AuditEvent::Act {
+            bank: 0,
+            row: 0,
+            cycle: 0,
+        });
+        audit.record(AuditEvent::ColRd {
+            bank: 0,
+            cycle: t.t_rcd - 1,
+            external: false,
+        });
         let v = audit.validate(&t);
         assert!(v.iter().any(|x| x.constraint == "tRCD"), "{v:?}");
     }
@@ -415,7 +468,11 @@ mod tests {
         let t = timing();
         let mut audit = Audit::new();
         for i in 0..5 {
-            audit.record(AuditEvent::Act { bank: i, row: 0, cycle: (i as Cycle) * t.t_rrd });
+            audit.record(AuditEvent::Act {
+                bank: i,
+                row: 0,
+                cycle: (i as Cycle) * t.t_rrd,
+            });
         }
         let v = audit.validate(&t);
         assert!(v.iter().any(|x| x.constraint == "tFAW"), "{v:?}");
@@ -426,7 +483,11 @@ mod tests {
         let t = timing();
         let mut audit = Audit::new();
         for bank in 0..4 {
-            audit.record(AuditEvent::Act { bank, row: 0, cycle: 100 });
+            audit.record(AuditEvent::Act {
+                bank,
+                row: 0,
+                cycle: 100,
+            });
         }
         let v = audit.validate(&t);
         assert!(v.iter().all(|x| x.constraint != "tRRD"), "{v:?}");
@@ -436,14 +497,26 @@ mod tests {
     fn command_slot_crowding_detected() {
         let t = timing();
         let mut audit = Audit::new();
-        audit.record(AuditEvent::Slot { cycle: 0, bus: BusKind::Column });
-        audit.record(AuditEvent::Slot { cycle: 1, bus: BusKind::Column });
+        audit.record(AuditEvent::Slot {
+            cycle: 0,
+            bus: BusKind::Column,
+        });
+        audit.record(AuditEvent::Slot {
+            cycle: 1,
+            bus: BusKind::Column,
+        });
         let v = audit.validate(&t);
         assert!(v.iter().any(|x| x.constraint == "tCMD"), "{v:?}");
         // Different buses never contend for slots.
         let mut audit = Audit::new();
-        audit.record(AuditEvent::Slot { cycle: 0, bus: BusKind::Row });
-        audit.record(AuditEvent::Slot { cycle: 1, bus: BusKind::Column });
+        audit.record(AuditEvent::Slot {
+            cycle: 0,
+            bus: BusKind::Row,
+        });
+        audit.record(AuditEvent::Slot {
+            cycle: 1,
+            bus: BusKind::Column,
+        });
         assert!(audit.validate(&t).is_empty());
     }
 
@@ -452,7 +525,11 @@ mod tests {
         let t = timing();
         let mut audit = Audit::new();
         audit.record(AuditEvent::Ref { cycle: 1000 });
-        audit.record(AuditEvent::Act { bank: 0, row: 0, cycle: 1000 + t.t_rfc - 1 });
+        audit.record(AuditEvent::Act {
+            bank: 0,
+            row: 0,
+            cycle: 1000 + t.t_rfc - 1,
+        });
         let v = audit.validate(&t);
         assert!(v.iter().any(|x| x.constraint == "tRFC"), "{v:?}");
     }
@@ -461,7 +538,11 @@ mod tests {
     fn column_on_idle_bank_detected() {
         let t = timing();
         let mut audit = Audit::new();
-        audit.record(AuditEvent::ColRd { bank: 0, cycle: 50, external: true });
+        audit.record(AuditEvent::ColRd {
+            bank: 0,
+            cycle: 50,
+            external: true,
+        });
         let v = audit.validate(&t);
         assert!(v.iter().any(|x| x.constraint == "COL-on-idle"), "{v:?}");
     }

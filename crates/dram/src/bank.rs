@@ -7,6 +7,7 @@
 
 use crate::error::DramError;
 use crate::timing::{Cycle, Timing};
+use newton_trace::{BankClass, Residency, ResidencyTracker};
 
 /// The row-buffer state of one bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,9 @@ pub struct Bank {
     /// Total cycles this bank has spent with a row open (energy accounting;
     /// the open interval in progress is added at precharge time).
     open_cycles: Cycle,
+    /// Cycle-attribution across idle/row-open/precharging/refreshing/
+    /// computing states; every cycle lands in exactly one class.
+    residency: ResidencyTracker,
 }
 
 impl Bank {
@@ -68,6 +72,7 @@ impl Bank {
             earliest_col: 0,
             earliest_pre: 0,
             open_cycles: 0,
+            residency: ResidencyTracker::new(),
         }
     }
 
@@ -81,6 +86,13 @@ impl Bank {
     #[must_use]
     pub fn open_cycles(&self) -> Cycle {
         self.open_cycles
+    }
+
+    /// Cycle attribution from cycle 0 through `end`, with every cycle in
+    /// exactly one [`BankClass`] (so the classes sum to `end`).
+    #[must_use]
+    pub fn residency(&self, end: Cycle) -> Residency {
+        self.residency.snapshot(end)
     }
 
     /// Earliest legal cycle for an ACT, assuming the bank is idle.
@@ -124,6 +136,7 @@ impl Bank {
             });
         }
         self.state = BankState::Active { row };
+        self.residency.transition(cycle, BankClass::RowOpen);
         self.last_act = Some(cycle);
         self.earliest_col = cycle + t.t_rcd;
         self.earliest_pre = cycle + t.t_ras;
@@ -153,7 +166,11 @@ impl Bank {
             BankState::Idle => {
                 return Err(DramError::BankState {
                     bank: self.index,
-                    attempted: if is_write { "column write" } else { "column read" },
+                    attempted: if is_write {
+                        "column write"
+                    } else {
+                        "column read"
+                    },
                     actual: "Idle".into(),
                 })
             }
@@ -210,17 +227,24 @@ impl Bank {
             self.open_cycles += cycle - act;
         }
         self.state = BankState::Idle;
+        self.residency.transient(
+            cycle,
+            BankClass::Precharging,
+            cycle + t.t_rp,
+            BankClass::Idle,
+        );
         self.earliest_act = self.earliest_act.max(cycle + t.t_rp);
         Ok(())
     }
 
-    /// Blocks the bank until `until` (used for all-bank refresh: the bank
-    /// must already be idle; the next ACT may not start before tRFC ends).
+    /// Blocks the bank from `cycle` until `until` (used for all-bank
+    /// refresh: the bank must already be idle; the next ACT may not start
+    /// before tRFC ends).
     ///
     /// # Errors
     ///
     /// [`DramError::BankState`] if a row is open when refresh starts.
-    pub fn block_for_refresh(&mut self, until: Cycle) -> Result<(), DramError> {
+    pub fn block_for_refresh(&mut self, cycle: Cycle, until: Cycle) -> Result<(), DramError> {
         if let BankState::Active { row } = self.state {
             return Err(DramError::BankState {
                 bank: self.index,
@@ -228,8 +252,22 @@ impl Bank {
                 actual: format!("Active {{ row: {row} }}"),
             });
         }
+        self.residency
+            .transient(cycle, BankClass::Refreshing, until, BankClass::Idle);
         self.earliest_act = self.earliest_act.max(until);
         Ok(())
+    }
+
+    /// Marks an AiM-internal column access (COMP/MAC) at `cycle`: the bank
+    /// counts as *computing* for the tCCD burst, then returns to row-open.
+    /// Called by the channel after a successful internal `column_access`.
+    pub fn note_internal_access(&mut self, cycle: Cycle, t: &Timing) {
+        self.residency.transient(
+            cycle,
+            BankClass::Computing,
+            cycle + t.t_ccd,
+            BankClass::RowOpen,
+        );
     }
 }
 
@@ -332,9 +370,38 @@ mod tests {
     fn refresh_blocks_until_trfc_and_requires_idle() {
         let t = timing();
         let mut b = Bank::new(0);
-        b.block_for_refresh(500).unwrap();
+        b.block_for_refresh(100, 500).unwrap();
         assert_eq!(b.earliest_activate(), 500);
         b.activate(500, 0, &t).unwrap();
-        assert!(b.block_for_refresh(600).is_err());
+        assert!(b.block_for_refresh(600, 700).is_err());
+    }
+
+    #[test]
+    fn residency_classes_sum_to_elapsed() {
+        let t = timing();
+        let mut b = Bank::new(0);
+        b.activate(10, 0, &t).unwrap();
+        b.column_access(10 + t.t_rcd, false, &t).unwrap();
+        b.precharge(10 + t.t_ras, &t).unwrap();
+        let end = 10 + t.t_ras + t.t_rp + 25;
+        let r = b.residency(end);
+        assert_eq!(r.total(), end);
+        assert_eq!(r.row_open, t.t_ras);
+        assert_eq!(r.precharging, t.t_rp);
+        assert_eq!(r.idle, end - t.t_ras - t.t_rp);
+    }
+
+    #[test]
+    fn internal_access_counts_as_computing() {
+        let t = timing();
+        let mut b = Bank::new(0);
+        b.activate(0, 0, &t).unwrap();
+        b.column_access(t.t_rcd, false, &t).unwrap();
+        b.note_internal_access(t.t_rcd, &t);
+        let end = t.t_rcd + 10 * t.t_ccd;
+        let r = b.residency(end);
+        assert_eq!(r.computing, t.t_ccd);
+        assert_eq!(r.row_open, end - t.t_ccd);
+        assert_eq!(r.total(), end);
     }
 }

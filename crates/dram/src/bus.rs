@@ -14,12 +14,16 @@
 
 use crate::error::DramError;
 use crate::timing::{Cycle, Timing};
+use newton_trace::Log2Histogram;
 
 /// The shared command bus: one command per slot, slots spaced by tCMD.
 #[derive(Debug, Clone, Default)]
 pub struct CommandBus {
     last_issue: Option<Cycle>,
     issued: u64,
+    /// Distribution of gaps between consecutive slots (in cycles); a bus
+    /// pinned at tCMD is saturated, long tails are idle command bandwidth.
+    gaps: Log2Histogram,
 }
 
 impl CommandBus {
@@ -54,6 +58,9 @@ impl CommandBus {
                 bank: None,
             });
         }
+        if let Some(last) = self.last_issue {
+            self.gaps.record(cycle - last);
+        }
         self.last_issue = Some(cycle);
         self.issued += 1;
         Ok(())
@@ -70,6 +77,13 @@ impl CommandBus {
     #[must_use]
     pub fn last_issue(&self) -> Option<Cycle> {
         self.last_issue
+    }
+
+    /// Distribution of inter-slot gaps (cycles between consecutive
+    /// commands). Empty until at least two commands have issued.
+    #[must_use]
+    pub fn slot_gaps(&self) -> &Log2Histogram {
+        &self.gaps
     }
 }
 
@@ -156,6 +170,19 @@ mod tests {
         bus.issue(100, &t).unwrap();
         // A gap larger than tCMD is always fine.
         bus.issue(100 + 10 * t.t_cmd, &t).unwrap();
+    }
+
+    #[test]
+    fn slot_gaps_record_inter_command_spacing() {
+        let t = timing();
+        let mut bus = CommandBus::new();
+        bus.issue(0, &t).unwrap();
+        bus.issue(t.t_cmd, &t).unwrap();
+        bus.issue(t.t_cmd + 100, &t).unwrap();
+        let gaps = bus.slot_gaps();
+        assert_eq!(gaps.count(), 2); // first issue has no predecessor
+        assert_eq!(gaps.sum(), t.t_cmd + 100);
+        assert_eq!(gaps.max(), 100);
     }
 
     #[test]

@@ -26,6 +26,22 @@ use crate::faw::FawTracker;
 use crate::stats::{ChannelStats, RunSummary};
 use crate::storage::Storage;
 use crate::timing::{Cycle, Timing};
+use newton_trace::{BankClass, Log2Histogram, TraceBus, TraceEvent, TraceSink};
+
+/// Holder for the optional trace sink; manual `Debug` because trait
+/// objects have none.
+#[derive(Default)]
+struct SinkSlot(Option<Box<dyn TraceSink>>);
+
+impl std::fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "SinkSlot(attached)"
+        } else {
+            "SinkSlot(none)"
+        })
+    }
+}
 
 /// One DRAM (pseudo-)channel with full timing and functional state.
 ///
@@ -45,6 +61,18 @@ pub struct Channel {
     next_refresh_due: Cycle,
     refresh_enabled: bool,
     audit: Option<Audit>,
+    /// Optional structured-trace consumer; `None` (the default) keeps the
+    /// instrumented issue paths to one branch per site.
+    sink: SinkSlot,
+    /// Cycle of the first command issued, if any (drives the summary's
+    /// activity span).
+    first_activity: Option<Cycle>,
+    /// Cycle of the most recent ACT on any bank.
+    last_act: Option<Cycle>,
+    /// Gaps between consecutive activates (any bank).
+    act_gaps: Log2Histogram,
+    /// Queue latencies reported by scheduling controllers.
+    queue_latency: Log2Histogram,
 }
 
 impl Channel {
@@ -68,6 +96,11 @@ impl Channel {
             next_refresh_due: timing.t_refi,
             refresh_enabled: true,
             audit: None,
+            sink: SinkSlot::default(),
+            first_activity: None,
+            last_act: None,
+            act_gaps: Log2Histogram::new(),
+            queue_latency: Log2Histogram::new(),
             config,
             timing,
         })
@@ -164,6 +197,50 @@ impl Channel {
         if let Some(a) = &mut self.audit {
             a.record(event);
         }
+    }
+
+    /// Attaches a trace sink; every subsequent command, bank-state change,
+    /// data burst, and queue-latency sample is reported to it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.0 = Some(sink);
+    }
+
+    /// Whether a trace sink is currently attached.
+    #[must_use]
+    pub fn has_trace_sink(&self) -> bool {
+        self.sink.0.is_some()
+    }
+
+    /// Detaches and returns the trace sink (flushed), if one was attached.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.sink.0.take();
+        if let Some(s) = &mut sink {
+            s.flush();
+        }
+        sink
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(s) = &mut self.sink.0 {
+            s.record(&event);
+        }
+    }
+
+    /// Marks `cycle` as simulation activity (for the activity-span start).
+    #[inline]
+    fn note_activity(&mut self, cycle: Cycle) {
+        if self.first_activity.is_none() {
+            self.first_activity = Some(cycle);
+        }
+    }
+
+    /// Reports that a scheduling controller issued a request at `cycle`
+    /// after it waited `waited` cycles in queue. Folded into the summary's
+    /// queue-latency histogram and traced when a sink is attached.
+    pub fn record_queue_latency(&mut self, cycle: Cycle, waited: Cycle) {
+        self.queue_latency.record(waited);
+        self.emit(TraceEvent::QueueLatency { cycle, waited });
     }
 
     // ------------------------------------------------------------------
@@ -265,7 +342,10 @@ impl Channel {
             }
         }
         self.row_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Row,
+        });
         for &(bank, row) in pairs {
             self.banks[bank].activate(cycle, row, &self.timing)?;
             self.record(AuditEvent::Act { bank, row, cycle });
@@ -274,6 +354,26 @@ impl Channel {
         self.stats.activates += pairs.len() as u64;
         if pairs.len() > 1 {
             self.stats.ganged_commands += 1;
+        }
+        self.note_activity(cycle);
+        if let Some(last) = self.last_act {
+            self.act_gaps.record(cycle - last);
+        }
+        self.last_act = Some(cycle);
+        if self.sink.0.is_some() {
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Row,
+                label: if pairs.len() > 1 { "G_ACT" } else { "ACT" },
+                bank_ops: pairs.len() as u32,
+            });
+            for &(bank, _) in pairs {
+                self.emit(TraceEvent::BankState {
+                    cycle,
+                    bank: bank as u32,
+                    class: BankClass::RowOpen,
+                });
+            }
         }
         Ok(cycle)
     }
@@ -320,12 +420,35 @@ impl Channel {
     ) -> Result<(Cycle, Vec<u8>), DramError> {
         self.check_bank(bank)?;
         self.col_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Column,
+        });
         let row = self.banks[bank].column_access(cycle, false, &self.timing)?;
-        self.data_bus
-            .transfer(cycle + self.timing.t_aa, self.config.col_bytes(), &self.timing)?;
-        self.record(AuditEvent::ColRd { bank, cycle, external: true });
+        self.data_bus.transfer(
+            cycle + self.timing.t_aa,
+            self.config.col_bytes(),
+            &self.timing,
+        )?;
+        self.record(AuditEvent::ColRd {
+            bank,
+            cycle,
+            external: true,
+        });
         self.stats.col_reads_external += 1;
+        self.note_activity(cycle);
+        if self.sink.0.is_some() {
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Column,
+                label: "RD",
+                bank_ops: 1,
+            });
+            self.emit(TraceEvent::DataBurst {
+                cycle: cycle + self.timing.t_aa,
+                bytes: self.config.col_bytes() as u64,
+            });
+        }
         let data = self.storage.column(bank, row, col)?.to_vec();
         Ok((cycle, data))
     }
@@ -345,12 +468,28 @@ impl Channel {
     ) -> Result<Cycle, DramError> {
         self.check_bank(bank)?;
         self.col_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Column,
+        });
         let row = self.banks[bank].column_access(cycle, true, &self.timing)?;
         self.data_bus
             .transfer(cycle + self.timing.t_aa, data.len(), &self.timing)?;
         self.record(AuditEvent::ColWr { bank, cycle });
         self.stats.col_writes_external += 1;
+        self.note_activity(cycle);
+        if self.sink.0.is_some() {
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Column,
+                label: "WR",
+                bank_ops: 1,
+            });
+            self.emit(TraceEvent::DataBurst {
+                cycle: cycle + self.timing.t_aa,
+                bytes: data.len() as u64,
+            });
+        }
         self.storage.write_column(bank, row, col, data)?;
         Ok(cycle)
     }
@@ -390,12 +529,20 @@ impl Channel {
             }
         }
         self.col_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Column,
+        });
         let audit_on = self.audit.is_some();
         for &(bank, col) in pairs {
             let row = self.banks[bank].column_access(cycle, false, &self.timing)?;
+            self.banks[bank].note_internal_access(cycle, &self.timing);
             if audit_on {
-                self.record(AuditEvent::ColRd { bank, cycle, external: false });
+                self.record(AuditEvent::ColRd {
+                    bank,
+                    cycle,
+                    external: false,
+                });
             }
             let data = self.storage.column(bank, row, col)?;
             sink(bank, data);
@@ -403,6 +550,22 @@ impl Channel {
         self.stats.col_reads_internal += pairs.len() as u64;
         if pairs.len() > 1 {
             self.stats.ganged_commands += 1;
+        }
+        self.note_activity(cycle);
+        if self.sink.0.is_some() {
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Column,
+                label: "COMP",
+                bank_ops: pairs.len() as u32,
+            });
+            for &(bank, _) in pairs {
+                self.emit(TraceEvent::BankState {
+                    cycle,
+                    bank: bank as u32,
+                    class: BankClass::Computing,
+                });
+            }
         }
         Ok(cycle)
     }
@@ -414,12 +577,32 @@ impl Channel {
     /// # Errors
     ///
     /// Command-bus or data-bus violations.
-    pub fn issue_broadcast_write(&mut self, cycle: Cycle, bytes: usize) -> Result<Cycle, DramError> {
+    pub fn issue_broadcast_write(
+        &mut self,
+        cycle: Cycle,
+        bytes: usize,
+    ) -> Result<Cycle, DramError> {
         self.col_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Column,
+        });
         self.data_bus
             .transfer(cycle + self.timing.t_aa, bytes, &self.timing)?;
         self.stats.broadcast_bytes += bytes as u64;
+        self.note_activity(cycle);
+        if self.sink.0.is_some() {
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Column,
+                label: "GWRITE",
+                bank_ops: 0,
+            });
+            self.emit(TraceEvent::DataBurst {
+                cycle: cycle + self.timing.t_aa,
+                bytes: bytes as u64,
+            });
+        }
         Ok(cycle)
     }
 
@@ -440,9 +623,25 @@ impl Channel {
     /// Command-bus or data-bus violations.
     pub fn issue_result_read(&mut self, cycle: Cycle, bytes: usize) -> Result<Cycle, DramError> {
         self.col_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Column,
+        });
         self.data_bus
             .transfer(cycle + self.timing.t_aa, bytes, &self.timing)?;
+        self.note_activity(cycle);
+        if self.sink.0.is_some() {
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Column,
+                label: "READRES",
+                bank_ops: 0,
+            });
+            self.emit(TraceEvent::DataBurst {
+                cycle: cycle + self.timing.t_aa,
+                bytes: bytes as u64,
+            });
+        }
         Ok(cycle)
     }
 
@@ -462,7 +661,17 @@ impl Channel {
     /// Command-bus violations.
     pub fn issue_control_command(&mut self, cycle: Cycle) -> Result<Cycle, DramError> {
         self.col_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Column });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Column,
+        });
+        self.note_activity(cycle);
+        self.emit(TraceEvent::Command {
+            cycle,
+            bus: TraceBus::Column,
+            label: "CTRL",
+            bank_ops: 0,
+        });
         Ok(cycle)
     }
 
@@ -503,10 +712,27 @@ impl Channel {
     pub fn issue_precharge(&mut self, cycle: Cycle, bank: usize) -> Result<Cycle, DramError> {
         self.check_bank(bank)?;
         self.row_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Row,
+        });
         self.banks[bank].precharge(cycle, &self.timing)?;
         self.record(AuditEvent::Pre { bank, cycle });
         self.stats.precharges += 1;
+        self.note_activity(cycle);
+        if self.sink.0.is_some() {
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Row,
+                label: "PRE",
+                bank_ops: 1,
+            });
+            self.emit(TraceEvent::BankState {
+                cycle,
+                bank: bank as u32,
+                class: BankClass::Precharging,
+            });
+        }
         Ok(cycle)
     }
 
@@ -528,12 +754,22 @@ impl Channel {
             }
         }
         self.row_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Row,
+        });
         let mut closed = 0;
         for bank in 0..self.banks.len() {
             if self.banks[bank].state().open_row().is_some() {
                 self.banks[bank].precharge(cycle, &self.timing)?;
                 self.record(AuditEvent::Pre { bank, cycle });
+                if self.sink.0.is_some() {
+                    self.emit(TraceEvent::BankState {
+                        cycle,
+                        bank: bank as u32,
+                        class: BankClass::Precharging,
+                    });
+                }
                 closed += 1;
             }
         }
@@ -541,6 +777,13 @@ impl Channel {
         if closed > 1 {
             self.stats.ganged_commands += 1;
         }
+        self.note_activity(cycle);
+        self.emit(TraceEvent::Command {
+            cycle,
+            bus: TraceBus::Row,
+            label: "PREA",
+            bank_ops: closed as u32,
+        });
         Ok(cycle)
     }
 
@@ -577,14 +820,34 @@ impl Channel {
             }
         }
         self.row_bus.issue(cycle, &self.timing)?;
-        self.record(AuditEvent::Slot { cycle, bus: BusKind::Row });
+        self.record(AuditEvent::Slot {
+            cycle,
+            bus: BusKind::Row,
+        });
         self.record(AuditEvent::Ref { cycle });
         let until = cycle + self.timing.t_rfc;
         for b in &mut self.banks {
-            b.block_for_refresh(until)?;
+            b.block_for_refresh(cycle, until)?;
         }
         self.stats.refreshes += 1;
         self.next_refresh_due = cycle + self.timing.t_refi;
+        self.note_activity(cycle);
+        if self.sink.0.is_some() {
+            let banks = self.banks.len();
+            self.emit(TraceEvent::Command {
+                cycle,
+                bus: TraceBus::Row,
+                label: "REF",
+                bank_ops: banks as u32,
+            });
+            for bank in 0..banks {
+                self.emit(TraceEvent::BankState {
+                    cycle,
+                    bank: bank as u32,
+                    class: BankClass::Refreshing,
+                });
+            }
+        }
         Ok(cycle)
     }
 
@@ -592,7 +855,8 @@ impl Channel {
     // Summary
     // ------------------------------------------------------------------
 
-    /// Snapshot of counters and elapsed time through `end_cycle`.
+    /// Snapshot of counters, per-bank cycle attribution, and latency
+    /// histograms for the span through `end_cycle`.
     #[must_use]
     pub fn summary(&self, end_cycle: Cycle) -> RunSummary {
         RunSummary {
@@ -600,8 +864,14 @@ impl Channel {
             commands: self.row_bus.issued() + self.col_bus.issued(),
             external_bytes: self.data_bus.bytes(),
             bank_open_cycles: self.banks.iter().map(Bank::open_cycles).sum(),
+            activity_start: self.first_activity.unwrap_or(0),
             end_cycle,
             tck_ns: self.timing.tck_ns,
+            residency: self.banks.iter().map(|b| b.residency(end_cycle)).collect(),
+            queue_latency: self.queue_latency.clone(),
+            row_slot_gaps: self.row_bus.slot_gaps().clone(),
+            col_slot_gaps: self.col_bus.slot_gaps().clone(),
+            act_gaps: self.act_gaps.clone(),
         }
     }
 }
@@ -680,9 +950,13 @@ mod tests {
         let rd = ch.earliest_ganged_column_read(c, &[0, 1, 2, 3]);
         assert_eq!(rd, c + t.t_rcd);
         let mut seen = Vec::new();
-        ch.issue_ganged_column_read_internal(rd, &[(0, 5), (1, 5), (2, 5), (3, 5)], |bank, data| {
-            seen.push((bank, data[0]));
-        })
+        ch.issue_ganged_column_read_internal(
+            rd,
+            &[(0, 5), (1, 5), (2, 5), (3, 5)],
+            |bank, data| {
+                seen.push((bank, data[0]));
+            },
+        )
         .unwrap();
         assert_eq!(seen, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
         let s = ch.summary(rd);
@@ -697,7 +971,9 @@ mod tests {
         let mut ch = channel();
         let t = timing();
         ch.issue_activate(0, 0, 0).unwrap();
-        let err = ch.issue_column_read_external(t.t_rcd - 1, 0, 0).unwrap_err();
+        let err = ch
+            .issue_column_read_external(t.t_rcd - 1, 0, 0)
+            .unwrap_err();
         assert!(matches!(err, DramError::Timing { .. }));
         // Row bus slot / tRRD also enforced: second ACT at the same cycle.
         let err = ch.issue_activate(0, 1, 0).unwrap_err();
@@ -827,6 +1103,78 @@ mod tests {
     }
 
     #[test]
+    fn trace_sink_sees_commands_bank_states_and_bursts() {
+        use newton_trace::{SharedRecordingSink, TraceEvent};
+        let mut ch = channel();
+        let t = timing();
+        let handle = SharedRecordingSink::new();
+        ch.set_trace_sink(Box::new(handle.clone()));
+        assert!(ch.has_trace_sink());
+        ch.issue_ganged_activate(0, &[(0, 0), (1, 0)]).unwrap();
+        ch.issue_ganged_column_read_internal(t.t_rcd, &[(0, 0), (1, 0)], |_, _| {})
+            .unwrap();
+        ch.issue_column_read_external(t.t_rcd + t.t_ccd, 0, 1)
+            .unwrap();
+        ch.record_queue_latency(t.t_rcd + t.t_ccd, 7);
+        assert!(ch.take_trace_sink().is_some());
+        assert!(!ch.has_trace_sink());
+
+        let events = handle.events();
+        let commands: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Command {
+                    label, bank_ops, ..
+                } => Some((*label, *bank_ops)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(commands, vec![("G_ACT", 2), ("COMP", 2), ("RD", 1)]);
+        let bursts = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DataBurst { .. }))
+            .count();
+        assert_eq!(bursts, 1, "only the external read crosses the PHY");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::QueueLatency { waited: 7, .. })));
+        // Detached: further commands are not traced.
+        let before = handle.len();
+        ch.issue_column_read_external(t.t_rcd + 2 * t.t_ccd, 1, 1)
+            .unwrap();
+        assert_eq!(handle.len(), before);
+    }
+
+    #[test]
+    fn summary_residency_sums_to_elapsed_for_every_bank() {
+        let mut ch = channel();
+        let t = timing();
+        ch.issue_ganged_activate(0, &[(0, 0), (1, 0), (2, 0), (3, 0)])
+            .unwrap();
+        ch.issue_ganged_column_read_internal(t.t_rcd, &[(0, 0), (1, 0), (2, 0), (3, 0)], |_, _| {})
+            .unwrap();
+        let p = ch.earliest_precharge_all();
+        ch.issue_precharge_all(p).unwrap();
+        let end = p + t.t_rp + 50;
+        let s = ch.summary(end);
+        assert_eq!(s.residency.len(), 16);
+        for (bank, r) in s.residency.iter().enumerate() {
+            assert_eq!(r.total(), end, "bank {bank} residency must sum to elapsed");
+        }
+        // The four touched banks computed for one tCCD each.
+        for r in &s.residency[..4] {
+            assert_eq!(r.computing, t.t_ccd);
+            assert_eq!(r.precharging, t.t_rp);
+        }
+        // Untouched banks were idle the whole time.
+        assert_eq!(s.residency[8].idle, end);
+        // Activity metadata: first command at cycle 0, gaps recorded.
+        assert_eq!(s.activity_start, 0);
+        assert_eq!(s.row_slot_gaps.count(), 1);
+        assert_eq!(s.col_slot_gaps.count(), 0);
+    }
+
+    #[test]
     fn external_read_stream_saturates_at_tccd() {
         // Back-to-back reads from two banks reach one column per tCCD —
         // the external-bandwidth ceiling the Ideal Non-PIM model assumes.
@@ -839,7 +1187,8 @@ mod tests {
         for i in 0..n {
             let bank = (i % 2) as usize;
             let rd = ch.earliest_column_read(c, bank);
-            ch.issue_column_read_external(rd, bank, (i / 2 % 32) as usize).unwrap();
+            ch.issue_column_read_external(rd, bank, (i / 2 % 32) as usize)
+                .unwrap();
             c = rd;
         }
         // First read at tRCD, each subsequent exactly tCCD later.

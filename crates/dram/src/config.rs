@@ -232,7 +232,11 @@ mod tests {
         let ddr4 = DramConfig::ddr4_like();
         for cfg in [&gddr6, &lpddr4, &ddr4] {
             cfg.validate().unwrap();
-            assert_eq!(cfg.col_bytes(), 32, "all families keep 16 bf16 per column I/O");
+            assert_eq!(
+                cfg.col_bytes(),
+                32,
+                "all families keep 16 bf16 per column I/O"
+            );
         }
         // GDDR6 is the fastest per channel, LPDDR4 the slowest.
         assert!(gddr6.external_bandwidth_bytes_per_ns() > ddr4.external_bandwidth_bytes_per_ns());

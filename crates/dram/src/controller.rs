@@ -200,8 +200,7 @@ impl FrFcfs {
             // request's worst-case service window (Sec. III-E policy).
             let margin = t.t_rp + t.t_rc() + 8 * t.t_cmd;
             if channel.refresh_due() <= at + margin {
-                let any_open =
-                    (0..channel.config().banks).any(|b| channel.open_row(b).is_some());
+                let any_open = (0..channel.config().banks).any(|b| channel.open_row(b).is_some());
                 let ready = if any_open {
                     let p = channel.earliest_precharge_all().max(floor);
                     channel.issue_precharge_all(p)?;
@@ -242,6 +241,7 @@ impl FrFcfs {
                         }
                         None => channel.issue_column_read_external(at, r.bank, r.col)?,
                     };
+                    channel.record_queue_latency(issue_cycle, issue_cycle - r.arrival);
                     completions.push(Completion {
                         id: r.id,
                         issue_cycle,
@@ -416,5 +416,23 @@ mod tests {
             assert_eq!(w[1] - w[0], t.t_ccd, "hits stream at the column cadence");
         }
         assert_eq!(mc.stats().row_hits, 7);
+    }
+
+    #[test]
+    fn drain_records_queue_latency_per_completion() {
+        let mut ch = channel();
+        let mut mc = FrFcfs::new(PagePolicy::Open);
+        for i in 0..8u64 {
+            mc.enqueue(read(i, 0, 0, i as usize));
+        }
+        let done = mc.drain(&mut ch, 0).unwrap();
+        let s = ch.summary(done.iter().map(|c| c.data_cycle).max().unwrap());
+        assert_eq!(s.queue_latency.count(), 8);
+        // Every request arrived at 0, so waited == issue cycle; later
+        // requests waited strictly longer than the first.
+        assert_eq!(
+            s.queue_latency.max(),
+            done.iter().map(|c| c.issue_cycle).max().unwrap()
+        );
     }
 }

@@ -60,8 +60,7 @@ pub fn parse_config(text: &str) -> Result<DramConfig, DramError> {
                 lineno + 1
             ))
         };
-        let as_usize =
-            |v: &str| v.parse::<usize>().map_err(|_| bad_value("integer"));
+        let as_usize = |v: &str| v.parse::<usize>().map_err(|_| bad_value("integer"));
         let as_f64 = |v: &str| v.parse::<f64>().map_err(|_| bad_value("numeric"));
         match key_norm.as_str() {
             "NUM_BANKS" => cfg.banks = as_usize(value)?,

@@ -1,6 +1,7 @@
 //! Event counters for performance and energy accounting.
 
 use crate::timing::Cycle;
+use newton_trace::{Log2Histogram, Residency};
 
 /// Raw event counts accumulated by a [`crate::Channel`].
 ///
@@ -38,7 +39,10 @@ impl ChannelStats {
 }
 
 /// A completed-run summary: counters plus the time span they cover.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Holds per-bank cycle attribution and latency histograms, so it is
+/// `Clone` rather than `Copy`.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunSummary {
     /// Event counts.
     pub stats: ChannelStats,
@@ -48,10 +52,24 @@ pub struct RunSummary {
     pub external_bytes: u64,
     /// Aggregate bank-open time (sum over banks), in cycles.
     pub bank_open_cycles: Cycle,
+    /// Cycle of the first command issued (0 when nothing ran).
+    pub activity_start: Cycle,
     /// Completion cycle of the measured activity.
     pub end_cycle: Cycle,
     /// Command-clock period, for converting to wall-clock.
     pub tck_ns: f64,
+    /// Per-bank cycle attribution from cycle 0 to `end_cycle`; one entry
+    /// per bank, each summing to `end_cycle`.
+    pub residency: Vec<Residency>,
+    /// Distribution of request queue latencies (issue − arrival), in
+    /// cycles, over requests drained by a scheduling controller.
+    pub queue_latency: Log2Histogram,
+    /// Inter-slot gaps on the row command bus.
+    pub row_slot_gaps: Log2Histogram,
+    /// Inter-slot gaps on the column command bus.
+    pub col_slot_gaps: Log2Histogram,
+    /// Gaps between consecutive activate commands (any bank).
+    pub act_gaps: Log2Histogram,
 }
 
 impl RunSummary {
@@ -61,14 +79,36 @@ impl RunSummary {
         self.end_cycle as f64 * self.tck_ns
     }
 
-    /// Achieved external bandwidth in bytes per nanosecond.
+    /// Cycles between the first command and completion — the span actual
+    /// work occupied, excluding any leading idle prefix.
+    #[must_use]
+    pub fn activity_span(&self) -> Cycle {
+        self.end_cycle.saturating_sub(self.activity_start)
+    }
+
+    /// Achieved external bandwidth in bytes per nanosecond, measured over
+    /// the activity span (first command to completion) rather than from
+    /// cycle 0, so a late-starting run is not under-reported.
     #[must_use]
     pub fn external_bandwidth(&self) -> f64 {
-        if self.end_cycle == 0 {
+        let span = self.activity_span();
+        if span == 0 {
             0.0
         } else {
-            self.external_bytes as f64 / self.elapsed_ns()
+            self.external_bytes as f64 / (span as f64 * self.tck_ns)
         }
+    }
+
+    /// Mean fraction of bank-cycles spent with a row open: aggregate open
+    /// time divided by `banks × end_cycle`. Zero when no time elapsed or
+    /// the summary carries no per-bank data.
+    #[must_use]
+    pub fn bank_utilization(&self) -> f64 {
+        let banks = self.residency.len() as u64;
+        if banks == 0 || self.end_cycle == 0 {
+            return 0.0;
+        }
+        self.bank_open_cycles as f64 / (banks * self.end_cycle) as f64
     }
 }
 
@@ -90,24 +130,65 @@ mod tests {
             stats,
             commands: 50,
             external_bytes: 4800,
-            bank_open_cycles: 0,
             end_cycle: 600,
             tck_ns: 1.0,
+            ..RunSummary::default()
         };
         assert_eq!(summary.elapsed_ns(), 600.0);
         assert_eq!(summary.external_bandwidth(), 8.0);
     }
 
     #[test]
+    fn bandwidth_uses_activity_span_not_cycle_zero() {
+        // Work starts at cycle 400 and ends at 600: 4800 bytes over a
+        // 200-cycle span, not the 600-cycle wall.
+        let summary = RunSummary {
+            external_bytes: 4800,
+            activity_start: 400,
+            end_cycle: 600,
+            tck_ns: 1.0,
+            ..RunSummary::default()
+        };
+        assert_eq!(summary.activity_span(), 200);
+        assert_eq!(summary.external_bandwidth(), 24.0);
+    }
+
+    #[test]
     fn zero_time_bandwidth_is_zero() {
         let summary = RunSummary {
-            stats: ChannelStats::default(),
-            commands: 0,
-            external_bytes: 0,
-            bank_open_cycles: 0,
-            end_cycle: 0,
             tck_ns: 1.0,
+            ..RunSummary::default()
         };
         assert_eq!(summary.external_bandwidth(), 0.0);
+        // A degenerate span (start == end) is also zero, not a div-by-zero.
+        let degenerate = RunSummary {
+            external_bytes: 100,
+            activity_start: 500,
+            end_cycle: 500,
+            tck_ns: 1.0,
+            ..RunSummary::default()
+        };
+        assert_eq!(degenerate.external_bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn bank_utilization_handles_zero_elapsed_and_empty_banks() {
+        use newton_trace::Residency;
+        // No banks, no time: both degenerate cases return 0.0.
+        assert_eq!(RunSummary::default().bank_utilization(), 0.0);
+        let no_time = RunSummary {
+            bank_open_cycles: 100,
+            residency: vec![Residency::default(); 4],
+            ..RunSummary::default()
+        };
+        assert_eq!(no_time.bank_utilization(), 0.0);
+        // 2 banks, 100 cycles each, 50 aggregate open cycles = 25%.
+        let busy = RunSummary {
+            bank_open_cycles: 50,
+            end_cycle: 100,
+            residency: vec![Residency::default(); 2],
+            ..RunSummary::default()
+        };
+        assert_eq!(busy.bank_utilization(), 0.25);
     }
 }

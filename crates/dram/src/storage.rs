@@ -59,9 +59,7 @@ impl Storage {
     /// [`DramError::AddressOutOfRange`] for bad indices.
     pub fn row(&self, bank: usize, row: usize) -> Result<&[u8], DramError> {
         self.check_bank_row(bank, row)?;
-        Ok(self.banks[bank][row]
-            .as_deref()
-            .unwrap_or(&self.zero_row))
+        Ok(self.banks[bank][row].as_deref().unwrap_or(&self.zero_row))
     }
 
     /// Overwrites an entire row.
@@ -130,8 +128,7 @@ impl Storage {
         }
         let row_bytes = self.row_bytes;
         let slot = &mut self.banks[bank][row];
-        let row_data =
-            slot.get_or_insert_with(|| vec![0u8; row_bytes].into_boxed_slice());
+        let row_data = slot.get_or_insert_with(|| vec![0u8; row_bytes].into_boxed_slice());
         let start = col * self.col_bytes;
         row_data[start..start + self.col_bytes].copy_from_slice(data);
         Ok(())
@@ -253,11 +250,17 @@ mod tests {
         let mut s = storage();
         assert!(matches!(
             s.write_row(0, 0, &[0u8; 100]),
-            Err(DramError::StorageSize { expected: 1024, actual: 100 })
+            Err(DramError::StorageSize {
+                expected: 1024,
+                actual: 100
+            })
         ));
         assert!(matches!(
             s.write_column(0, 0, 0, &[0u8; 31]),
-            Err(DramError::StorageSize { expected: 32, actual: 31 })
+            Err(DramError::StorageSize {
+                expected: 32,
+                actual: 31
+            })
         ));
     }
 }

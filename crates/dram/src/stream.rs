@@ -253,7 +253,9 @@ mod tests {
         let mut ch = channel();
         let t = TimingParams::hbm2e_like().to_cycles().unwrap();
         let mut reader = StreamReader::new(&mut ch);
-        let out = reader.read_rows(0, &[(0, 0), (0, 1)], |_, _, _| {}).unwrap();
+        let out = reader
+            .read_rows(0, &[(0, 0), (0, 1)], |_, _, _| {})
+            .unwrap();
         assert_eq!(out.rows_read, 2);
         assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
     }

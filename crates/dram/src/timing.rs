@@ -293,7 +293,10 @@ mod tests {
         assert_eq!(t.t_rcd_ns, 14.0);
         assert_eq!(t.t_rp_ns, 14.0);
         assert_eq!(t.t_ras_ns, 33.0);
-        assert!((22.0..=29.0).contains(&t.t_aa_ns), "tAA within Table III range");
+        assert!(
+            (22.0..=29.0).contains(&t.t_aa_ns),
+            "tAA within Table III range"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ fn controller_then_stream_share_one_channel_legally() {
             bank: (i % 8) as usize,
             row: 100 + (i / 8) as usize,
             col: (i % 32) as usize,
-            write: if i % 4 == 0 { Some(vec![i as u8; 32]) } else { None },
+            write: if i % 4 == 0 {
+                Some(vec![i as u8; 32])
+            } else {
+                None
+            },
             arrival: 0,
         });
     }
@@ -50,18 +54,16 @@ fn written_data_streams_back_out_bit_exact() {
     reader
         .read_rows(0, &rows, |ri, _, data| got[ri].extend_from_slice(data))
         .unwrap();
-    for bank in 0..3 {
+    for (bank, data) in got.iter().enumerate() {
         let expect: Vec<u8> = (0..1024).map(|i| (bank * 31 + i % 251) as u8).collect();
-        assert_eq!(got[bank], expect);
+        assert_eq!(data, &expect);
     }
 }
 
 #[test]
 fn ini_defined_device_feeds_the_whole_stack() {
-    let cfg = ini::parse_config(
-        "NUM_BANKS=4\nNUM_ROWS=128\nNUM_COLS=16\ntREFI=2000\ntRFC=200\n",
-    )
-    .unwrap();
+    let cfg = ini::parse_config("NUM_BANKS=4\nNUM_ROWS=128\nNUM_COLS=16\ntREFI=2000\ntRFC=200\n")
+        .unwrap();
     assert_eq!(cfg.row_bytes(), 512);
     let mut ch = Channel::new(cfg).unwrap();
     ch.enable_audit();
@@ -125,7 +127,14 @@ fn open_page_policy_wins_on_locality_and_loses_on_conflicts() {
     ch.disable_refresh();
     let mut mc = FrFcfs::new(PagePolicy::Open);
     for (i, &row) in conflict.iter().enumerate() {
-        mc.enqueue(Request { id: i as u64, bank: 0, row, col: i % 32, write: None, arrival: 0 });
+        mc.enqueue(Request {
+            id: i as u64,
+            bank: 0,
+            row,
+            col: i % 32,
+            write: None,
+            arrival: 0,
+        });
     }
     mc.drain(&mut ch, 0).unwrap();
     assert!(mc.stats().row_hits >= 13, "{:?}", mc.stats());
@@ -140,8 +149,16 @@ fn audit_catches_a_deliberately_broken_stream() {
     use newton_dram::audit::{Audit, AuditEvent};
     let t = DramConfig::hbm2e_like().timing.to_cycles().unwrap();
     let mut audit = Audit::new();
-    audit.record(AuditEvent::Act { bank: 0, row: 0, cycle: 0 });
-    audit.record(AuditEvent::Act { bank: 0, row: 1, cycle: 1 }); // ACT on open + tRC
+    audit.record(AuditEvent::Act {
+        bank: 0,
+        row: 0,
+        cycle: 0,
+    });
+    audit.record(AuditEvent::Act {
+        bank: 0,
+        row: 1,
+        cycle: 1,
+    }); // ACT on open + tRC
     let violations = audit.validate(&t);
     assert!(violations.iter().any(|v| v.constraint == "ACT-on-open"));
     assert!(violations.iter().any(|v| v.constraint == "tRC"));

@@ -75,6 +75,14 @@ proptest! {
         let t = *ch.timing();
         let violations = ch.audit().unwrap().validate(&t);
         prop_assert!(violations.is_empty(), "{violations:?}");
+
+        // Residency attribution: every cycle of every bank lands in
+        // exactly one class, so per-bank totals equal elapsed time.
+        let end = done.iter().map(|c| c.data_cycle).max().unwrap() + t.t_rfc;
+        let summary = ch.summary(end);
+        for (bank, r) in summary.residency.iter().enumerate() {
+            prop_assert_eq!(r.total(), end, "bank {} residency != elapsed", bank);
+        }
     }
 
     /// Reads of locations written exactly once (and never re-written)
@@ -126,5 +134,12 @@ proptest! {
         let t = *ch.timing();
         let violations = ch.audit().unwrap().validate(&t);
         prop_assert!(violations.is_empty(), "{violations:?}");
+
+        // The residency invariant must hold on arbitrary devices too.
+        let end = out.end_cycle + t.t_rfc;
+        let summary = ch.summary(end);
+        for (bank, r) in summary.residency.iter().enumerate() {
+            prop_assert_eq!(r.total(), end, "bank {} residency != elapsed", bank);
+        }
     }
 }

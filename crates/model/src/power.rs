@@ -274,7 +274,10 @@ mod tests {
         let model = PowerModel::new();
         let p = model.average_power(&ActivityCounts::default());
         assert_eq!(p.total(), 0.0);
-        assert_eq!(model.normalized(&ActivityCounts::default(), &ActivityCounts::default()), 0.0);
+        assert_eq!(
+            model.normalized(&ActivityCounts::default(), &ActivityCounts::default()),
+            0.0
+        );
     }
 
     #[test]

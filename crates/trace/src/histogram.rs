@@ -1,0 +1,170 @@
+//! Dependency-free log2-bucket histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `k >= 1` holds values in
+//! `[2^(k-1), 2^k)`. Sixty-five buckets therefore cover the full `u64`
+//! domain. The shape is coarse by design: these histograms answer "is the
+//! command queue latency tens or thousands of cycles?" with a handful of
+//! `u64` adds per sample and no allocation after construction.
+
+/// A log2-bucket histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index for `value`.
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether any sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`.
+    /// Bucket 0 is reported as `(0, 1, n)`.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| {
+                if k == 0 {
+                    (0, 1, n)
+                } else {
+                    let lo = 1u64 << (k - 1);
+                    let hi = if k == 64 { u64::MAX } else { 1u64 << k };
+                    (lo, hi, n)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_powers_of_two() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        h.record(1023);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1033);
+        assert_eq!(h.max(), 1023);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(
+            buckets,
+            vec![(0, 1, 1), (1, 2, 1), (2, 4, 2), (4, 8, 1), (512, 1024, 1)]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 112);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn extreme_values_stay_in_range() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].2, 2);
+    }
+}

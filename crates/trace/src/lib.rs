@@ -1,0 +1,46 @@
+//! Observability layer for the Newton AiM reproduction.
+//!
+//! The paper's whole evaluation (Secs. IV–V) is an exercise in cycle
+//! attribution: how many command-bus slots, bank-state cycles, and data
+//! beats each design variant spends per inference. This crate provides the
+//! plumbing every other crate uses to answer those questions:
+//!
+//! * [`sink`] — the [`TraceSink`] trait plus no-op, in-memory, and
+//!   streaming implementations. Substrates hold an
+//!   `Option<Box<dyn TraceSink + Send>>`; `None` (the default) costs one
+//!   branch per event site.
+//! * [`residency`] — per-bank cycle attribution across five states (idle,
+//!   row-open, precharging, refreshing, computing) with a
+//!   sum-equals-elapsed invariant.
+//! * [`histogram`] — dependency-free log2-bucket histograms for latency
+//!   and occupancy distributions.
+//! * [`chrome`] — Chrome trace-event JSON export, loadable in Perfetto or
+//!   `chrome://tracing` (one track per bank, one per command bus).
+//! * [`snapshot`] — versioned metrics-snapshot JSON written by the
+//!   `reproduce` harness alongside every figure/table.
+//! * [`json`] — the minimal JSON document model (writer + parser) backing
+//!   the exporters; no external dependencies.
+//!
+//! This crate sits at the bottom of the workspace dependency graph (it
+//! depends on nothing), so `newton-dram`, `newton-core`, the baselines,
+//! and the bench harness can all share one vocabulary of events and
+//! metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod chrome;
+pub mod histogram;
+pub mod json;
+pub mod residency;
+pub mod sink;
+pub mod snapshot;
+
+pub use chrome::ChromeTraceBuilder;
+pub use histogram::Log2Histogram;
+pub use json::{JsonError, JsonValue};
+pub use residency::{BankClass, Residency, ResidencyTracker};
+pub use sink::{
+    NullSink, RecordingSink, SharedRecordingSink, StreamingSink, TraceBus, TraceEvent, TraceSink,
+};
+pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};

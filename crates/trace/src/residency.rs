@@ -1,0 +1,294 @@
+//! Per-bank state-residency accounting.
+//!
+//! Every cycle of a simulated run is attributed to exactly one of five
+//! bank states, so "where did the time go" questions (the heart of the
+//! paper's Figs. 7–13 analysis) have a well-defined answer:
+//!
+//! * **idle** — precharged, no constraint pending;
+//! * **row-open** — a row is latched in the sense amplifiers;
+//! * **precharging** — the tRP window after a PRE;
+//! * **refreshing** — the tRFC window after a REF;
+//! * **computing** — an internal (AiM COMP-class) column access is
+//!   occupying the bank's MAC datapath (the tCCD window after the access).
+//!
+//! The tracker is driven by *transitions*: permanent ones (`transition`)
+//! and self-expiring ones (`transient`, e.g. precharging reverts to idle
+//! after tRP without further input). Because every cycle between
+//! transitions is credited to whichever state was live, the invariant
+//! `sum(all classes) == elapsed cycles` holds by construction — and is
+//! enforced by property tests at the workspace level.
+
+/// The residency class a bank occupies at some cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankClass {
+    /// Precharged and unconstrained.
+    Idle,
+    /// A row is open (streaming or awaiting column commands).
+    RowOpen,
+    /// Inside the tRP window after a precharge.
+    Precharging,
+    /// Inside the tRFC window after an all-bank refresh.
+    Refreshing,
+    /// Inside the tCCD window after an internal (in-DRAM compute) column
+    /// access.
+    Computing,
+}
+
+impl BankClass {
+    /// All classes, in reporting order.
+    pub const ALL: [BankClass; 5] = [
+        BankClass::Idle,
+        BankClass::RowOpen,
+        BankClass::Precharging,
+        BankClass::Refreshing,
+        BankClass::Computing,
+    ];
+
+    /// Stable lowercase name (used in snapshots and trace tracks).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BankClass::Idle => "idle",
+            BankClass::RowOpen => "row_open",
+            BankClass::Precharging => "precharging",
+            BankClass::Refreshing => "refreshing",
+            BankClass::Computing => "computing",
+        }
+    }
+}
+
+/// Accumulated cycles per residency class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Residency {
+    /// Cycles precharged and unconstrained.
+    pub idle: u64,
+    /// Cycles with a row open.
+    pub row_open: u64,
+    /// Cycles inside tRP windows.
+    pub precharging: u64,
+    /// Cycles inside tRFC windows.
+    pub refreshing: u64,
+    /// Cycles inside internal-access tCCD windows.
+    pub computing: u64,
+}
+
+impl Residency {
+    /// Cycles attributed to `class`.
+    #[must_use]
+    pub fn get(&self, class: BankClass) -> u64 {
+        match class {
+            BankClass::Idle => self.idle,
+            BankClass::RowOpen => self.row_open,
+            BankClass::Precharging => self.precharging,
+            BankClass::Refreshing => self.refreshing,
+            BankClass::Computing => self.computing,
+        }
+    }
+
+    /// Adds `cycles` to `class`.
+    pub fn add(&mut self, class: BankClass, cycles: u64) {
+        match class {
+            BankClass::Idle => self.idle += cycles,
+            BankClass::RowOpen => self.row_open += cycles,
+            BankClass::Precharging => self.precharging += cycles,
+            BankClass::Refreshing => self.refreshing += cycles,
+            BankClass::Computing => self.computing += cycles,
+        }
+    }
+
+    /// Total attributed cycles (equals elapsed cycles when produced by a
+    /// correctly driven [`ResidencyTracker`]).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.idle + self.row_open + self.precharging + self.refreshing + self.computing
+    }
+
+    /// Fraction of the total in `class` (0 when the total is 0).
+    #[must_use]
+    pub fn fraction(&self, class: BankClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(class) as f64 / total as f64
+        }
+    }
+
+    /// Folds another residency into this one.
+    pub fn merge(&mut self, other: &Residency) {
+        for class in BankClass::ALL {
+            self.add(class, other.get(class));
+        }
+    }
+
+    /// Non-idle cycles.
+    #[must_use]
+    pub fn busy(&self) -> u64 {
+        self.total() - self.idle
+    }
+}
+
+/// Attributes a bank's timeline to [`BankClass`]es from a stream of
+/// transitions at non-decreasing cycles.
+#[derive(Debug, Clone)]
+pub struct ResidencyTracker {
+    current: BankClass,
+    since: u64,
+    /// A pending self-expiry: at cycle `.0`, the current (transient) state
+    /// gives way to state `.1` unless a transition happens first.
+    revert: Option<(u64, BankClass)>,
+    totals: Residency,
+}
+
+impl Default for ResidencyTracker {
+    fn default() -> ResidencyTracker {
+        ResidencyTracker::new()
+    }
+}
+
+impl ResidencyTracker {
+    /// A tracker starting idle at cycle 0.
+    #[must_use]
+    pub fn new() -> ResidencyTracker {
+        ResidencyTracker {
+            current: BankClass::Idle,
+            since: 0,
+            revert: None,
+            totals: Residency::default(),
+        }
+    }
+
+    /// The state live at the most recent transition.
+    #[must_use]
+    pub fn current(&self) -> BankClass {
+        self.current
+    }
+
+    /// Resolves a due self-expiry at or before `cycle`.
+    fn settle(&mut self, cycle: u64) {
+        if let Some((at, then)) = self.revert {
+            if at <= cycle {
+                self.totals.add(self.current, at.saturating_sub(self.since));
+                self.current = then;
+                self.since = self.since.max(at);
+                self.revert = None;
+            }
+        }
+    }
+
+    /// Enters `class` at `cycle` (clamped to be non-decreasing).
+    pub fn transition(&mut self, cycle: u64, class: BankClass) {
+        self.settle(cycle);
+        let cycle = cycle.max(self.since);
+        self.totals.add(self.current, cycle - self.since);
+        self.current = class;
+        self.since = cycle;
+        self.revert = None;
+    }
+
+    /// Enters the transient `class` at `cycle`; unless a later transition
+    /// intervenes, the bank reverts to `then` at cycle `until`.
+    pub fn transient(&mut self, cycle: u64, class: BankClass, until: u64, then: BankClass) {
+        self.transition(cycle, class);
+        if until > self.since {
+            self.revert = Some((until, then));
+        } else {
+            self.transition(self.since, then);
+        }
+    }
+
+    /// Attribution through `end` (resolves pending expiries; the tracker
+    /// itself is unchanged). The returned totals sum to `end` when `end`
+    /// is at or after the last transition.
+    #[must_use]
+    pub fn snapshot(&self, end: u64) -> Residency {
+        let mut copy = self.clone();
+        copy.settle(end);
+        let end = end.max(copy.since);
+        copy.totals.add(copy.current, end - copy.since);
+        copy.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_from_start_to_end() {
+        let t = ResidencyTracker::new();
+        let r = t.snapshot(100);
+        assert_eq!(r.idle, 100);
+        assert_eq!(r.total(), 100);
+    }
+
+    #[test]
+    fn open_close_cycle_attributes_every_cycle() {
+        let mut t = ResidencyTracker::new();
+        t.transition(10, BankClass::RowOpen); // ACT at 10
+        t.transient(40, BankClass::Precharging, 54, BankClass::Idle); // PRE, tRP = 14
+        let r = t.snapshot(100);
+        assert_eq!(r.idle, 10 + (100 - 54));
+        assert_eq!(r.row_open, 30);
+        assert_eq!(r.precharging, 14);
+        assert_eq!(r.total(), 100);
+    }
+
+    #[test]
+    fn transient_interrupted_by_transition() {
+        let mut t = ResidencyTracker::new();
+        // Refresh until 350, but (hypothetically) a transition at 200.
+        t.transient(100, BankClass::Refreshing, 350, BankClass::Idle);
+        t.transition(200, BankClass::RowOpen);
+        let r = t.snapshot(300);
+        assert_eq!(r.refreshing, 100);
+        assert_eq!(r.row_open, 100);
+        assert_eq!(r.idle, 100);
+        assert_eq!(r.total(), 300);
+    }
+
+    #[test]
+    fn computing_reverts_to_row_open() {
+        let mut t = ResidencyTracker::new();
+        t.transition(0, BankClass::RowOpen);
+        t.transient(10, BankClass::Computing, 12, BankClass::RowOpen);
+        t.transient(12, BankClass::Computing, 14, BankClass::RowOpen);
+        let r = t.snapshot(20);
+        assert_eq!(r.computing, 4, "back-to-back COMPs chain seamlessly");
+        assert_eq!(r.row_open, 16);
+        assert_eq!(r.total(), 20);
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive_and_repeatable() {
+        let mut t = ResidencyTracker::new();
+        t.transition(5, BankClass::RowOpen);
+        assert_eq!(t.snapshot(50), t.snapshot(50));
+        assert_eq!(t.snapshot(50).total(), 50);
+        assert_eq!(t.snapshot(80).total(), 80);
+    }
+
+    #[test]
+    fn zero_length_transient_lands_in_follow_state() {
+        let mut t = ResidencyTracker::new();
+        t.transient(10, BankClass::Precharging, 10, BankClass::Idle);
+        let r = t.snapshot(20);
+        assert_eq!(r.precharging, 0);
+        assert_eq!(r.idle, 20);
+    }
+
+    #[test]
+    fn fractions_and_merge() {
+        let mut a = Residency::default();
+        a.add(BankClass::Idle, 25);
+        a.add(BankClass::RowOpen, 75);
+        assert_eq!(a.fraction(BankClass::RowOpen), 0.75);
+        assert_eq!(a.busy(), 75);
+        let mut b = Residency::default();
+        b.add(BankClass::Computing, 100);
+        a.merge(&b);
+        assert_eq!(a.total(), 200);
+        assert_eq!(a.fraction(BankClass::Computing), 0.5);
+        assert_eq!(Residency::default().fraction(BankClass::Idle), 0.0);
+    }
+}

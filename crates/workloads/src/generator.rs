@@ -37,7 +37,9 @@ pub fn matrix(shape: MvShape, seed: u64) -> Vec<Bf16> {
 #[must_use]
 pub fn vector(n: usize, seed: u64) -> Vec<Bf16> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000_0000_0001);
-    (0..n).map(|_| Bf16::from_f32(rng.gen_range(-1.0..=1.0))).collect()
+    (0..n)
+        .map(|_| Bf16::from_f32(rng.gen_range(-1.0..=1.0)))
+        .collect()
 }
 
 /// Generates a `k`-way batch of distinct input vectors (Figs. 11/12
@@ -46,7 +48,9 @@ pub fn vector(n: usize, seed: u64) -> Vec<Bf16> {
 /// [`run_mv_batch`]: https://docs.rs/newton-core
 #[must_use]
 pub fn batch(n: usize, k: usize, seed: u64) -> Vec<Vec<Bf16>> {
-    (0..k).map(|i| vector(n, seed.wrapping_add(i as u64 + 1))).collect()
+    (0..k)
+        .map(|i| vector(n, seed.wrapping_add(i as u64 + 1)))
+        .collect()
 }
 
 #[cfg(test)]

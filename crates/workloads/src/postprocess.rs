@@ -100,6 +100,9 @@ mod tests {
         let v = [0.5, f32::NAN, 0.9];
         let ranked = top_k(&v, 3);
         assert_eq!(ranked.len(), 3);
-        assert_eq!(ranked[0], 1, "NaN ranks first (total_cmp), visibly wrong rather than a panic");
+        assert_eq!(
+            ranked[0], 1,
+            "NaN ranks first (total_cmp), visibly wrong rather than a panic"
+        );
     }
 }

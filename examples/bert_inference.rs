@@ -14,8 +14,8 @@ use newton_aim::bench::to_activation_kind;
 use newton_aim::core::config::NewtonConfig;
 use newton_aim::core::system::{MvProblem, NewtonSystem};
 use newton_aim::core::AimError;
-use newton_aim::workloads::models::EndToEndModel;
 use newton_aim::workloads::generator;
+use newton_aim::workloads::models::EndToEndModel;
 
 fn main() -> Result<(), AimError> {
     let model = EndToEndModel::bert();
@@ -76,6 +76,10 @@ fn main() -> Result<(), AimError> {
         run.stats.activate_commands,
         run.stats.row_sets
     );
-    println!("final output: {} logits, first 4 = {:?}", run.output.len(), &run.output[..4]);
+    println!(
+        "final output: {} logits, first 4 = {:?}",
+        run.output.len(),
+        &run.output[..4]
+    );
     Ok(())
 }

@@ -20,7 +20,10 @@ use newton_aim::workloads::{generator, Benchmark};
 fn main() -> Result<(), AimError> {
     let cfg = NewtonConfig::paper_default();
     let shape = Benchmark::DlrmS1.shape();
-    println!("DLRM MLP layer: {shape} ({} KB of weights)", shape.matrix_bytes() / 1024);
+    println!(
+        "DLRM MLP layer: {shape} ({} KB of weights)",
+        shape.matrix_bytes() / 1024
+    );
 
     // Single layer at batch 1: Newton's home turf.
     let matrix = generator::matrix(shape, Benchmark::DlrmS1.seed());
@@ -35,7 +38,10 @@ fn main() -> Result<(), AimError> {
     let ideal = IdealNonPim::new(cfg.dram.clone(), cfg.channels);
     let gpu = TitanVModel::new();
     println!("\nper-inference latency vs batch size:");
-    println!("{:>6} {:>14} {:>14} {:>14}", "batch", "Newton", "Ideal non-PIM", "GPU");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "batch", "Newton", "Ideal non-PIM", "GPU"
+    );
     for k in [1usize, 2, 4, 8, 16, 64] {
         let newton_ns = run.elapsed_ns; // Newton cannot exploit batch reuse
         let ideal_ns = ideal

@@ -12,9 +12,9 @@
 //! ```
 
 use newton_aim::core::config::NewtonConfig;
+use newton_aim::core::controller::NewtonChannel;
 use newton_aim::core::layout::MatrixMapping;
 use newton_aim::core::lut::ActivationKind;
-use newton_aim::core::controller::NewtonChannel;
 use newton_aim::core::tiling::{Schedule, ScheduleKind};
 use newton_aim::core::AimError;
 use newton_aim::workloads::{generator, MvShape};
@@ -56,7 +56,11 @@ fn main() -> Result<(), AimError> {
         .map(|(i, _)| i)
         .collect();
     println!("corrupted output rows: {corrupted:?}");
-    assert_eq!(corrupted, vec![0], "a matrix-row fault corrupts exactly its output row");
+    assert_eq!(
+        corrupted,
+        vec![0],
+        "a matrix-row fault corrupts exactly its output row"
+    );
 
     // The paper's fix: reload the matrix from its clean (ECC-protected,
     // non-AiM) copy. The interleaved layout makes this a plain re-load.

@@ -49,7 +49,12 @@ fn main() -> Result<(), AimError> {
             col: 0,
             write: Some(vec![bank as u8; 32]),
         });
-        ch.enqueue_host_request(HostRequest { bank, row: 5000 + bank, col: 0, write: None });
+        ch.enqueue_host_request(HostRequest {
+            bank,
+            row: 5000 + bank,
+            col: 0,
+            write: None,
+        });
     }
     let run = ch.run_mv(&mapping, &schedule, &vector, false)?;
     let responses = ch.take_host_responses();
@@ -86,7 +91,11 @@ fn main() -> Result<(), AimError> {
             c.id,
             c.issue_cycle,
             c.data_cycle,
-            if c.row_hit { "row hit" } else { "row miss/conflict" }
+            if c.row_hit {
+                "row hit"
+            } else {
+                "row miss/conflict"
+            }
         );
     }
     let s = mc.stats();

@@ -38,7 +38,10 @@ fn main() -> Result<(), AimError> {
     let run = system.run_mv(&matrix, shape.m, shape.n, &vector)?;
 
     println!("\nsimulated execution:");
-    println!("  time            : {:.0} ns ({} cycles)", run.elapsed_ns, run.cycles);
+    println!(
+        "  time            : {:.0} ns ({} cycles)",
+        run.elapsed_ns, run.cycles
+    );
     println!("  row-sets        : {}", run.stats.row_sets);
     println!("  GWRITE commands : {}", run.stats.gwrite_commands);
     println!("  COMP commands   : {}", run.stats.compute_commands);

@@ -1,0 +1,199 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds in fully offline environments, so the benchmark
+//! surface it uses (`Criterion::bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `black_box`, `criterion_group!`,
+//! `criterion_main!`) is reimplemented here over `std::time::Instant`.
+//! Reported numbers are mean wall-clock times — adequate for relative
+//! comparisons, without criterion's statistical machinery.
+//!
+//! Under `cargo test` (which passes `--test`) each benchmark runs a single
+//! iteration as a smoke test, matching upstream criterion's behavior.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// iteration regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs (the common case).
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Drives timing for one benchmark.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean wall-clock time per iteration, if measured.
+    measured: Option<Duration>,
+}
+
+const TARGET_TOTAL: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the sample is stable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < TARGET_TOTAL && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        self.measured = Some(start.elapsed() / iters.max(1) as u32);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        for _ in 0..3 {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let wall = Instant::now();
+        while wall.elapsed() < TARGET_TOTAL && iters < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            busy += t.elapsed();
+            iters += 1;
+        }
+        self.measured = Some(busy / iters.max(1) as u32);
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies harness CLI arguments: `--test` selects single-iteration
+    /// smoke mode (as under `cargo test`), a positional argument filters
+    /// benchmarks by substring, and other flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--exact" | "--nocapture" | "-q" | "--quiet" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. `--save-baseline x`).
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Runs (or, in test mode, smoke-runs) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measured: None,
+        };
+        f(&mut bencher);
+        match bencher.measured {
+            Some(mean) => println!("{name:<40} time: {:>12.3} ns/iter", mean.as_nanos() as f64),
+            None => println!("{name:<40} ok (test mode)"),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function named `$name` running `$target`s.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines_in_test_mode() {
+        let mut b = Bencher {
+            test_mode: true,
+            measured: None,
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        b.iter_batched(|| 5u32, |v| count += v, BatchSize::SmallInput);
+        assert_eq!(count, 6);
+        assert!(b.measured.is_none());
+    }
+
+    #[test]
+    fn bench_function_respects_filter() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match".to_string()),
+        };
+        let mut ran = false;
+        c.bench_function("no", |_| ran = true);
+        assert!(!ran);
+        c.bench_function("a_matching_name", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(ran);
+    }
+}

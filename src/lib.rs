@@ -50,4 +50,5 @@ pub use newton_bf16 as bf16;
 pub use newton_core as core;
 pub use newton_dram as dram;
 pub use newton_model as model;
+pub use newton_trace as trace;
 pub use newton_workloads as workloads;

@@ -13,7 +13,11 @@ use newton_aim::workloads::{generator, MvShape};
 
 #[test]
 fn three_layer_mlp_matches_chained_reference() {
-    let shapes = [MvShape::new(48, 96), MvShape::new(24, 48), MvShape::new(8, 24)];
+    let shapes = [
+        MvShape::new(48, 96),
+        MvShape::new(24, 48),
+        MvShape::new(8, 24),
+    ];
     let acts = [Activation::Relu, Activation::Tanh, Activation::Identity];
     let norms = [true, false, false];
     let mats: Vec<_> = shapes
@@ -145,4 +149,54 @@ fn alexnet_end_to_end_speedup_is_amdahl_limited() {
     let newton_fc = 0.0; // infinitely fast FC
     let bound = gpu_total / (newton_fc + non_fc);
     assert!((1.17..1.19).contains(&bound), "Amdahl bound {bound}");
+}
+
+#[test]
+fn chrome_trace_export_golden_roundtrip() {
+    // A real (small) GEMV run, traced and exported for Perfetto: the JSON
+    // must parse, and the bus track must carry one slice per recorded
+    // command.
+    use newton_aim::core::controller::NewtonChannel;
+    use newton_aim::core::export::export_chrome_trace;
+    use newton_aim::core::layout::MatrixMapping;
+    use newton_aim::core::lut::ActivationKind;
+    use newton_aim::core::tiling::{Schedule, ScheduleKind};
+    use newton_aim::trace::JsonValue;
+
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 1;
+    let (m, n) = (16, 512);
+    let matrix = generator::matrix(MvShape::new(m, n), 7);
+    let vector = generator::vector(n, 7);
+    let mapping = MatrixMapping::new(
+        ScheduleKind::InterleavedFullReuse.layout(),
+        m,
+        n,
+        cfg.dram.banks,
+        cfg.row_elems(),
+        0,
+    )
+    .unwrap();
+    let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+    let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+    ch.enable_trace();
+    ch.load_matrix(&mapping, &matrix).unwrap();
+    ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+
+    let recorded = ch.trace().entries().len();
+    assert!(recorded > 0, "trace recorded nothing");
+    let json = export_chrome_trace(ch.trace(), ch.channel().timing(), cfg.dram.banks);
+    let doc = JsonValue::parse(&json).expect("export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    let bus_slices = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("X")
+                && e.get("pid").and_then(JsonValue::as_f64) == Some(1.0)
+        })
+        .count();
+    assert_eq!(bus_slices, recorded, "one bus slice per recorded command");
 }

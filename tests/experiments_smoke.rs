@@ -26,8 +26,8 @@ fn fig07_trace_has_the_table_i_commands() {
 #[test]
 fn dlrm_layer_measurement_shape() {
     // DLRM is the cheapest benchmark; check the Fig. 8 orderings.
-    let m = bench::measure_layer(&NewtonConfig::paper_default(), Benchmark::DlrmS1)
-        .expect("measure");
+    let m =
+        bench::measure_layer(&NewtonConfig::paper_default(), Benchmark::DlrmS1).expect("measure");
     assert!(m.numerics_ok, "numeric error {}", m.max_numeric_error);
     assert!(m.newton_ns < m.ideal_ns, "Newton beats Ideal Non-PIM");
     assert!(m.ideal_ns < m.gpu_ns, "Ideal Non-PIM beats the GPU");
@@ -39,8 +39,8 @@ fn dlrm_layer_measurement_shape() {
 #[test]
 fn nonopt_is_much_slower_but_correct() {
     let full = bench::measure_layer(&NewtonConfig::paper_default(), Benchmark::DlrmS1).unwrap();
-    let non = bench::measure_layer(&NewtonConfig::at_level(OptLevel::NonOpt), Benchmark::DlrmS1)
-        .unwrap();
+    let non =
+        bench::measure_layer(&NewtonConfig::at_level(OptLevel::NonOpt), Benchmark::DlrmS1).unwrap();
     assert!(non.numerics_ok);
     assert!(
         non.newton_ns > 5.0 * full.newton_ns,

@@ -14,13 +14,19 @@ fn power_breakdown_on_a_real_run_is_comp_dominated() {
     // A large single-chunk layer spends most of its activity in COMP
     // streaming; array + MAC power must dominate the breakdown, and the
     // total must sit between the background floor and the 4x COMP peak.
-    let m = bench::measure_layer(&NewtonConfig::paper_default(), newton_aim::workloads::Benchmark::GnmtS1)
-        .expect("measure");
+    let m = bench::measure_layer(
+        &NewtonConfig::paper_default(),
+        newton_aim::workloads::Benchmark::GnmtS1,
+    )
+    .expect("measure");
     let counts = ActivityCounts::from_aim_summaries(&m.newton_summaries);
     let model = PowerModel::new();
     let b = model.average_power(&counts);
     assert!(b.array + b.mac > b.background, "{b:?}");
-    assert!(b.array + b.mac > b.phy, "internal compute outweighs PHY: {b:?}");
+    assert!(
+        b.array + b.mac > b.phy,
+        "internal compute outweighs PHY: {b:?}"
+    );
     let total = b.total();
     assert!(
         (model.p_background..4.2).contains(&total),

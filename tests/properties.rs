@@ -43,6 +43,14 @@ proptest! {
             let t = *ch.channel().timing();
             prop_assert!(ch.channel().audit().unwrap().validate(&t).is_empty());
         }
+        // Residency attribution: every bank of every channel accounts for
+        // every cycle of the run exactly once.
+        for s in &run.channel_summaries {
+            prop_assert!(!s.residency.is_empty());
+            for (bank, r) in s.residency.iter().enumerate() {
+                prop_assert_eq!(r.total(), s.end_cycle, "bank {} residency != elapsed", bank);
+            }
+        }
     }
 
     /// Layout round-trip: load + extract is the identity for arbitrary

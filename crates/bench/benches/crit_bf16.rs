@@ -1,8 +1,42 @@
 //! Criterion microbenchmarks of the bf16 substrate: scalar conversion,
-//! arithmetic, and the 16-input adder-tree reduction used by every COMP.
+//! arithmetic, and the 16-input adder-tree reduction used by every COMP —
+//! including the PR 2 fixed-arity stack-only kernels, with a counting
+//! allocator proving they perform zero heap allocation per call.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use newton_bf16::reduce::TreePrecision;
 use newton_bf16::{reduce, Bf16};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts bytes handed out by the real system allocator, so benches can
+/// assert a code path never touches the heap.
+struct CountingAlloc;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the only addition is a relaxed byte counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap bytes allocated while running `f`.
+fn alloc_delta<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCATED_BYTES.load(Ordering::Relaxed) - before, r)
+}
 
 fn bench_bf16(c: &mut Criterion) {
     let xs: Vec<f32> = (0..1024).map(|i| (i as f32).sin()).collect();
@@ -35,7 +69,70 @@ fn bench_bf16(c: &mut Criterion) {
     c.bench_function("bf16/tree_reduce_bf16 x16", |b| {
         b.iter(|| reduce::tree_reduce_bf16(black_box(weights)))
     });
+
+    // PR 2 fixed-arity kernels: same arithmetic, no heap traffic.
+    c.bench_function("bf16/dot16_wide (stack-only)", |b| {
+        b.iter(|| reduce::dot16_wide(black_box(weights), black_box(inputs)))
+    });
+    c.bench_function("bf16/dot16_per_stage (stack-only)", |b| {
+        b.iter(|| reduce::dot16_per_stage(black_box(weights), black_box(inputs)))
+    });
+    let chunk_w = &bf[..64.min(bf.len())];
+    let chunk_v = &bf[64..128];
+    c.bench_function("bf16/comp_step_noalloc x64 (one COMP)", |b| {
+        b.iter(|| {
+            reduce::comp_step_noalloc(
+                black_box(Bf16::ZERO),
+                black_box(chunk_w),
+                black_box(chunk_v),
+                TreePrecision::Wide,
+            )
+        })
+    });
 }
 
-criterion_group!(benches, bench_bf16);
+/// Not a timing bench: proves the dot16/comp_step kernels never allocate.
+/// Runs under `--test` too, so `cargo test` exercises the assertion.
+fn bench_zero_alloc_proof(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..128).map(|i| (i as f32).cos()).collect();
+    let bf: Vec<Bf16> = xs.iter().map(|&x| Bf16::from_f32(x)).collect();
+    let (weights, inputs) = (&bf[..16], &bf[16..32]);
+    let (chunk_w, chunk_v) = (&bf[..64], &bf[64..128]);
+
+    let (bytes, sink) = alloc_delta(|| {
+        let mut acc = 0.0f32;
+        let mut acc_bits = 0u16;
+        for _ in 0..1_000 {
+            acc += reduce::dot16_wide(black_box(weights), black_box(inputs));
+            acc_bits ^= reduce::dot16_per_stage(black_box(weights), black_box(inputs)).to_bits();
+            acc_bits ^= reduce::comp_step_noalloc(
+                Bf16::ZERO,
+                black_box(chunk_w),
+                black_box(chunk_v),
+                TreePrecision::Wide,
+            )
+            .to_bits();
+            acc_bits ^= reduce::comp_step_noalloc(
+                Bf16::ZERO,
+                black_box(chunk_w),
+                black_box(chunk_v),
+                TreePrecision::PerStage,
+            )
+            .to_bits();
+        }
+        (acc, acc_bits)
+    });
+    black_box(sink);
+    assert_eq!(
+        bytes, 0,
+        "dot16/comp_step kernels allocated {bytes} heap bytes over 1000 calls"
+    );
+    println!("bf16/zero-alloc proof: 0 heap bytes across 4000 kernel calls");
+    // Keep the harness aware this 'bench' ran (and give --test a hook).
+    c.bench_function("bf16/zero-alloc proof (see assert above)", |b| {
+        b.iter(|| alloc_delta(|| reduce::dot16_wide(black_box(weights), black_box(inputs))).0)
+    });
+}
+
+criterion_group!(benches, bench_bf16, bench_zero_alloc_proof);
 criterion_main!(benches);

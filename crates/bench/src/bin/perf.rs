@@ -1,0 +1,231 @@
+//! Performance regression harness for the functional hot path (PR 2).
+//!
+//! Runs a Table II-representative matrix–vector workload (BERT
+//! small-batch layer shape, 1024 x 1024) end to end under each
+//! [`FunctionalMode`] — `Reference` (the pre-cache per-COMP decode
+//! oracle), `Uncached` (stack-only kernels over raw row bytes) and
+//! `Cached` (decoded-weight row cache, the default) — verifies the three
+//! produce bit-identical outputs and identical simulated cycles, then
+//! reports simulated-cycles/sec and COMPs/sec of host wall-clock time
+//! for each and writes a versioned JSON snapshot.
+//!
+//! Usage:
+//!
+//! ```sh
+//! perf                  # full workload (1024 x 1024, release advisable)
+//! perf --quick          # small workload for CI smoke (64 x 512)
+//! perf --out PATH       # snapshot path (default BENCH_pr2.json)
+//! ```
+//!
+//! The snapshot is a [`newton_trace::MetricsSnapshot`] document (schema
+//! version [`newton_trace::SNAPSHOT_SCHEMA_VERSION`]) so runs diff
+//! across commits.
+
+use newton_bf16::Bf16;
+use newton_core::controller::FunctionalMode;
+use newton_core::{config::NewtonConfig, system::NewtonSystem};
+use newton_trace::MetricsSnapshot;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+}
+
+impl Args {
+    fn from_env() -> Args {
+        let mut quick = false;
+        let mut out = PathBuf::from("BENCH_pr2.json");
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => match it.next() {
+                    Some(v) => out = PathBuf::from(v),
+                    None => {
+                        eprintln!("error: --out requires a path");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("error: unknown argument {other:?} (try --quick / --out PATH)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Args { quick, out }
+    }
+}
+
+/// Deterministic pseudo-random bf16 in roughly [-2, 2): keeps the adder
+/// tree numerically busy without relying on any RNG crate.
+fn det_bf16(seed: u64, i: u64) -> Bf16 {
+    let h = (seed ^ i)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(31)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let frac = (h >> 40) as f32 / (1u64 << 24) as f32;
+    Bf16::from_f32(frac * 4.0 - 2.0)
+}
+
+struct ModeResult {
+    mode: FunctionalMode,
+    wall_seconds: f64,
+    sim_cycles: u64,
+    comps: u64,
+    output_bits: Vec<u32>,
+}
+
+/// One timed end-to-end measurement: matrix load plus a batch of
+/// inferences against the resident matrix, repeated `reps` times on a
+/// fresh system per repetition (so every mode pays the same load cost).
+fn run_mode(
+    cfg: &NewtonConfig,
+    mode: FunctionalMode,
+    m: usize,
+    n: usize,
+    matrix: &[Bf16],
+    vectors: &[Vec<Bf16>],
+    reps: usize,
+) -> ModeResult {
+    // Warm-up pass, untimed (page-in, allocator steady state).
+    let mut system = NewtonSystem::new(cfg.clone()).expect("config accepted");
+    system.set_functional_mode(mode);
+    let warm = system
+        .run_mv_batch(matrix, m, n, vectors)
+        .expect("warm-up run");
+    let output_bits: Vec<u32> = warm
+        .iter()
+        .flat_map(|r| r.output.iter().map(|x| x.to_bits()))
+        .collect();
+
+    let mut sim_cycles = 0u64;
+    let mut comps = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let mut system = NewtonSystem::new(cfg.clone()).expect("config accepted");
+        system.set_functional_mode(mode);
+        let runs = system
+            .run_mv_batch(matrix, m, n, vectors)
+            .expect("timed run");
+        for run in &runs {
+            sim_cycles += run.cycles;
+            comps += run.stats.compute_commands;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    ModeResult {
+        mode,
+        wall_seconds,
+        sim_cycles,
+        comps,
+        output_bits,
+    }
+}
+
+fn mode_key(mode: FunctionalMode) -> &'static str {
+    match mode {
+        FunctionalMode::Reference => "reference",
+        FunctionalMode::Uncached => "uncached",
+        FunctionalMode::Cached => "cached",
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let (m, n, batch, reps, workload) = if args.quick {
+        (64, 512, 2, 1, "quick 64x512")
+    } else {
+        (1024, 1024, 4, 3, "BERT S1 layer 1024x1024 (Table II)")
+    };
+
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 1;
+
+    let matrix: Vec<Bf16> = (0..m * n).map(|i| det_bf16(1, i as u64)).collect();
+    let vectors: Vec<Vec<Bf16>> = (0..batch)
+        .map(|b| (0..n).map(|i| det_bf16(100 + b as u64, i as u64)).collect())
+        .collect();
+
+    println!("newton perf: {workload}, batch {batch}, {reps} rep(s) per mode");
+    let modes = [
+        FunctionalMode::Reference,
+        FunctionalMode::Uncached,
+        FunctionalMode::Cached,
+    ];
+    let results: Vec<ModeResult> = modes
+        .iter()
+        .map(|&mode| {
+            let r = run_mode(&cfg, mode, m, n, &matrix, &vectors, reps);
+            println!(
+                "  {:<10} {:>8.3} s  {:>14.0} sim-cycles/s  {:>12.0} COMPs/s",
+                mode_key(mode),
+                r.wall_seconds,
+                r.sim_cycles as f64 / r.wall_seconds,
+                r.comps as f64 / r.wall_seconds,
+            );
+            r
+        })
+        .collect();
+
+    // Bit-exactness gate: every mode must agree with the reference oracle
+    // on output bits, simulated cycles and COMP counts.
+    let reference = &results[0];
+    for r in &results[1..] {
+        assert_eq!(
+            r.output_bits,
+            reference.output_bits,
+            "{} output differs from reference",
+            mode_key(r.mode)
+        );
+        assert_eq!(
+            r.sim_cycles,
+            reference.sim_cycles,
+            "{} simulated cycles differ from reference",
+            mode_key(r.mode)
+        );
+        assert_eq!(
+            r.comps,
+            reference.comps,
+            "{} COMP count differs from reference",
+            mode_key(r.mode)
+        );
+    }
+
+    let cached = results
+        .iter()
+        .find(|r| r.mode == FunctionalMode::Cached)
+        .expect("cached mode measured");
+    let speedup = reference.wall_seconds / cached.wall_seconds;
+    println!("  speedup (cached vs reference): {speedup:.2}x");
+
+    let mut snap = MetricsSnapshot::new("bench_pr2");
+    snap.text("workload", workload)
+        .text("modes", "reference, uncached, cached")
+        .count("matrix_rows", m as u64)
+        .count("matrix_cols", n as u64)
+        .count("batch", batch as u64)
+        .count("reps", reps as u64)
+        .count("sim_cycles_per_mode", reference.sim_cycles)
+        .count("comps_per_mode", reference.comps)
+        .scalar("speedup_cached_vs_reference", speedup);
+    for r in &results {
+        let key = mode_key(r.mode);
+        snap.scalar(&format!("{key}/wall_seconds"), r.wall_seconds)
+            .scalar(
+                &format!("{key}/sim_cycles_per_sec"),
+                r.sim_cycles as f64 / r.wall_seconds,
+            )
+            .scalar(
+                &format!("{key}/comps_per_sec"),
+                r.comps as f64 / r.wall_seconds,
+            );
+    }
+    let rendered = snap.render();
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("error: cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out.display());
+}

@@ -48,6 +48,40 @@ pub fn to_f32(values: &[Bf16]) -> Vec<f32> {
     values.iter().map(|v| v.to_f32()).collect()
 }
 
+/// Converts `f32` values into a caller-provided [`Bf16`] buffer, the
+/// allocation-free form of [`from_f32`] for hot loops that reuse scratch.
+///
+/// # Panics
+///
+/// Panics if the buffers have different lengths.
+pub fn from_f32_into(values: &[f32], out: &mut [Bf16]) {
+    assert_eq!(
+        values.len(),
+        out.len(),
+        "from_f32_into: input/output length mismatch"
+    );
+    for (o, v) in out.iter_mut().zip(values) {
+        *o = Bf16::from_f32(*v);
+    }
+}
+
+/// Converts [`Bf16`] values into a caller-provided `f32` buffer, the
+/// allocation-free form of [`to_f32`] for hot loops that reuse scratch.
+///
+/// # Panics
+///
+/// Panics if the buffers have different lengths.
+pub fn to_f32_into(values: &[Bf16], out: &mut [f32]) {
+    assert_eq!(
+        values.len(),
+        out.len(),
+        "to_f32_into: input/output length mismatch"
+    );
+    for (o, v) in out.iter_mut().zip(values) {
+        *o = v.to_f32();
+    }
+}
+
 /// Converts a slice of [`Bf16`] to a vector of `f64` (exact).
 #[must_use]
 pub fn to_f64(values: &[Bf16]) -> Vec<f64> {
@@ -142,6 +176,23 @@ mod tests {
             to_f64(&bf),
             input.iter().map(|&x| x as f64).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn into_conversions_match_allocating_forms() {
+        let input = [0.0_f32, 1.0, -2.5, 0.15625, 1024.0];
+        let mut bf_buf = [Bf16::ZERO; 5];
+        from_f32_into(&input, &mut bf_buf);
+        assert_eq!(bf_buf.to_vec(), from_f32(&input));
+        let mut f32_buf = [0.0f32; 5];
+        to_f32_into(&bf_buf, &mut f32_buf);
+        assert_eq!(f32_buf.to_vec(), to_f32(&bf_buf));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn into_conversions_reject_mismatched_lengths() {
+        from_f32_into(&[1.0], &mut [Bf16::ZERO; 2]);
     }
 
     #[test]

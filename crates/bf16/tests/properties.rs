@@ -139,4 +139,76 @@ proptest! {
         let back = slice::unpack(&bytes).unwrap();
         prop_assert_eq!(vals, back);
     }
+
+    /// The in-place tree reducers are bit-exact with the Vec-per-level
+    /// references for every length 0..=64 (covering every bypass-lane
+    /// pattern of the 16-to-1 tree and beyond) and arbitrary bit patterns
+    /// including NaNs and infinities.
+    #[test]
+    fn into_reducers_bit_exact_with_reference(
+        bits in prop::collection::vec(any::<u16>(), 0..=64)
+    ) {
+        let xs: Vec<Bf16> = bits.iter().copied().map(Bf16::from_bits).collect();
+        let mut wide_buf: Vec<f32> = xs.iter().map(|x| x.to_f32()).collect();
+        prop_assert_eq!(
+            reduce::tree_reduce_wide_into(&mut wide_buf).to_bits(),
+            reduce::tree_reduce_wide(&xs).to_bits()
+        );
+        let mut bf_buf: Vec<Bf16> = xs.clone();
+        prop_assert_eq!(
+            reduce::tree_reduce_bf16_into(&mut bf_buf).to_bits(),
+            reduce::tree_reduce_bf16(&xs).to_bits()
+        );
+    }
+
+    /// The fixed-arity dot16 kernels (including the pre-widened-weight
+    /// variant the decoded-weight cache uses) are bit-exact with the
+    /// allocating chunk references for every length 0..=16.
+    #[test]
+    fn dot16_kernels_bit_exact_with_reference(
+        pairs in prop::collection::vec((any::<u16>(), any::<u16>()), 0..=16)
+    ) {
+        let w: Vec<Bf16> = pairs.iter().map(|(a, _)| Bf16::from_bits(*a)).collect();
+        let v: Vec<Bf16> = pairs.iter().map(|(_, b)| Bf16::from_bits(*b)).collect();
+        prop_assert_eq!(
+            reduce::dot16_wide(&w, &v).to_bits(),
+            reduce::dot_chunk_wide(&w, &v).to_bits()
+        );
+        prop_assert_eq!(
+            reduce::dot16_per_stage(&w, &v).to_bits(),
+            reduce::dot_chunk_bf16(&w, &v).to_bits()
+        );
+        let widened: Vec<f32> = w.iter().map(|x| x.to_f32()).collect();
+        prop_assert_eq!(
+            reduce::dot16_wide_prewidened(&widened, &v).to_bits(),
+            reduce::dot_chunk_wide(&w, &v).to_bits()
+        );
+    }
+
+    /// comp_step_noalloc is bit-exact with comp_step across both precision
+    /// disciplines for every chunk width 0..=64 and arbitrary latch state.
+    #[test]
+    fn comp_step_noalloc_bit_exact_with_reference(
+        pairs in prop::collection::vec((any::<u16>(), any::<u16>()), 0..=64),
+        latch_bits in any::<u16>(),
+        per_stage in any::<bool>(),
+    ) {
+        let w: Vec<Bf16> = pairs.iter().map(|(a, _)| Bf16::from_bits(*a)).collect();
+        let v: Vec<Bf16> = pairs.iter().map(|(_, b)| Bf16::from_bits(*b)).collect();
+        let latch = Bf16::from_bits(latch_bits);
+        let precision = if per_stage {
+            reduce::TreePrecision::PerStage
+        } else {
+            reduce::TreePrecision::Wide
+        };
+        prop_assert_eq!(
+            reduce::comp_step_noalloc(latch, &w, &v, precision).to_bits(),
+            reduce::comp_step(latch, &w, &v, precision).to_bits()
+        );
+        let widened: Vec<f32> = w.iter().map(|x| x.to_f32()).collect();
+        prop_assert_eq!(
+            reduce::comp_step_prewidened(latch, &widened, &v, precision).to_bits(),
+            reduce::comp_step(latch, &w, &v, precision).to_bits()
+        );
+    }
 }

@@ -1,0 +1,244 @@
+//! Decoded-weight row cache: decode-once for the COMP hot path.
+//!
+//! Functionally, every COMP re-reads the same matrix row bytes that were
+//! written once per layer and re-decodes them from little-endian bf16
+//! pairs — pure overhead for the *simulator* (the modeled hardware reads
+//! the open row buffer directly). This cache keys pre-decoded rows by
+//! (bank, DRAM row) and stays coherent through the storage layer's
+//! per-row generation counters ([`Storage::row_generation`]): any
+//! `write_row`/`write_column`/`flip_bit` bumps the generation, and the
+//! next [`DecodedWeightCache::ensure_row`] re-decodes.
+//!
+//! The cache only changes how the functional result is computed — the
+//! timing model still issues the same column reads, so cycle counts,
+//! stats, audit records, and traces are identical with or without it.
+
+use newton_bf16::Bf16;
+use newton_dram::Storage;
+
+use crate::error::AimError;
+
+/// One decoded row: the bf16 elements, optionally pre-widened to `f32`
+/// (exact) for the wide-tree discipline, plus the storage generation the
+/// decode observed.
+#[derive(Debug)]
+struct CachedRow {
+    generation: u64,
+    elems: Box<[Bf16]>,
+    /// `w.to_f32()` per element; empty unless the cache widens.
+    wide: Box<[f32]>,
+}
+
+/// Cache of decoded matrix rows indexed directly by (bank, DRAM row).
+///
+/// Per-bank lanes grow lazily to the highest row touched, so lookup on
+/// the COMP hot path is two array indexes — no hashing. Rows are
+/// validated against [`Storage::row_generation`] on every
+/// [`ensure_row`](DecodedWeightCache::ensure_row), so interleaved host
+/// writes or fault injection can never serve stale weights.
+#[derive(Debug)]
+pub struct DecodedWeightCache {
+    banks: Vec<Vec<Option<Box<CachedRow>>>>,
+    row_elems: usize,
+    widen: bool,
+    decodes: u64,
+    hits: u64,
+}
+
+impl DecodedWeightCache {
+    /// Creates an empty cache for a `banks`-bank channel with
+    /// `row_elems`-element rows. With `widen` set, each decode also
+    /// stores the exact `f32` widening of every element (for
+    /// [`TreePrecision::Wide`] COMPs).
+    ///
+    /// [`TreePrecision::Wide`]: newton_bf16::reduce::TreePrecision::Wide
+    #[must_use]
+    pub fn new(banks: usize, row_elems: usize, widen: bool) -> DecodedWeightCache {
+        DecodedWeightCache {
+            banks: (0..banks).map(|_| Vec::new()).collect(),
+            row_elems,
+            widen,
+            decodes: 0,
+            hits: 0,
+        }
+    }
+
+    /// Makes (bank, row) present and current: decodes the row bytes if it
+    /// was never cached or its storage generation moved since the cached
+    /// decode; otherwise a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Storage address errors (surfaced, never swallowed).
+    pub fn ensure_row(
+        &mut self,
+        storage: &Storage,
+        bank: usize,
+        row: usize,
+    ) -> Result<(), AimError> {
+        // Validates (bank, row) before any lane indexing below.
+        let generation = storage.row_generation(bank, row)?;
+        let lane = &mut self.banks[bank];
+        if lane.len() <= row {
+            lane.resize_with(row + 1, || None);
+        }
+        if let Some(cached) = &lane[row] {
+            if cached.generation == generation {
+                self.hits += 1;
+                return Ok(());
+            }
+        }
+        let bytes = storage.row(bank, row)?;
+        let mut elems = vec![Bf16::ZERO; self.row_elems].into_boxed_slice();
+        for (e, c) in elems.iter_mut().zip(bytes.chunks_exact(2)) {
+            *e = Bf16::from_le_bytes([c[0], c[1]]);
+        }
+        let wide = if self.widen {
+            elems.iter().map(|e| e.to_f32()).collect()
+        } else {
+            Box::default()
+        };
+        self.decodes += 1;
+        self.banks[bank][row] = Some(Box::new(CachedRow {
+            generation,
+            elems,
+            wide,
+        }));
+        Ok(())
+    }
+
+    /// The decoded bf16 sub-chunk `[sub * width, (sub + 1) * width)` of a
+    /// row previously pinned by [`ensure_row`](DecodedWeightCache::ensure_row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is not cached or the sub-chunk is out of range —
+    /// both are controller wiring bugs, not runtime conditions.
+    #[must_use]
+    pub fn subchunk(&self, bank: usize, row: usize, sub: usize, width: usize) -> &[Bf16] {
+        let cached = self.banks[bank]
+            .get(row)
+            .and_then(Option::as_ref)
+            .expect("decoded-weight cache: sub-chunk read before ensure_row");
+        &cached.elems[sub * width..(sub + 1) * width]
+    }
+
+    /// The pre-widened `f32` sub-chunk (wide-discipline plane).
+    ///
+    /// # Panics
+    ///
+    /// As [`subchunk`](DecodedWeightCache::subchunk); additionally if the
+    /// cache was built without widening.
+    #[must_use]
+    pub fn subchunk_wide(&self, bank: usize, row: usize, sub: usize, width: usize) -> &[f32] {
+        let cached = self.banks[bank]
+            .get(row)
+            .and_then(Option::as_ref)
+            .expect("decoded-weight cache: sub-chunk read before ensure_row");
+        assert!(
+            !cached.wide.is_empty() || self.row_elems == 0,
+            "decoded-weight cache built without the wide plane"
+        );
+        &cached.wide[sub * width..(sub + 1) * width]
+    }
+
+    /// Whether decodes also populate the `f32` plane.
+    #[must_use]
+    pub fn widens(&self) -> bool {
+        self.widen
+    }
+
+    /// Drops every cached row (e.g. when switching functional modes).
+    pub fn clear(&mut self) {
+        for lane in &mut self.banks {
+            lane.clear();
+        }
+    }
+
+    /// Number of row decodes performed (cold or invalidated).
+    #[must_use]
+    pub fn decode_count(&self) -> u64 {
+        self.decodes
+    }
+
+    /// Number of `ensure_row` calls satisfied without re-decoding.
+    #[must_use]
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_dram::DramConfig;
+
+    fn storage() -> Storage {
+        Storage::new(&DramConfig::hbm2e_like())
+    }
+
+    fn banks() -> usize {
+        DramConfig::hbm2e_like().banks
+    }
+
+    fn bf(v: f32) -> Bf16 {
+        Bf16::from_f32(v)
+    }
+
+    #[test]
+    fn decodes_once_and_hits_until_invalidated() {
+        let mut s = storage();
+        let row: Vec<Bf16> = (0..512).map(|i| bf(i as f32 / 16.0)).collect();
+        s.write_row(2, 9, &newton_bf16::slice::pack(&row)).unwrap();
+
+        let mut cache = DecodedWeightCache::new(banks(), 512, true);
+        cache.ensure_row(&s, 2, 9).unwrap();
+        cache.ensure_row(&s, 2, 9).unwrap();
+        assert_eq!(cache.decode_count(), 1);
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(cache.subchunk(2, 9, 1, 16), &row[16..32]);
+        assert_eq!(cache.subchunk_wide(2, 9, 0, 16)[3], row[3].to_f32());
+
+        // write_column bumps the generation -> re-decode with fresh data.
+        s.write_column(2, 9, 0, &newton_bf16::slice::pack(&[bf(-7.0); 16]))
+            .unwrap();
+        cache.ensure_row(&s, 2, 9).unwrap();
+        assert_eq!(cache.decode_count(), 2);
+        assert_eq!(cache.subchunk(2, 9, 0, 16), &[bf(-7.0); 16][..]);
+        // Untouched tail of the row survives the partial overwrite.
+        assert_eq!(cache.subchunk(2, 9, 1, 16), &row[16..32]);
+
+        // flip_bit also invalidates.
+        s.flip_bit(2, 9, 0).unwrap();
+        cache.ensure_row(&s, 2, 9).unwrap();
+        assert_eq!(cache.decode_count(), 3);
+    }
+
+    #[test]
+    fn unwritten_rows_decode_as_zero_and_cache_at_generation_zero() {
+        let s = storage();
+        let mut cache = DecodedWeightCache::new(banks(), 512, false);
+        cache.ensure_row(&s, 0, 0).unwrap();
+        cache.ensure_row(&s, 0, 0).unwrap();
+        assert_eq!(cache.decode_count(), 1);
+        assert!(cache.subchunk(0, 0, 0, 16).iter().all(|&w| w == Bf16::ZERO));
+        assert!(!cache.widens());
+    }
+
+    #[test]
+    fn clear_forces_re_decode() {
+        let s = storage();
+        let mut cache = DecodedWeightCache::new(banks(), 512, false);
+        cache.ensure_row(&s, 0, 0).unwrap();
+        cache.clear();
+        cache.ensure_row(&s, 0, 0).unwrap();
+        assert_eq!(cache.decode_count(), 2);
+    }
+
+    #[test]
+    fn bad_addresses_are_surfaced() {
+        let s = storage();
+        let mut cache = DecodedWeightCache::new(banks(), 512, false);
+        assert!(cache.ensure_row(&s, 99, 0).is_err());
+    }
+}

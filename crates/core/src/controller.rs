@@ -25,10 +25,12 @@
 //! [`OptFlags::complex_comp`]: crate::config::OptFlags::complex_comp
 //! [`OptFlags::ganged_act`]: crate::config::OptFlags::ganged_act
 
+use newton_bf16::reduce::TreePrecision;
 use newton_bf16::Bf16;
 use newton_dram::timing::Cycle;
 use newton_dram::Channel;
 
+use crate::cache::DecodedWeightCache;
 use crate::command::{AimCommand, CommandTrace};
 use crate::config::NewtonConfig;
 use crate::device::NewtonDevice;
@@ -36,6 +38,25 @@ use crate::error::AimError;
 use crate::layout::MatrixMapping;
 use crate::lut::ActivationKind;
 use crate::tiling::{RowSet, Schedule};
+
+/// How the channel computes the *functional* half of each COMP. The
+/// timing half — command stream, cycle counts, stats, audit, trace — is
+/// identical across modes; all three produce bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FunctionalMode {
+    /// The pre-optimization reference: per-COMP byte decode through the
+    /// allocating reduction kernels. Kept as the test oracle and the
+    /// "before" baseline for perf measurements.
+    Reference,
+    /// Allocation-free kernels, but weights still decoded from row bytes
+    /// on every COMP.
+    Uncached,
+    /// Allocation-free kernels over the decoded-weight row cache
+    /// (decode-once per row generation; pre-widened `f32` weights in the
+    /// wide discipline). The default.
+    #[default]
+    Cached,
+}
 
 /// AiM-specific command counters for one channel run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,6 +135,13 @@ pub struct NewtonChannel {
     trace: CommandTrace,
     host_queue: Vec<HostRequest>,
     host_responses: Vec<HostResponse>,
+    functional_mode: FunctionalMode,
+    weight_cache: DecodedWeightCache,
+    /// Reusable scratch for the per-row-set command loops (ganged
+    /// activate clusters, the ganged COMP stream, READRES latch dedup),
+    /// so the steady state issues no per-row-set allocations.
+    scratch_pairs: Vec<(usize, usize)>,
+    scratch_banks: Vec<usize>,
 }
 
 impl NewtonChannel {
@@ -136,6 +164,11 @@ impl NewtonChannel {
             config.result_latches_per_bank,
             config.tree_precision,
             activation,
+        )?;
+        let weight_cache = DecodedWeightCache::new(
+            config.dram.banks,
+            config.row_elems(),
+            config.tree_precision == TreePrecision::Wide,
         );
         Ok(NewtonChannel {
             channel,
@@ -145,7 +178,29 @@ impl NewtonChannel {
             trace: CommandTrace::new(),
             host_queue: Vec::new(),
             host_responses: Vec::new(),
+            functional_mode: FunctionalMode::default(),
+            weight_cache,
+            scratch_pairs: Vec::new(),
+            scratch_banks: Vec::new(),
         })
+    }
+
+    /// Selects how the functional half of COMP is computed (timing is
+    /// unaffected; all modes are bit-identical). See [`FunctionalMode`].
+    pub fn set_functional_mode(&mut self, mode: FunctionalMode) {
+        self.functional_mode = mode;
+    }
+
+    /// The channel's current functional COMP mode.
+    #[must_use]
+    pub fn functional_mode(&self) -> FunctionalMode {
+        self.functional_mode
+    }
+
+    /// The decoded-weight cache (hit/decode counters for perf reporting).
+    #[must_use]
+    pub fn weight_cache(&self) -> &DecodedWeightCache {
+        &self.weight_cache
     }
 
     /// Queues a host (non-AiM) request. It is serviced at the next
@@ -403,18 +458,24 @@ impl NewtonChannel {
             // are fixed in hardware: banks 4c..4c+4).
             let max_bank = rs.work.iter().map(|w| w.bank).max().unwrap_or(0);
             for cluster in 0..=(max_bank / 4) {
-                let pairs: Vec<(usize, usize)> = rs
-                    .work
-                    .iter()
-                    .filter(|w| w.bank / 4 == cluster)
-                    .map(|w| (w.bank, rs.dram_row))
-                    .collect();
-                if pairs.is_empty() {
+                self.scratch_pairs.clear();
+                self.scratch_pairs.extend(
+                    rs.work
+                        .iter()
+                        .filter(|w| w.bank / 4 == cluster)
+                        .map(|w| (w.bank, rs.dram_row)),
+                );
+                if self.scratch_pairs.is_empty() {
                     continue;
                 }
-                let banks: Vec<usize> = pairs.iter().map(|p| p.0).collect();
-                let t = self.channel.earliest_ganged_activate(&banks).max(cursor);
-                self.channel.issue_ganged_activate(t, &pairs)?;
+                self.scratch_banks.clear();
+                self.scratch_banks
+                    .extend(self.scratch_pairs.iter().map(|p| p.0));
+                let t = self
+                    .channel
+                    .earliest_ganged_activate(&self.scratch_banks)
+                    .max(cursor);
+                self.channel.issue_ganged_activate(t, &self.scratch_pairs)?;
                 self.trace.record(
                     t,
                     AimCommand::GAct {
@@ -450,7 +511,21 @@ impl NewtonChannel {
     ) -> Result<(u64, Cycle), AimError> {
         let sub_elems = self.config.subchunk_elems();
         let n_sub = mapping.chunk_elems(rs.chunk).div_ceil(sub_elems);
-        let banks: Vec<usize> = rs.work.iter().map(|w| w.bank).collect();
+        self.scratch_banks.clear();
+        self.scratch_banks.extend(rs.work.iter().map(|w| w.bank));
+        if self.functional_mode == FunctionalMode::Cached {
+            // Decode-once: pin every active (bank, row) before the COMP
+            // stream. Nothing writes storage inside a row-set, so the
+            // pinned generations stay current until the next boundary.
+            for i in 0..self.scratch_banks.len() {
+                let bank = self.scratch_banks[i];
+                self.weight_cache
+                    .ensure_row(self.channel.storage(), bank, rs.dram_row)?;
+            }
+        }
+        let mode = self.functional_mode;
+        let row = rs.dram_row;
+        let latch = rs.latch;
         let mut cmds = 0u64;
         let mut last_col = self.now;
 
@@ -467,14 +542,23 @@ impl NewtonChannel {
                     cmds += 1;
                 }
                 // Column read (+ multiply-add when complex).
-                let pairs: Vec<(usize, usize)> = banks.iter().map(|&b| (b, sub)).collect();
-                let t = self.channel.earliest_ganged_column_read(self.now, &banks);
+                self.scratch_pairs.clear();
+                self.scratch_pairs
+                    .extend(self.scratch_banks.iter().map(|&b| (b, sub)));
+                let t = self
+                    .channel
+                    .earliest_ganged_column_read(self.now, &self.scratch_banks);
                 let device = &mut self.device;
-                let latch = rs.latch;
-                self.channel
-                    .issue_ganged_column_read_internal(t, &pairs, |bank, data| {
-                        device.comp_bank(bank, latch, sub, data);
-                    })?;
+                let cache = &self.weight_cache;
+                self.channel.issue_ganged_column_read_internal(
+                    t,
+                    &self.scratch_pairs,
+                    |bank, data| {
+                        functional_comp(
+                            device, cache, mode, sub_elems, row, latch, sub, bank, data,
+                        );
+                    },
+                )?;
                 self.trace.record(
                     t,
                     if self.config.opts.complex_comp {
@@ -519,10 +603,12 @@ impl NewtonChannel {
                         .channel
                         .earliest_ganged_column_read(self.now, &[w.bank]);
                     let device = &mut self.device;
-                    let latch = rs.latch;
+                    let cache = &self.weight_cache;
                     self.channel
                         .issue_ganged_column_read_internal(t, &pair, |bank, data| {
-                            device.comp_bank(bank, latch, sub, data);
+                            functional_comp(
+                                device, cache, mode, sub_elems, row, latch, sub, bank, data,
+                            );
                         })?;
                     self.trace.record(
                         t,
@@ -572,10 +658,13 @@ impl NewtonChannel {
         if self.config.opts.ganged_comp {
             // Ganged READRES: one command per latch reads all banks
             // concatenated (16 x 16-bit = 256 bits).
-            let mut latches: Vec<usize> = rs.read_after.iter().map(|r| r.latch).collect();
-            latches.sort_unstable();
-            latches.dedup();
-            for latch in latches {
+            self.scratch_banks.clear();
+            self.scratch_banks
+                .extend(rs.read_after.iter().map(|r| r.latch));
+            self.scratch_banks.sort_unstable();
+            self.scratch_banks.dedup();
+            for i in 0..self.scratch_banks.len() {
+                let latch = self.scratch_banks[i];
                 let at = self.channel.earliest_result_read(self.now.max(tree_done));
                 self.channel.issue_result_read(at, banks * 2)?;
                 self.trace.record(at, AimCommand::ReadRes);
@@ -656,6 +745,46 @@ impl NewtonChannel {
         let comp = n_sub * per_comp_cmds * t.t_cmd.max(t.t_ccd);
         let reads = rs.read_after.len() as Cycle * t.t_cmd + self.config.adder_tree_latency;
         gwrite + act + comp + reads + t.t_rtp + t.t_rp + 4 * t.t_cmd
+    }
+}
+
+/// The functional half of one COMP under the selected mode. `data` is the
+/// raw column-read payload the timing model produced; the cached modes
+/// ignore it (the cache holds the same bytes pre-decoded), so the column
+/// read — and with it all timing, stats, audit, and trace behavior —
+/// happens identically in every mode.
+#[expect(clippy::too_many_arguments, reason = "flat hot-path dispatch")]
+fn functional_comp(
+    device: &mut NewtonDevice,
+    cache: &DecodedWeightCache,
+    mode: FunctionalMode,
+    sub_elems: usize,
+    row: usize,
+    latch: usize,
+    sub: usize,
+    bank: usize,
+    data: &[u8],
+) {
+    match mode {
+        FunctionalMode::Reference => device.comp_bank_reference(bank, latch, sub, data),
+        FunctionalMode::Uncached => device.comp_bank(bank, latch, sub, data),
+        FunctionalMode::Cached => {
+            if cache.widens() {
+                device.comp_bank_prewidened(
+                    bank,
+                    latch,
+                    sub,
+                    cache.subchunk_wide(bank, row, sub, sub_elems),
+                );
+            } else {
+                device.comp_bank_decoded(
+                    bank,
+                    latch,
+                    sub,
+                    cache.subchunk(bank, row, sub, sub_elems),
+                );
+            }
+        }
     }
 }
 

@@ -154,14 +154,43 @@ impl MacUnit {
 
     /// Executes one COMP step into latch `latch`: multiply the matrix
     /// sub-chunk by the broadcast input sub-chunk, reduce through the
-    /// tree, accumulate.
+    /// tree, accumulate. Chunks up to [`reduce::MAX_CHUNK`] elements run
+    /// through the allocation-free kernels (bit-exact with the reference;
+    /// longer operands fall back to the allocating reference path).
     ///
     /// # Panics
     ///
     /// Panics if `latch` is out of range or the operand lengths differ
     /// (device-internal invariants; the controller guarantees them).
     pub fn comp(&mut self, latch: usize, weights: &[Bf16], inputs: &[Bf16]) {
+        let v = if weights.len() <= reduce::MAX_CHUNK {
+            reduce::comp_step_noalloc(self.latches[latch], weights, inputs, self.precision)
+        } else {
+            reduce::comp_step(self.latches[latch], weights, inputs, self.precision)
+        };
+        self.latches[latch] = v;
+        self.comps += 1;
+    }
+
+    /// The reference (allocating) form of [`MacUnit::comp`]: identical
+    /// arithmetic through `reduce::comp_step`, kept as the test oracle and
+    /// the `FunctionalMode::Reference` baseline for perf comparisons.
+    pub fn comp_reference(&mut self, latch: usize, weights: &[Bf16], inputs: &[Bf16]) {
         let v = reduce::comp_step(self.latches[latch], weights, inputs, self.precision);
+        self.latches[latch] = v;
+        self.comps += 1;
+    }
+
+    /// [`MacUnit::comp`] over pre-widened weights (`w.to_f32()` per
+    /// element, the decoded-weight cache's wide plane) — bit-exact with
+    /// the bf16-weight forms in both disciplines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is out of range or the operand lengths differ or
+    /// exceed [`reduce::MAX_CHUNK`].
+    pub fn comp_prewidened(&mut self, latch: usize, weights: &[f32], inputs: &[Bf16]) {
+        let v = reduce::comp_step_prewidened(self.latches[latch], weights, inputs, self.precision);
         self.latches[latch] = v;
         self.comps += 1;
     }
@@ -197,7 +226,13 @@ pub struct NewtonDevice {
 impl NewtonDevice {
     /// Creates the device for `banks` banks, `row_elems`-wide rows,
     /// `subchunk`-wide column I/Os, `latches` result latches per bank.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] if `subchunk` exceeds [`reduce::MAX_CHUNK`]:
+    /// the COMP data path reduces a sub-chunk through fixed stack scratch
+    /// of that width, so a wider configuration must be rejected here
+    /// rather than panicking mid-run in `comp_bank`.
     pub fn new(
         banks: usize,
         row_elems: usize,
@@ -205,15 +240,24 @@ impl NewtonDevice {
         latches: usize,
         precision: TreePrecision,
         activation: ActivationKind,
-    ) -> NewtonDevice {
-        NewtonDevice {
+    ) -> Result<NewtonDevice, AimError> {
+        if subchunk > reduce::MAX_CHUNK {
+            return Err(AimError::Shape {
+                what: "device sub-chunk width",
+                detail: format!(
+                    "{subchunk} elements exceed the COMP data path maximum {}",
+                    reduce::MAX_CHUNK
+                ),
+            });
+        }
+        Ok(NewtonDevice {
             global: GlobalBuffer::new(row_elems, subchunk),
             macs: (0..banks)
                 .map(|_| MacUnit::new(latches, precision))
                 .collect(),
             lut: ActivationLut::new(activation),
             subchunk,
-        }
+        })
     }
 
     /// The global input buffer.
@@ -249,7 +293,8 @@ impl NewtonDevice {
     /// Executes the compute half of a COMP on `bank`: the matrix sub-chunk
     /// bytes (as read from the bank's open row) are unpacked and
     /// multiply-accumulated against global-buffer sub-chunk `subchunk`
-    /// into latch `latch`.
+    /// into latch `latch`. `NewtonDevice::new` guarantees the sub-chunk
+    /// width fits the stack scratch ([`reduce::MAX_CHUNK`]).
     ///
     /// # Panics
     ///
@@ -257,13 +302,75 @@ impl NewtonDevice {
     /// a wiring bug, not a runtime condition.
     pub fn comp_bank(&mut self, bank: usize, latch: usize, subchunk: usize, row_bytes: &[u8]) {
         debug_assert_eq!(row_bytes.len(), 2 * self.subchunk);
-        let mut weights = [Bf16::ZERO; 64];
+        let mut weights = [Bf16::ZERO; reduce::MAX_CHUNK];
         let weights = &mut weights[..self.subchunk];
         for (w, c) in weights.iter_mut().zip(row_bytes.chunks_exact(2)) {
             *w = Bf16::from_le_bytes([c[0], c[1]]);
         }
         let inputs = self.global.subchunk(subchunk);
         self.macs[bank].comp(latch, weights, inputs);
+    }
+
+    /// [`comp_bank`](NewtonDevice::comp_bank) over bytes, through the
+    /// reference (allocating) reduction — the pre-optimization data path,
+    /// kept as an oracle and perf baseline.
+    ///
+    /// # Panics
+    ///
+    /// As [`comp_bank`](NewtonDevice::comp_bank).
+    pub fn comp_bank_reference(
+        &mut self,
+        bank: usize,
+        latch: usize,
+        subchunk: usize,
+        row_bytes: &[u8],
+    ) {
+        debug_assert_eq!(row_bytes.len(), 2 * self.subchunk);
+        let weights: Vec<Bf16> = row_bytes
+            .chunks_exact(2)
+            .map(|c| Bf16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        let inputs = self.global.subchunk(subchunk);
+        self.macs[bank].comp_reference(latch, &weights, inputs);
+    }
+
+    /// [`comp_bank`](NewtonDevice::comp_bank) over weights already decoded
+    /// to [`Bf16`] (the decoded-weight cache path in the per-stage
+    /// discipline) — skips the per-COMP byte unpack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` is not the device sub-chunk width.
+    pub fn comp_bank_decoded(
+        &mut self,
+        bank: usize,
+        latch: usize,
+        subchunk: usize,
+        weights: &[Bf16],
+    ) {
+        debug_assert_eq!(weights.len(), self.subchunk);
+        let inputs = self.global.subchunk(subchunk);
+        self.macs[bank].comp(latch, weights, inputs);
+    }
+
+    /// [`comp_bank`](NewtonDevice::comp_bank) over weights already widened
+    /// to `f32` (the decoded-weight cache path in the wide discipline) —
+    /// skips both the byte unpack and the per-product widening, bit-exact
+    /// with the byte path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` is not the device sub-chunk width.
+    pub fn comp_bank_prewidened(
+        &mut self,
+        bank: usize,
+        latch: usize,
+        subchunk: usize,
+        weights: &[f32],
+    ) {
+        debug_assert_eq!(weights.len(), self.subchunk);
+        let inputs = self.global.subchunk(subchunk);
+        self.macs[bank].comp_prewidened(latch, weights, inputs);
     }
 
     /// Reads bank `bank`'s latch `latch`, optionally through the channel's
@@ -354,8 +461,72 @@ mod tests {
     }
 
     #[test]
+    fn oversized_subchunk_is_rejected_at_construction() {
+        // reduce::MAX_CHUNK bounds the COMP stack scratch: a wider
+        // sub-chunk must fail construction, not panic mid-run.
+        let err = NewtonDevice::new(2, 512, 128, 1, TreePrecision::Wide, ActivationKind::Relu)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AimError::Shape {
+                what: "device sub-chunk width",
+                ..
+            }
+        ));
+        // The boundary width itself is accepted.
+        assert!(
+            NewtonDevice::new(2, 512, 64, 1, TreePrecision::Wide, ActivationKind::Relu).is_ok()
+        );
+    }
+
+    #[test]
+    fn decoded_and_prewidened_comp_paths_match_byte_path() {
+        let mk = || {
+            NewtonDevice::new(2, 512, 16, 1, TreePrecision::Wide, ActivationKind::Identity).unwrap()
+        };
+        let weights: Vec<Bf16> = (0..16).map(|i| bf(i as f32 * 0.375 - 2.0)).collect();
+        let bytes = newton_bf16::slice::pack(&weights);
+        let widened: Vec<f32> = weights.iter().map(|w| w.to_f32()).collect();
+        let inputs = [bf(1.5); 16];
+
+        let mut byte_dev = mk();
+        byte_dev
+            .global_buffer_mut()
+            .write_subchunk(0, &inputs)
+            .unwrap();
+        byte_dev.comp_bank(0, 0, 0, &bytes);
+
+        let mut ref_dev = mk();
+        ref_dev
+            .global_buffer_mut()
+            .write_subchunk(0, &inputs)
+            .unwrap();
+        ref_dev.comp_bank_reference(0, 0, 0, &bytes);
+
+        let mut dec_dev = mk();
+        dec_dev
+            .global_buffer_mut()
+            .write_subchunk(0, &inputs)
+            .unwrap();
+        dec_dev.comp_bank_decoded(0, 0, 0, &weights);
+
+        let mut wide_dev = mk();
+        wide_dev
+            .global_buffer_mut()
+            .write_subchunk(0, &inputs)
+            .unwrap();
+        wide_dev.comp_bank_prewidened(0, 0, 0, &widened);
+
+        let expect = byte_dev.read_result(0, 0, false);
+        assert_eq!(ref_dev.read_result(0, 0, false), expect);
+        assert_eq!(dec_dev.read_result(0, 0, false), expect);
+        assert_eq!(wide_dev.read_result(0, 0, false), expect);
+    }
+
+    #[test]
     fn device_comp_bank_reads_bytes_and_uses_global_buffer() {
-        let mut dev = NewtonDevice::new(2, 512, 16, 1, TreePrecision::Wide, ActivationKind::Relu);
+        let mut dev =
+            NewtonDevice::new(2, 512, 16, 1, TreePrecision::Wide, ActivationKind::Relu).unwrap();
         dev.global_buffer_mut()
             .write_subchunk(0, &[bf(2.0); 16])
             .unwrap();

@@ -112,6 +112,15 @@ impl NewtonSystem {
         &mut self.channels
     }
 
+    /// Sets the functional COMP mode on every channel (timing and results
+    /// are identical across modes; see
+    /// [`FunctionalMode`](crate::controller::FunctionalMode)).
+    pub fn set_functional_mode(&mut self, mode: crate::controller::FunctionalMode) {
+        for ch in &mut self.channels {
+            ch.set_functional_mode(mode);
+        }
+    }
+
     /// The schedule kind the configuration implies.
     #[must_use]
     pub fn schedule_kind(&self) -> ScheduleKind {

@@ -1,0 +1,294 @@
+//! Equivalence and coherence tests for the functional COMP modes.
+//!
+//! The decoded-weight cache and the allocation-free kernels must change
+//! *nothing* observable: outputs bit-for-bit, cycle counts, AiM stats,
+//! and command traces identical to the pre-optimization reference path —
+//! including across arbitrary interleavings of storage writes and COMPs
+//! (the generation-counter invalidation contract).
+
+use newton_bf16::Bf16;
+use newton_core::config::{NewtonConfig, OptLevel};
+use newton_core::controller::{FunctionalMode, MvRun, NewtonChannel};
+use newton_core::layout::MatrixMapping;
+use newton_core::lut::ActivationKind;
+use newton_core::tiling::{Schedule, ScheduleKind};
+use proptest::prelude::*;
+
+fn bf(v: f32) -> Bf16 {
+    Bf16::from_f32(v)
+}
+
+fn cfg1(level: OptLevel) -> NewtonConfig {
+    let mut c = NewtonConfig::at_level(level);
+    c.channels = 1;
+    c
+}
+
+fn mapping_and_schedule(cfg: &NewtonConfig, m: usize, n: usize) -> (MatrixMapping, Schedule) {
+    let kind = if cfg.opts.interleaved_reuse {
+        ScheduleKind::InterleavedFullReuse
+    } else {
+        ScheduleKind::NoReuse
+    };
+    let mapping = MatrixMapping::new(kind.layout(), m, n, cfg.dram.banks, cfg.row_elems(), 0)
+        .expect("mapping");
+    let schedule = Schedule::build(kind, &mapping);
+    (mapping, schedule)
+}
+
+fn run_in_mode(
+    cfg: &NewtonConfig,
+    mode: FunctionalMode,
+    m: usize,
+    n: usize,
+    matrix: &[Bf16],
+    vectors: &[Vec<Bf16>],
+) -> (Vec<MvRun>, NewtonChannel) {
+    let (mapping, schedule) = mapping_and_schedule(cfg, m, n);
+    let mut ch = NewtonChannel::new(cfg, ActivationKind::Identity).expect("channel");
+    ch.set_functional_mode(mode);
+    ch.enable_trace();
+    ch.load_matrix(&mapping, matrix).expect("load");
+    let runs = vectors
+        .iter()
+        .map(|v| ch.run_mv(&mapping, &schedule, v, false).expect("run"))
+        .collect();
+    (runs, ch)
+}
+
+fn assert_runs_identical(
+    a: &(Vec<MvRun>, NewtonChannel),
+    b: &(Vec<MvRun>, NewtonChannel),
+    tag: &str,
+) {
+    assert_eq!(a.0.len(), b.0.len());
+    for (ra, rb) in a.0.iter().zip(&b.0) {
+        let bits_a: Vec<u32> = ra.outputs.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = rb.outputs.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "{tag}: outputs must be bit-identical");
+        assert_eq!(ra.start_cycle, rb.start_cycle, "{tag}: start cycles");
+        assert_eq!(ra.end_cycle, rb.end_cycle, "{tag}: end cycles");
+        assert_eq!(ra.stats, rb.stats, "{tag}: AiM stats");
+    }
+    assert_eq!(
+        a.1.trace().entries(),
+        b.1.trace().entries(),
+        "{tag}: command traces"
+    );
+    assert_eq!(
+        a.1.channel().stats(),
+        b.1.channel().stats(),
+        "{tag}: substrate event counters"
+    );
+}
+
+#[test]
+fn all_modes_identical_across_opt_levels() {
+    for level in [OptLevel::Full, OptLevel::NonOpt] {
+        let cfg = cfg1(level);
+        let (m, n) = (24, 700);
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 29) as f32 - 14.0) / 8.0))
+            .collect();
+        let vectors: Vec<Vec<Bf16>> = (0..2)
+            .map(|r| {
+                (0..n)
+                    .map(|k| bf(((k + r * 3) % 11) as f32 / 4.0 - 1.0))
+                    .collect()
+            })
+            .collect();
+        let reference = run_in_mode(&cfg, FunctionalMode::Reference, m, n, &matrix, &vectors);
+        let uncached = run_in_mode(&cfg, FunctionalMode::Uncached, m, n, &matrix, &vectors);
+        let cached = run_in_mode(&cfg, FunctionalMode::Cached, m, n, &matrix, &vectors);
+        assert_runs_identical(&reference, &uncached, "uncached");
+        assert_runs_identical(&reference, &cached, "cached");
+        // The cache actually engaged: decode once per (bank, row), hits on
+        // the repeated row-sets of the second vector.
+        assert!(cached.1.weight_cache().decode_count() > 0);
+        assert!(cached.1.weight_cache().hit_count() > 0);
+    }
+}
+
+#[test]
+fn per_stage_precision_uses_decoded_plane_and_stays_identical() {
+    let mut cfg = cfg1(OptLevel::Full);
+    cfg.tree_precision = newton_bf16::reduce::TreePrecision::PerStage;
+    let (m, n) = (16, 512);
+    let matrix: Vec<Bf16> = (0..m * n)
+        .map(|k| bf(((k % 13) as f32 - 6.0) / 4.0))
+        .collect();
+    let vectors = vec![(0..n).map(|k| bf(((k % 7) as f32 - 3.0) / 2.0)).collect()];
+    let reference = run_in_mode(&cfg, FunctionalMode::Reference, m, n, &matrix, &vectors);
+    let cached = run_in_mode(&cfg, FunctionalMode::Cached, m, n, &matrix, &vectors);
+    assert_runs_identical(&reference, &cached, "per-stage cached");
+    assert!(!cached.1.weight_cache().widens());
+}
+
+/// Satellite: write a row, COMP against it, overwrite via both
+/// `write_row` and `write_column`, COMP again — cached results must match
+/// the cache-disabled run bit-for-bit at every step.
+#[test]
+fn cache_invalidation_on_write_row_and_write_column() {
+    let cfg = cfg1(OptLevel::Full);
+    let (m, n) = (16, 512);
+    let (mapping, schedule) = mapping_and_schedule(&cfg, m, n);
+    let matrix: Vec<Bf16> = (0..m * n).map(|k| bf((k % 9) as f32 / 2.0 - 2.0)).collect();
+    let vector: Vec<Bf16> = (0..n).map(|k| bf((k % 5) as f32 / 2.0)).collect();
+
+    let mut cached = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+    cached.set_functional_mode(FunctionalMode::Cached);
+    let mut plain = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+    plain.set_functional_mode(FunctionalMode::Uncached);
+
+    let compare = |cached: &mut NewtonChannel, plain: &mut NewtonChannel, tag: &str| {
+        let a = cached.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        let b = plain.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        let bits_a: Vec<u32> = a.outputs.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.outputs.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "{tag}");
+    };
+
+    for ch in [&mut cached, &mut plain] {
+        ch.load_matrix(&mapping, &matrix).unwrap();
+    }
+    compare(&mut cached, &mut plain, "initial");
+    let decodes_initial = cached.weight_cache().decode_count();
+
+    // Overwrite one full matrix row via write_row on both channels.
+    let new_row = newton_bf16::slice::pack(&vec![bf(3.5); cfg.row_elems()]);
+    for ch in [&mut cached, &mut plain] {
+        ch.channel_mut()
+            .storage_mut()
+            .write_row(2, 0, &new_row)
+            .unwrap();
+    }
+    compare(&mut cached, &mut plain, "after write_row");
+    assert!(
+        cached.weight_cache().decode_count() > decodes_initial,
+        "write_row must force a re-decode"
+    );
+    let decodes_after_row = cached.weight_cache().decode_count();
+
+    // Overwrite a single column I/O via write_column.
+    let new_col = newton_bf16::slice::pack(&vec![bf(-1.25); cfg.subchunk_elems()]);
+    for ch in [&mut cached, &mut plain] {
+        ch.channel_mut()
+            .storage_mut()
+            .write_column(5, 0, 3, &new_col)
+            .unwrap();
+    }
+    compare(&mut cached, &mut plain, "after write_column");
+    assert!(
+        cached.weight_cache().decode_count() > decodes_after_row,
+        "write_column must force a re-decode"
+    );
+
+    // Fault injection (flip_bit) invalidates too.
+    for ch in [&mut cached, &mut plain] {
+        ch.channel_mut().storage_mut().flip_bit(0, 0, 12).unwrap();
+    }
+    compare(&mut cached, &mut plain, "after flip_bit");
+}
+
+/// One mutation step of the random interleaving: applied identically to
+/// both channels between COMPs.
+#[derive(Debug, Clone)]
+enum Mutation {
+    WriteRow {
+        bank: usize,
+        row: usize,
+        seed: u8,
+    },
+    WriteColumn {
+        bank: usize,
+        row: usize,
+        col: usize,
+        seed: u8,
+    },
+    FlipBit {
+        bank: usize,
+        row: usize,
+        bit: usize,
+    },
+    Comp,
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        2 => (0usize..16, 0usize..2, any::<u8>())
+            .prop_map(|(bank, row, seed)| Mutation::WriteRow { bank, row, seed }),
+        2 => (0usize..16, 0usize..2, 0usize..32, any::<u8>())
+            .prop_map(|(bank, row, col, seed)| Mutation::WriteColumn { bank, row, col, seed }),
+        1 => (0usize..16, 0usize..2, 0usize..8192)
+            .prop_map(|(bank, row, bit)| Mutation::FlipBit { bank, row, bit }),
+        3 => Just(Mutation::Comp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random interleavings of storage writes and COMPs: the cached
+    /// channel tracks the uncached one bit-for-bit at every COMP.
+    #[test]
+    fn random_write_comp_interleavings_stay_coherent(
+        ops in prop::collection::vec(mutation(), 1..24)
+    ) {
+        let cfg = cfg1(OptLevel::Full);
+        let (m, n) = (32, 512);
+        let (mapping, schedule) = mapping_and_schedule(&cfg, m, n);
+        let matrix: Vec<Bf16> = (0..m * n).map(|k| bf((k % 17) as f32 / 4.0 - 2.0)).collect();
+        let vector: Vec<Bf16> = (0..n).map(|k| bf((k % 3) as f32 - 1.0)).collect();
+
+        let mut cached = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        cached.set_functional_mode(FunctionalMode::Cached);
+        let mut plain = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        plain.set_functional_mode(FunctionalMode::Uncached);
+        for ch in [&mut cached, &mut plain] {
+            ch.load_matrix(&mapping, &matrix).unwrap();
+        }
+
+        let row_bytes = cfg.row_elems() * 2;
+        let col_bytes = cfg.subchunk_elems() * 2;
+        for op in &ops {
+            match op {
+                Mutation::WriteRow { bank, row, seed } => {
+                    let data: Vec<u8> =
+                        (0..row_bytes).map(|i| (i as u8).wrapping_mul(*seed)).collect();
+                    for ch in [&mut cached, &mut plain] {
+                        ch.channel_mut().storage_mut().write_row(*bank, *row, &data).unwrap();
+                    }
+                }
+                Mutation::WriteColumn { bank, row, col, seed } => {
+                    let data: Vec<u8> =
+                        (0..col_bytes).map(|i| (i as u8).wrapping_add(*seed)).collect();
+                    for ch in [&mut cached, &mut plain] {
+                        ch.channel_mut()
+                            .storage_mut()
+                            .write_column(*bank, *row, *col, &data)
+                            .unwrap();
+                    }
+                }
+                Mutation::FlipBit { bank, row, bit } => {
+                    for ch in [&mut cached, &mut plain] {
+                        ch.channel_mut().storage_mut().flip_bit(*bank, *row, *bit).unwrap();
+                    }
+                }
+                Mutation::Comp => {
+                    let a = cached.run_mv(&mapping, &schedule, &vector, false).unwrap();
+                    let b = plain.run_mv(&mapping, &schedule, &vector, false).unwrap();
+                    let bits_a: Vec<u32> = a.outputs.iter().map(|v| v.to_bits()).collect();
+                    let bits_b: Vec<u32> = b.outputs.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(bits_a, bits_b);
+                    prop_assert_eq!(a.end_cycle, b.end_cycle);
+                }
+            }
+        }
+        // Always end on a COMP so trailing writes are exercised.
+        let a = cached.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        let b = plain.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        let bits_a: Vec<u32> = a.outputs.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.outputs.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits_a, bits_b);
+    }
+}

@@ -86,6 +86,17 @@ enum Step {
     Column,
 }
 
+impl Step {
+    /// Dense index for the per-(bank, step) memo table.
+    fn index(self) -> usize {
+        match self {
+            Step::Precharge => 0,
+            Step::Activate => 1,
+            Step::Column => 2,
+        }
+    }
+}
+
 /// A queued request plus its first-touch classification (hit / miss /
 /// conflict), fixed the first time the scheduler issues a primitive for
 /// it.
@@ -102,6 +113,11 @@ pub struct FrFcfs {
     policy: PagePolicy,
     queue: VecDeque<Pending>,
     stats: SchedulerStats,
+    /// Per-(bank, step) memo of `earliest_*` results, valid for one queue
+    /// scan (the channel is read-only during a scan, so every entry in
+    /// the same bank wanting the same primitive shares one computation).
+    /// Reused across scans to keep the drain loop allocation-free.
+    earliest_memo: Vec<[Option<Cycle>; 3]>,
 }
 
 impl FrFcfs {
@@ -150,14 +166,14 @@ impl FrFcfs {
         }
     }
 
-    /// Earliest feasible cycle for a request's next primitive.
-    fn earliest_for(channel: &Channel, r: &Request, step: Step) -> Cycle {
-        let e = match step {
-            Step::Precharge => channel.earliest_precharge(r.bank),
-            Step::Activate => channel.earliest_activate(r.bank),
-            Step::Column => channel.earliest_column_read(0, r.bank),
-        };
-        e.max(r.arrival)
+    /// Earliest feasible cycle for a primitive on a bank (request-
+    /// independent; the caller folds in arrival and the floor).
+    fn earliest_raw(channel: &Channel, bank: usize, step: Step) -> Cycle {
+        match step {
+            Step::Precharge => channel.earliest_precharge(bank),
+            Step::Activate => channel.earliest_activate(bank),
+            Step::Column => channel.earliest_column_read(0, bank),
+        }
     }
 
     /// Drains every queued request, returning completions in finish
@@ -175,15 +191,31 @@ impl FrFcfs {
         let t = *channel.timing();
         let mut completions = Vec::with_capacity(self.queue.len());
         let mut floor = start;
+        self.earliest_memo.clear();
+        self.earliest_memo.resize(channel.config().banks, [None; 3]);
 
         while !self.queue.is_empty() {
             // Pick the pending primitive with the earliest feasible cycle;
             // FR-FCFS tie-break: row hits first, then queue (arrival)
-            // order.
+            // order. The channel state is constant within the scan, so
+            // earliest_* is computed at most once per (bank, step).
+            for m in &mut self.earliest_memo {
+                *m = [None; 3];
+            }
+            let memo = &mut self.earliest_memo;
             let mut best: Option<(usize, Step, Cycle, bool)> = None;
             for (idx, p) in self.queue.iter().enumerate() {
                 let (step, hit) = Self::next_step(channel, &p.req);
-                let at = Self::earliest_for(channel, &p.req, step).max(floor);
+                let slot = &mut memo[p.req.bank][step.index()];
+                let e = match *slot {
+                    Some(e) => e,
+                    None => {
+                        let e = Self::earliest_raw(channel, p.req.bank, step);
+                        *slot = Some(e);
+                        e
+                    }
+                };
+                let at = e.max(p.req.arrival).max(floor);
                 let better = match &best {
                     None => true,
                     Some((best_idx, _, best_at, best_hit)) => {
@@ -223,17 +255,24 @@ impl FrFcfs {
                     Step::Column => self.stats.row_hits += 1,
                 }
             }
-            let pending = self.queue[idx].clone();
-            let r = pending.req;
-
+            // Precharge/activate need only Copy fields; the Column step
+            // takes ownership of the entry, so the write payload is moved
+            // — never cloned — into the substrate.
             match step {
                 Step::Precharge => {
-                    channel.issue_precharge(at, r.bank)?;
+                    let bank = self.queue[idx].req.bank;
+                    channel.issue_precharge(at, bank)?;
                 }
                 Step::Activate => {
-                    channel.issue_activate(at, r.bank, r.row)?;
+                    let (bank, row) = {
+                        let r = &self.queue[idx].req;
+                        (r.bank, r.row)
+                    };
+                    channel.issue_activate(at, bank, row)?;
                 }
                 Step::Column => {
+                    let pending = self.queue.remove(idx).expect("idx is in range");
+                    let r = pending.req;
                     let (issue_cycle, data) = match &r.write {
                         Some(data) => {
                             let c = channel.issue_column_write_external(at, r.bank, r.col, data)?;
@@ -249,7 +288,6 @@ impl FrFcfs {
                         data,
                         row_hit: pending.first_step == Some(Step::Column),
                     });
-                    self.queue.remove(idx);
                     if self.policy == PagePolicy::Closed {
                         let p = channel.earliest_precharge(r.bank);
                         channel.issue_precharge(p, r.bank)?;
@@ -281,6 +319,69 @@ mod tests {
             write: None,
             arrival: 0,
         }
+    }
+
+    #[test]
+    fn pin_mixed_trace_order_and_cycles() {
+        let mut ch = channel();
+        let mut mc = FrFcfs::new(PagePolicy::Open);
+        // Mixed trace: hits (same row re-reads), misses (idle banks),
+        // conflicts (other row, same bank), staggered arrivals.
+        let reqs = [
+            (0u64, 0usize, 5usize, 0usize, 0u64),
+            (1, 0, 5, 1, 0),
+            (2, 0, 9, 0, 0),
+            (3, 1, 3, 2, 0),
+            (4, 0, 5, 2, 10),
+            (5, 2, 7, 0, 40),
+            (6, 1, 4, 0, 40),
+            (7, 2, 7, 3, 60),
+            (8, 0, 9, 1, 80),
+            (9, 3, 1, 0, 200),
+        ];
+        for &(id, bank, row, col, arrival) in &reqs {
+            mc.enqueue(Request {
+                id,
+                bank,
+                row,
+                col,
+                write: None,
+                arrival,
+            });
+        }
+        let done = mc.drain(&mut ch, 0).unwrap();
+        let got: Vec<(u64, u64, bool)> = done
+            .iter()
+            .map(|c| (c.id, c.issue_cycle, c.row_hit))
+            .collect();
+        // Captured from the pre-optimization scheduler: the memoized scan
+        // must reproduce this completion order, every issue cycle, every
+        // hit flag, and the statistics exactly.
+        assert_eq!(
+            got,
+            vec![
+                (0, 14, false),
+                (1, 18, true),
+                (3, 22, false),
+                (4, 26, true),
+                (5, 54, false),
+                (7, 60, true),
+                (2, 64, false),
+                (6, 72, false),
+                (8, 80, true),
+                (9, 214, false),
+            ]
+        );
+        assert_eq!(
+            mc.stats(),
+            &SchedulerStats {
+                row_hits: 4,
+                row_misses: 4,
+                row_conflicts: 2,
+                refreshes: 0,
+            }
+        );
+        assert_eq!(ch.audit().unwrap().validate(ch.timing()), vec![]);
     }
 
     #[test]

@@ -74,4 +74,5 @@ pub mod timing;
 pub use channel::Channel;
 pub use config::DramConfig;
 pub use error::DramError;
+pub use storage::Storage;
 pub use timing::{Cycle, TimingParams};

@@ -8,15 +8,27 @@
 use crate::config::DramConfig;
 use crate::error::DramError;
 
+/// A materialized row: its bytes plus a generation counter that is bumped
+/// on every mutation, letting derived caches (e.g. the decoded-weight cache
+/// in `newton-core`) detect staleness without hashing the contents.
+#[derive(Debug, Clone)]
+struct RowSlot {
+    data: Box<[u8]>,
+    generation: u64,
+}
+
 /// Per-channel functional storage, indexed by bank and row.
 #[derive(Debug)]
 pub struct Storage {
-    banks: Vec<Vec<Option<Box<[u8]>>>>,
+    banks: Vec<Vec<Option<RowSlot>>>,
     row_bytes: usize,
     col_bytes: usize,
     cols_per_row: usize,
     /// Shared read-only zero row for never-written rows.
     zero_row: Box<[u8]>,
+    /// Monotonic counter handing out fresh generations across all rows, so
+    /// a row rewritten after a cache snapshot never reuses an old value.
+    next_generation: u64,
 }
 
 impl Storage {
@@ -31,7 +43,13 @@ impl Storage {
             col_bytes: config.col_bytes(),
             cols_per_row: config.cols_per_row,
             zero_row: vec![0u8; config.row_bytes()].into_boxed_slice(),
+            next_generation: 0,
         }
+    }
+
+    fn bump_generation(&mut self) -> u64 {
+        self.next_generation += 1;
+        self.next_generation
     }
 
     fn check_bank_row(&self, bank: usize, row: usize) -> Result<(), DramError> {
@@ -59,7 +77,26 @@ impl Storage {
     /// [`DramError::AddressOutOfRange`] for bad indices.
     pub fn row(&self, bank: usize, row: usize) -> Result<&[u8], DramError> {
         self.check_bank_row(bank, row)?;
-        Ok(self.banks[bank][row].as_deref().unwrap_or(&self.zero_row))
+        Ok(self.banks[bank][row]
+            .as_ref()
+            .map_or(&self.zero_row, |slot| &slot.data))
+    }
+
+    /// Current generation of a (bank, row): `0` for a never-written row,
+    /// otherwise a value that strictly increases on every mutation of that
+    /// row ([`write_row`](Storage::write_row),
+    /// [`write_column`](Storage::write_column),
+    /// [`flip_bit`](Storage::flip_bit)). Caches keyed on (bank, row) stay
+    /// coherent by re-checking this against their snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad indices.
+    pub fn row_generation(&self, bank: usize, row: usize) -> Result<u64, DramError> {
+        self.check_bank_row(bank, row)?;
+        Ok(self.banks[bank][row]
+            .as_ref()
+            .map_or(0, |slot| slot.generation))
     }
 
     /// Overwrites an entire row.
@@ -76,7 +113,11 @@ impl Storage {
                 actual: data.len(),
             });
         }
-        self.banks[bank][row] = Some(data.to_vec().into_boxed_slice());
+        let generation = self.bump_generation();
+        self.banks[bank][row] = Some(RowSlot {
+            data: data.to_vec().into_boxed_slice(),
+            generation,
+        });
         Ok(())
     }
 
@@ -127,10 +168,14 @@ impl Storage {
             });
         }
         let row_bytes = self.row_bytes;
-        let slot = &mut self.banks[bank][row];
-        let row_data = slot.get_or_insert_with(|| vec![0u8; row_bytes].into_boxed_slice());
+        let generation = self.bump_generation();
+        let slot = self.banks[bank][row].get_or_insert_with(|| RowSlot {
+            data: vec![0u8; row_bytes].into_boxed_slice(),
+            generation,
+        });
+        slot.generation = generation;
         let start = col * self.col_bytes;
-        row_data[start..start + self.col_bytes].copy_from_slice(data);
+        slot.data[start..start + self.col_bytes].copy_from_slice(data);
         Ok(())
     }
 
@@ -154,9 +199,13 @@ impl Storage {
             });
         }
         let row_bytes = self.row_bytes;
-        let slot = &mut self.banks[bank][row];
-        let data = slot.get_or_insert_with(|| vec![0u8; row_bytes].into_boxed_slice());
-        data[bit / 8] ^= 1 << (bit % 8);
+        let generation = self.bump_generation();
+        let slot = self.banks[bank][row].get_or_insert_with(|| RowSlot {
+            data: vec![0u8; row_bytes].into_boxed_slice(),
+            generation,
+        });
+        slot.generation = generation;
+        slot.data[bit / 8] ^= 1 << (bit % 8);
         Ok(())
     }
 
@@ -243,6 +292,38 @@ mod tests {
         // Bounds.
         assert!(s.flip_bit(0, 3, 1024 * 8).is_err());
         assert!(s.flip_bit(16, 0, 0).is_err());
+    }
+
+    #[test]
+    fn generations_start_at_zero_and_bump_on_every_mutation() {
+        let mut s = storage();
+        assert_eq!(s.row_generation(0, 5).unwrap(), 0, "unwritten row");
+
+        s.write_row(0, 5, &vec![0u8; 1024]).unwrap();
+        let g1 = s.row_generation(0, 5).unwrap();
+        assert!(g1 > 0);
+
+        s.write_column(0, 5, 2, &[0xAAu8; 32]).unwrap();
+        let g2 = s.row_generation(0, 5).unwrap();
+        assert!(g2 > g1, "write_column must bump the generation");
+
+        s.flip_bit(0, 5, 3).unwrap();
+        let g3 = s.row_generation(0, 5).unwrap();
+        assert!(g3 > g2, "flip_bit must bump the generation");
+
+        // Other rows are unaffected, and a row first touched later still
+        // gets a generation never seen on any row before.
+        assert_eq!(s.row_generation(0, 6).unwrap(), 0);
+        s.write_column(1, 0, 0, &[0u8; 32]).unwrap();
+        assert!(s.row_generation(1, 0).unwrap() > g3);
+
+        // Reads never bump.
+        let _ = s.row(0, 5).unwrap();
+        let _ = s.column(0, 5, 0).unwrap();
+        assert_eq!(s.row_generation(0, 5).unwrap(), g3);
+
+        // Bounds.
+        assert!(s.row_generation(16, 0).is_err());
     }
 
     #[test]

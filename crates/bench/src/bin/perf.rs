@@ -1,28 +1,45 @@
-//! Performance regression harness for the functional hot path (PR 2).
+//! Performance regression harness for the functional hot path (PR 2)
+//! and the deterministic parallel evaluation pipeline (PR 4).
 //!
-//! Runs a Table II-representative matrix–vector workload (BERT
-//! small-batch layer shape, 1024 x 1024) end to end under each
-//! [`FunctionalMode`] — `Reference` (the pre-cache per-COMP decode
-//! oracle), `Uncached` (stack-only kernels over raw row bytes) and
-//! `Cached` (decoded-weight row cache, the default) — verifies the three
-//! produce bit-identical outputs and identical simulated cycles, then
-//! reports simulated-cycles/sec and COMPs/sec of host wall-clock time
-//! for each and writes a versioned JSON snapshot.
+//! Three sections, one JSON snapshot:
+//!
+//! 1. **Functional modes** (PR 2, unchanged keys): a Table
+//!    II-representative matrix–vector workload (BERT small-batch layer
+//!    shape, 1024 x 1024) end to end under each [`FunctionalMode`] —
+//!    `Reference`, `Uncached` and `Cached` — verifying bit-identical
+//!    outputs and identical simulated cycles, reporting
+//!    simulated-cycles/sec and COMPs/sec per mode.
+//! 2. **Thread scaling** (PR 4): the same workload on 8 channels with
+//!    the worker pool pinned to each `--threads` entry
+//!    (`ParallelPolicy::exact`), verifying outputs, simulated cycles and
+//!    COMP counts are bit-identical at every width and recording the
+//!    simulated-cycles/sec curve.
+//! 3. **Reproduce wall clock** (PR 4): the experiment harness
+//!    (`newton_bench::harness`) end to end at 1 worker vs the widest
+//!    requested width, verifying report text and snapshots are
+//!    byte-identical and recording experiments/sec.
+//!
+//! Host caveat: `host_cores` is recorded in the snapshot; on a 1-core
+//! host the scaling curve is honestly flat (the determinism assertions
+//! still exercise the multi-threaded merge paths).
 //!
 //! Usage:
 //!
 //! ```sh
-//! perf                  # full workload (1024 x 1024, release advisable)
-//! perf --quick          # small workload for CI smoke (64 x 512)
-//! perf --out PATH       # snapshot path (default BENCH_pr2.json)
+//! perf                   # full workload (release advisable)
+//! perf --quick           # small workload for CI smoke
+//! perf --threads 1,2,4,8 # worker widths for the scaling curve (default)
+//! perf --out PATH        # snapshot path (default BENCH_pr4.json)
 //! ```
 //!
 //! The snapshot is a [`newton_trace::MetricsSnapshot`] document (schema
 //! version [`newton_trace::SNAPSHOT_SCHEMA_VERSION`]) so runs diff
 //! across commits.
 
+use newton_bench::harness::{run_experiments, HarnessOptions};
 use newton_bf16::Bf16;
 use newton_core::controller::FunctionalMode;
+use newton_core::parallel::ParallelPolicy;
 use newton_core::{config::NewtonConfig, system::NewtonSystem};
 use newton_trace::MetricsSnapshot;
 use std::path::PathBuf;
@@ -31,12 +48,14 @@ use std::time::Instant;
 struct Args {
     quick: bool,
     out: PathBuf,
+    threads: Vec<usize>,
 }
 
 impl Args {
     fn from_env() -> Args {
         let mut quick = false;
-        let mut out = PathBuf::from("BENCH_pr2.json");
+        let mut out = PathBuf::from("BENCH_pr4.json");
+        let mut threads = vec![1, 2, 4, 8];
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -48,13 +67,36 @@ impl Args {
                         std::process::exit(2);
                     }
                 },
+                "--threads" => {
+                    let parsed: Option<Vec<usize>> = it.next().map(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+                            .collect::<Option<Vec<usize>>>()
+                            .unwrap_or_default()
+                    });
+                    match parsed {
+                        Some(list) if !list.is_empty() => threads = list,
+                        _ => {
+                            eprintln!(
+                                "error: --threads requires a comma list of positive integers"
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 other => {
-                    eprintln!("error: unknown argument {other:?} (try --quick / --out PATH)");
+                    eprintln!(
+                        "error: unknown argument {other:?} (try --quick / --threads LIST / --out PATH)"
+                    );
                     std::process::exit(2);
                 }
             }
         }
-        Args { quick, out }
+        Args {
+            quick,
+            out,
+            threads,
+        }
     }
 }
 
@@ -69,8 +111,7 @@ fn det_bf16(seed: u64, i: u64) -> Bf16 {
     Bf16::from_f32(frac * 4.0 - 2.0)
 }
 
-struct ModeResult {
-    mode: FunctionalMode,
+struct RunResult {
     wall_seconds: f64,
     sim_cycles: u64,
     comps: u64,
@@ -79,8 +120,9 @@ struct ModeResult {
 
 /// One timed end-to-end measurement: matrix load plus a batch of
 /// inferences against the resident matrix, repeated `reps` times on a
-/// fresh system per repetition (so every mode pays the same load cost).
-fn run_mode(
+/// fresh system per repetition (so every configuration pays the same
+/// load cost).
+fn run_workload(
     cfg: &NewtonConfig,
     mode: FunctionalMode,
     m: usize,
@@ -88,7 +130,7 @@ fn run_mode(
     matrix: &[Bf16],
     vectors: &[Vec<Bf16>],
     reps: usize,
-) -> ModeResult {
+) -> RunResult {
     // Warm-up pass, untimed (page-in, allocator steady state).
     let mut system = NewtonSystem::new(cfg.clone()).expect("config accepted");
     system.set_functional_mode(mode);
@@ -115,8 +157,7 @@ fn run_mode(
         }
     }
     let wall_seconds = start.elapsed().as_secs_f64();
-    ModeResult {
-        mode,
+    RunResult {
         wall_seconds,
         sim_cycles,
         comps,
@@ -139,14 +180,24 @@ fn main() {
     } else {
         (1024, 1024, 4, 3, "BERT S1 layer 1024x1024 (Table II)")
     };
-
-    let mut cfg = NewtonConfig::paper_default();
-    cfg.channels = 1;
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
 
     let matrix: Vec<Bf16> = (0..m * n).map(|i| det_bf16(1, i as u64)).collect();
     let vectors: Vec<Vec<Bf16>> = (0..batch)
         .map(|b| (0..n).map(|i| det_bf16(100 + b as u64, i as u64)).collect())
         .collect();
+
+    let mut snap = MetricsSnapshot::new("bench_pr4");
+
+    // ------------------------------------------------------------------
+    // Section 1: functional modes (single channel, serial — the PR 2
+    // baseline, keys unchanged for cross-snapshot comparison).
+    // ------------------------------------------------------------------
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 1;
+    cfg.parallel = ParallelPolicy::exact(1);
 
     println!("newton perf: {workload}, batch {batch}, {reps} rep(s) per mode");
     let modes = [
@@ -154,10 +205,10 @@ fn main() {
         FunctionalMode::Uncached,
         FunctionalMode::Cached,
     ];
-    let results: Vec<ModeResult> = modes
+    let results: Vec<(FunctionalMode, RunResult)> = modes
         .iter()
         .map(|&mode| {
-            let r = run_mode(&cfg, mode, m, n, &matrix, &vectors, reps);
+            let r = run_workload(&cfg, mode, m, n, &matrix, &vectors, reps);
             println!(
                 "  {:<10} {:>8.3} s  {:>14.0} sim-cycles/s  {:>12.0} COMPs/s",
                 mode_key(mode),
@@ -165,44 +216,45 @@ fn main() {
                 r.sim_cycles as f64 / r.wall_seconds,
                 r.comps as f64 / r.wall_seconds,
             );
-            r
+            (mode, r)
         })
         .collect();
 
     // Bit-exactness gate: every mode must agree with the reference oracle
     // on output bits, simulated cycles and COMP counts.
-    let reference = &results[0];
-    for r in &results[1..] {
+    let reference = &results[0].1;
+    for (mode, r) in &results[1..] {
         assert_eq!(
             r.output_bits,
             reference.output_bits,
             "{} output differs from reference",
-            mode_key(r.mode)
+            mode_key(*mode)
         );
         assert_eq!(
             r.sim_cycles,
             reference.sim_cycles,
             "{} simulated cycles differ from reference",
-            mode_key(r.mode)
+            mode_key(*mode)
         );
         assert_eq!(
             r.comps,
             reference.comps,
             "{} COMP count differs from reference",
-            mode_key(r.mode)
+            mode_key(*mode)
         );
     }
 
-    let cached = results
+    let cached = &results
         .iter()
-        .find(|r| r.mode == FunctionalMode::Cached)
-        .expect("cached mode measured");
+        .find(|(mode, _)| *mode == FunctionalMode::Cached)
+        .expect("cached mode measured")
+        .1;
     let speedup = reference.wall_seconds / cached.wall_seconds;
     println!("  speedup (cached vs reference): {speedup:.2}x");
 
-    let mut snap = MetricsSnapshot::new("bench_pr2");
     snap.text("workload", workload)
         .text("modes", "reference, uncached, cached")
+        .count("host_cores", host_cores as u64)
         .count("matrix_rows", m as u64)
         .count("matrix_cols", n as u64)
         .count("batch", batch as u64)
@@ -210,8 +262,8 @@ fn main() {
         .count("sim_cycles_per_mode", reference.sim_cycles)
         .count("comps_per_mode", reference.comps)
         .scalar("speedup_cached_vs_reference", speedup);
-    for r in &results {
-        let key = mode_key(r.mode);
+    for (mode, r) in &results {
+        let key = mode_key(*mode);
         snap.scalar(&format!("{key}/wall_seconds"), r.wall_seconds)
             .scalar(
                 &format!("{key}/sim_cycles_per_sec"),
@@ -222,6 +274,129 @@ fn main() {
                 r.comps as f64 / r.wall_seconds,
             );
     }
+
+    // ------------------------------------------------------------------
+    // Section 2: thread scaling on the channel-parallel data plane
+    // (8 channels so the pool has work; ParallelPolicy::exact pins the
+    // width and ignores NEWTON_THREADS).
+    // ------------------------------------------------------------------
+    let threads_list = args.threads.clone();
+    let list_text = threads_list
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "thread scaling: {workload} on 8 channels, widths [{list_text}] (host cores: {host_cores})"
+    );
+    let mut par_cfg = NewtonConfig::paper_default();
+    par_cfg.channels = 8;
+    // One discarded pass pages in the 8-channel storage footprint so the
+    // first curve point is not charged for it.
+    par_cfg.parallel = ParallelPolicy::exact(threads_list[0]);
+    let _ = run_workload(&par_cfg, FunctionalMode::Cached, m, n, &matrix, &vectors, 1);
+    let mut first: Option<RunResult> = None;
+    for &t in &threads_list {
+        par_cfg.parallel = ParallelPolicy::exact(t);
+        let r = run_workload(
+            &par_cfg,
+            FunctionalMode::Cached,
+            m,
+            n,
+            &matrix,
+            &vectors,
+            reps,
+        );
+        println!(
+            "  threads={t:<2} {:>8.3} s  {:>14.0} sim-cycles/s",
+            r.wall_seconds,
+            r.sim_cycles as f64 / r.wall_seconds,
+        );
+        snap.scalar(&format!("threads/{t}/wall_seconds"), r.wall_seconds)
+            .scalar(
+                &format!("threads/{t}/sim_cycles_per_sec"),
+                r.sim_cycles as f64 / r.wall_seconds,
+            );
+        if let Some(base) = &first {
+            assert_eq!(
+                r.output_bits, base.output_bits,
+                "threads={t} output differs from threads={}",
+                threads_list[0]
+            );
+            assert_eq!(
+                r.sim_cycles, base.sim_cycles,
+                "threads={t} simulated cycles differ from threads={}",
+                threads_list[0]
+            );
+            assert_eq!(
+                r.comps, base.comps,
+                "threads={t} COMP count differs from threads={}",
+                threads_list[0]
+            );
+        } else {
+            first = Some(r);
+        }
+    }
+    snap.text("threads_list", &list_text);
+
+    // ------------------------------------------------------------------
+    // Section 3: experiment-harness wall clock, 1 worker vs the widest
+    // requested width, with byte-identical reports asserted.
+    // ------------------------------------------------------------------
+    let wide = threads_list.iter().copied().max().unwrap_or(1);
+    let experiments: Vec<String> = if args.quick {
+        ["table2", "table3", "fig07"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect()
+    } else {
+        Vec::new() // empty filter = the full canonical experiment list
+    };
+    let scope = if args.quick {
+        "subset table2,table3,fig07"
+    } else {
+        "all experiments"
+    };
+    println!("reproduce harness ({scope}): 1 worker vs {wide}");
+    let mut harness_runs = Vec::new();
+    for &t in &[1usize, wide] {
+        let opts = HarnessOptions {
+            filter: experiments.clone(),
+            threads: Some(t),
+        };
+        let start = Instant::now();
+        let reports = run_experiments(&opts).expect("harness run");
+        let wall = start.elapsed().as_secs_f64();
+        println!(
+            "  threads={t:<2} {:>8.3} s  {:>6.2} experiments/s",
+            wall,
+            reports.len() as f64 / wall,
+        );
+        snap.scalar(&format!("reproduce/threads_{t}/wall_seconds"), wall)
+            .scalar(
+                &format!("reproduce/threads_{t}/experiments_per_sec"),
+                reports.len() as f64 / wall,
+            );
+        harness_runs.push(reports);
+    }
+    let (serial, parallel) = (&harness_runs[0], &harness_runs[1]);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.text, b.text,
+            "{}: report text differs across widths",
+            a.name
+        );
+        assert_eq!(
+            a.snapshot.render(),
+            b.snapshot.render(),
+            "{}: snapshot differs across widths",
+            a.name
+        );
+    }
+    println!("  reports byte-identical across widths: ok");
+
     let rendered = snap.render();
     if let Err(e) = std::fs::write(&args.out, &rendered) {
         eprintln!("error: cannot write {}: {e}", args.out.display());

@@ -8,38 +8,27 @@
 //! reproduce                        # everything (~35 s in release)
 //! reproduce --list                 # list experiment names
 //! reproduce --only fig09          # any subset, by substring (comma-separated)
+//! reproduce --threads N           # worker-pool width (default: NEWTON_THREADS or host cores)
 //! reproduce --snapshot-dir DIR    # where metrics snapshots go (default target/snapshots)
 //! reproduce --no-snapshots        # skip snapshot files
 //! ```
+//!
+//! The experiments run on a bounded worker pool
+//! (`newton_bench::harness`); reports and snapshot files are merged in
+//! the canonical order, so the output is byte-identical for every
+//! `--threads` value (`--threads 1` is the fully serial reference).
 //!
 //! Besides the printed tables, every experiment writes a versioned JSON
 //! metrics snapshot (`<snapshot-dir>/<experiment>.json`, schema version
 //! `newton_trace::SNAPSHOT_SCHEMA_VERSION`) so results diff across
 //! commits.
 
-use newton_bench::report::{fns, fx, geomean, Table};
-use newton_bench::snapshot::{add_table, SnapshotWriter};
-use newton_bench::*;
-use newton_trace::MetricsSnapshot;
-use newton_workloads::Benchmark;
+use newton_bench::harness::{run_experiments, HarnessOptions, EXPERIMENTS};
+use newton_bench::snapshot::SnapshotWriter;
 use std::path::PathBuf;
 
-const EXPERIMENTS: &[&str] = &[
-    "table2",
-    "table3",
-    "fig07",
-    "fig08",
-    "fig09",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "ablations",
-    "extensions",
-];
-
 struct Args {
-    only: Vec<String>,
+    opts: HarnessOptions,
     snapshot_dir: Option<PathBuf>,
 }
 
@@ -51,6 +40,7 @@ impl Args {
             std::process::exit(0);
         }
         let mut only = Vec::new();
+        let mut threads = None;
         let mut snapshot_dir = Some(PathBuf::from("target/snapshots"));
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -59,6 +49,13 @@ impl Args {
                     Some(v) => only.extend(v.split(',').map(|s| s.trim().to_string())),
                     None => {
                         eprintln!("error: --only requires a value (try --list)");
+                        std::process::exit(2);
+                    }
+                },
+                "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => threads = Some(n),
+                    _ => {
+                        eprintln!("error: --threads requires a positive integer");
                         std::process::exit(2);
                     }
                 },
@@ -81,337 +78,40 @@ impl Args {
                 std::process::exit(2);
             }
         }
-        Args { only, snapshot_dir }
-    }
-
-    fn wants(&self, name: &str) -> bool {
-        self.only.is_empty() || self.only.iter().any(|f| name.contains(f.as_str()))
+        Args {
+            opts: HarnessOptions {
+                filter: only,
+                threads,
+            },
+            snapshot_dir,
+        }
     }
 }
 
 fn main() {
     let args = Args::from_env();
-    let filter = &args;
-    let mut snapshots = SnapshotWriter::new(args.snapshot_dir.as_deref());
-    let mut save = |snap: &MetricsSnapshot| {
-        if let Err(e) = snapshots.write(snap) {
-            eprintln!("warning: snapshot {} not written: {e}", snap.experiment());
-        }
-    };
     let t0 = std::time::Instant::now();
     println!("Newton (MICRO 2020) reproduction\n");
 
-    if filter.wants("table2") {
-        let mut t = Table::new(&["Table II workload", "matrix", "vector", "weights"]);
-        for b in Benchmark::all() {
-            let s = b.shape();
-            t.row(&[
-                b.name().into(),
-                format!("{} x {}", s.m, s.n),
-                format!("{} x 1", s.n),
-                format!("{:.1} MB", s.matrix_bytes() as f64 / 1e6),
-            ]);
+    let reports = match run_experiments(&args.opts) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
-        println!("{}", t.render());
-        let mut snap = MetricsSnapshot::new("table2");
-        snap.count("workloads", Benchmark::all().len() as u64);
-        add_table(&mut snap, "Table II: workloads", &t);
-        save(&snap);
-    }
+    };
 
-    if filter.wants("table3") {
-        let mv = model_validation().expect("model validation");
-        println!("Sec. III-F model vs simulator (speedup over Ideal Non-PIM):");
-        println!("  paper formula : {}", fx(mv.paper_model_x));
-        println!("  refined model : {}", fx(mv.refined_model_x));
-        println!("  measured      : {}\n", fx(mv.measured_x));
-        let mut snap = MetricsSnapshot::new("table3");
-        snap.scalar("paper_model_x", mv.paper_model_x)
-            .scalar("refined_model_x", mv.refined_model_x)
-            .scalar("measured_x", mv.measured_x);
-        save(&snap);
-    }
-
-    if filter.wants("fig07") {
-        println!("Fig. 7 command timeline (one DRAM row across all banks, first 44 commands):");
-        let trace = fig07_command_trace().expect("fig07");
-        for line in trace.lines().take(44) {
-            println!("  {line}");
-        }
-        println!();
-        let mut snap = MetricsSnapshot::new("fig07");
-        snap.count("commands", trace.lines().count() as u64);
-        save(&snap);
-    }
-
-    let needs_layers = filter.wants("fig08")
-        || filter.wants("fig11")
-        || filter.wants("fig12")
-        || filter.wants("fig13");
-    let layers = if needs_layers {
-        let layers = measure_all_layers(&newton_core::NewtonConfig::paper_default())
-            .expect("layer measurements");
-        for m in &layers {
-            assert!(
-                m.numerics_ok,
-                "{}: numeric error {} out of bounds",
-                m.benchmark.name(),
-                m.max_numeric_error
+    // Reports arrive in canonical order regardless of the pool width:
+    // print, then persist, in that same order.
+    let mut snapshots = SnapshotWriter::new(args.snapshot_dir.as_deref());
+    for r in &reports {
+        print!("{}", r.text);
+        if let Err(e) = snapshots.write(&r.snapshot) {
+            eprintln!(
+                "warning: snapshot {} not written: {e}",
+                r.snapshot.experiment()
             );
         }
-        layers
-    } else {
-        Vec::new()
-    };
-
-    if filter.wants("fig08") {
-        println!("Fig. 8 (left): per-layer speedup over the Titan-V-like GPU");
-        let rows = fig08_layers(&layers).expect("fig08 layers");
-        let mut snap = MetricsSnapshot::new("fig08");
-        snap.scalar(
-            "geomean_newton_x",
-            geomean(&rows.iter().map(|r| r.newton_x).collect::<Vec<_>>()),
-        )
-        .scalar(
-            "geomean_ideal_x",
-            geomean(&rows.iter().map(|r| r.ideal_x).collect::<Vec<_>>()),
-        );
-        let mut t = Table::new(&["layer", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
-        for r in &rows {
-            t.row(&[
-                r.name.clone(),
-                fx(r.newton_x),
-                fx(r.ideal_x),
-                fx(r.nonopt_x),
-            ]);
-        }
-        println!("{}", t.render());
-        println!("paper: geomean Newton 54x, Ideal 5.4x, Non-opt 1.48x\n");
-        add_table(&mut snap, "Fig. 8 (left): per-layer speedup vs GPU", &t);
-
-        // Cycle attribution behind the speedups: where Newton's banks spend
-        // their time, and the bandwidth the Ideal stream actually sustained.
-        let mut attr = Table::new(&[
-            "layer",
-            "Newton bank util",
-            "Newton acts",
-            "Ideal ext BW (B/ns)",
-        ]);
-        for m in &layers {
-            let util = if m.newton_summaries.is_empty() {
-                0.0
-            } else {
-                m.newton_summaries
-                    .iter()
-                    .map(newton_dram::stats::RunSummary::bank_utilization)
-                    .sum::<f64>()
-                    / m.newton_summaries.len() as f64
-            };
-            let acts: u64 = m.newton_summaries.iter().map(|s| s.stats.activates).sum();
-            attr.row(&[
-                m.benchmark.name().into(),
-                format!("{util:.3}"),
-                acts.to_string(),
-                format!("{:.2}", m.ideal_summary.external_bandwidth()),
-            ]);
-        }
-        add_table(
-            &mut snap,
-            "Attribution: Newton vs Ideal DRAM activity",
-            &attr,
-        );
-
-        println!("Fig. 8 (right): end-to-end speedup over the Titan-V-like GPU");
-        let rows = fig08_end_to_end().expect("fig08 e2e");
-        let mut t = Table::new(&["model", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
-        for r in &rows {
-            t.row(&[
-                r.name.clone(),
-                fx(r.newton_x),
-                fx(r.ideal_x),
-                fx(r.nonopt_x),
-            ]);
-        }
-        println!("{}", t.render());
-        println!("paper: DLRM 47x, AlexNet 1.2x, mean(all) 20x, mean(key targets) 49x\n");
-        add_table(&mut snap, "Fig. 8 (right): end-to-end speedup vs GPU", &t);
-        save(&snap);
-    }
-
-    if filter.wants("fig09") {
-        println!("Fig. 9: isolating Newton's optimizations (geomean over layers)");
-        let rows = fig09_ladder().expect("fig09");
-        let mut t = Table::new(&["configuration", "speedup vs GPU"]);
-        for r in &rows {
-            t.row(&[r.level.label().into(), fx(r.speedup_x)]);
-        }
-        println!("{}", t.render());
-        let mut snap = MetricsSnapshot::new("fig09");
-        add_table(&mut snap, "Fig. 9: optimization ladder", &t);
-        save(&snap);
-    }
-
-    if filter.wants("fig10") {
-        println!("Fig. 10: sensitivity to banks per channel");
-        let rows = fig10_bank_sweep().expect("fig10");
-        let mut t = Table::new(&["layer", "8 banks", "16 banks", "32 banks"]);
-        for r in &rows {
-            t.row(&[
-                r.name.clone(),
-                fx(r.speedup_x[0]),
-                fx(r.speedup_x[1]),
-                fx(r.speedup_x[2]),
-            ]);
-        }
-        println!("{}", t.render());
-        println!("paper: geomean 28x / 54x / 96x\n");
-        let mut snap = MetricsSnapshot::new("fig10");
-        add_table(&mut snap, "Fig. 10: banks-per-channel sensitivity", &t);
-        save(&snap);
-    }
-
-    let batch_header = || -> Vec<String> {
-        ["layer", "arch"]
-            .iter()
-            .map(|s| (*s).to_string())
-            .chain(BATCH_SIZES.iter().map(|k| format!("k={k}")))
-            .collect()
-    };
-
-    if filter.wants("fig11") {
-        println!("Fig. 11: batch sensitivity vs Ideal Non-PIM (perf normalized to GPU @ k=1)");
-        let rows = fig11_batch_vs_ideal(&layers).expect("fig11");
-        let header = batch_header();
-        let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
-        let mut t = Table::new(&hrefs);
-        for r in &rows {
-            let mut newton = vec![r.name.clone(), "Newton".into()];
-            newton.extend(r.newton.iter().map(|v| fx(*v)));
-            t.row(&newton);
-            let mut ideal = vec![String::new(), "Ideal".into()];
-            ideal.extend(r.other.iter().map(|v| fx(*v)));
-            t.row(&ideal);
-        }
-        println!("{}", t.render());
-        println!("paper: Ideal nearly catches Newton at k=8, ~1.6x ahead at k=16\n");
-        let mut snap = MetricsSnapshot::new("fig11");
-        add_table(&mut snap, "Fig. 11: batch sensitivity vs Ideal Non-PIM", &t);
-        save(&snap);
-    }
-
-    if filter.wants("fig12") {
-        println!("Fig. 12: batch sensitivity vs GPU (perf normalized to GPU @ k=1)");
-        let rows = fig12_batch_vs_gpu(&layers);
-        let header = batch_header();
-        let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
-        let mut t = Table::new(&hrefs);
-        for r in &rows {
-            let mut newton = vec![r.name.clone(), "Newton".into()];
-            newton.extend(r.newton.iter().map(|v| fx(*v)));
-            t.row(&newton);
-            let mut gpu = vec![String::new(), "GPU".into()];
-            gpu.extend(r.other.iter().map(|v| fx(*v)));
-            t.row(&gpu);
-        }
-        println!("{}", t.render());
-        println!("paper: the GPU needs batch 64 to outperform Newton\n");
-        let mut snap = MetricsSnapshot::new("fig12");
-        add_table(&mut snap, "Fig. 12: batch sensitivity vs GPU", &t);
-        save(&snap);
-    }
-
-    if filter.wants("fig13") {
-        println!("Fig. 13: Newton average power normalized to conventional DRAM");
-        let rows = fig13_power(&layers);
-        let mut t = Table::new(&["workload", "normalized power"]);
-        for r in &rows {
-            t.row(&[r.name.clone(), format!("{:.2}x", r.normalized_power)]);
-        }
-        println!("{}", t.render());
-        println!("paper: ~2.8x mean\n");
-        let mut snap = MetricsSnapshot::new("fig13");
-        snap.scalar(
-            "mean_normalized_power",
-            rows.iter().map(|r| r.normalized_power).sum::<f64>() / rows.len().max(1) as f64,
-        );
-        add_table(&mut snap, "Fig. 13: normalized power", &t);
-        save(&snap);
-    }
-
-    if filter.wants("ablations") {
-        println!("Ablation (Sec. III-C): interleaved full-reuse vs Newton-no-reuse");
-        let rows = ablation_layout().expect("ablation layout");
-        let mut snap = MetricsSnapshot::new("ablations");
-        let mut t = Table::new(&["layer", "Newton", "no-reuse", "slowdown"]);
-        let mut slow = Vec::new();
-        for r in &rows {
-            slow.push(r.slowdown());
-            t.row(&[
-                r.name.clone(),
-                fns(r.newton_ns),
-                fns(r.variant_ns),
-                fx(r.slowdown()),
-            ]);
-        }
-        t.row(&[
-            "geomean".into(),
-            String::new(),
-            String::new(),
-            fx(geomean(&slow)),
-        ]);
-        println!("{}", t.render());
-        snap.scalar("no_reuse_geomean_slowdown", geomean(&slow));
-        add_table(
-            &mut snap,
-            "Ablation: interleaved full-reuse vs no-reuse",
-            &t,
-        );
-
-        println!("Ablation (Sec. III-C): four result latches per bank vs full Newton");
-        let rows = ablation_latches().expect("ablation latches");
-        let mut t = Table::new(&["layer", "Newton", "4-latch", "ratio"]);
-        for r in &rows {
-            t.row(&[
-                r.name.clone(),
-                fns(r.newton_ns),
-                fns(r.variant_ns),
-                fx(r.slowdown()),
-            ]);
-        }
-        println!("{}", t.render());
-        add_table(&mut snap, "Ablation: four result latches per bank", &t);
-        save(&snap);
-    }
-
-    if filter.wants("extensions") {
-        println!("Extension (Sec. III-E): Newton across DRAM families");
-        let rows = ext_dram_families().expect("families");
-        let mut snap = MetricsSnapshot::new("extensions");
-        let mut t = Table::new(&["family", "banks", "measured", "model"]);
-        for r in &rows {
-            t.row(&[
-                r.name.into(),
-                r.banks.to_string(),
-                fx(r.measured_x),
-                fx(r.predicted_x),
-            ]);
-        }
-        println!("{}", t.render());
-        add_table(&mut snap, "Extension: DRAM families", &t);
-
-        println!("Extension (Sec. V-C): channel scaling (GNMTs1)");
-        let rows = ext_channel_sweep().expect("sweep");
-        let mut t = Table::new(&["channels", "layer time", "efficiency"]);
-        for r in &rows {
-            t.row(&[
-                r.channels.to_string(),
-                fns(r.newton_ns),
-                format!("{:.0}%", r.efficiency * 100.0),
-            ]);
-        }
-        println!("{}", t.render());
-        add_table(&mut snap, "Extension: channel scaling", &t);
-        save(&snap);
     }
 
     if !snapshots.written().is_empty() {
@@ -424,5 +124,9 @@ fn main() {
                 .unwrap_or_default()
         );
     }
-    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+    println!(
+        "workers: {} thread(s); total wall time: {:.1} s",
+        args.opts.threads(),
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -18,6 +18,7 @@
 use newton_baselines::{IdealNonPim, TitanVModel};
 use newton_core::config::{NewtonConfig, OptLevel};
 use newton_core::lut::ActivationKind;
+use newton_core::parallel::{self, ParallelPolicy};
 use newton_core::system::{MvProblem, NewtonSystem, SystemRun};
 use newton_core::AimError;
 use newton_dram::stats::RunSummary;
@@ -28,6 +29,29 @@ use newton_workloads::reference::{self, Activation};
 use newton_workloads::{generator, Benchmark};
 
 use crate::report::geomean;
+
+/// The harness-wide default worker count: the [`ParallelPolicy`]
+/// default, so `NEWTON_THREADS` applies to every `*_with`-less entry
+/// point (and `NEWTON_THREADS=1` forces the historical serial order).
+#[must_use]
+pub fn default_threads() -> usize {
+    ParallelPolicy::default().threads()
+}
+
+/// Runs `f(0..n)` on up to `threads` workers and collects index-ordered
+/// results. Merging by index (never completion order) plus surfacing the
+/// lowest-index error makes the outcome identical to a serial loop for
+/// every thread count — the determinism contract every experiment here
+/// relies on.
+fn try_par_indexed<T: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> Result<T, AimError> + Sync,
+) -> Result<Vec<T>, AimError> {
+    parallel::par_map_indexed(n, threads, f)
+        .into_iter()
+        .collect()
+}
 
 /// Converts a workloads activation to the core device's kind.
 #[must_use]
@@ -101,16 +125,29 @@ pub fn measure_layer(cfg: &NewtonConfig, b: Benchmark) -> Result<LayerMeasuremen
     })
 }
 
-/// Measures all Table II layers under the full Newton configuration.
+/// Measures all Table II layers under the full Newton configuration,
+/// using the [`default_threads`] worker count.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn measure_all_layers(cfg: &NewtonConfig) -> Result<Vec<LayerMeasurement>, AimError> {
-    Benchmark::all()
-        .iter()
-        .map(|&b| measure_layer(cfg, b))
-        .collect()
+    measure_all_layers_with(cfg, default_threads())
+}
+
+/// [`measure_all_layers`] on an explicit worker count. Results are
+/// bit-identical for every `threads` value (layers are independent
+/// simulations merged in benchmark order).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_all_layers_with(
+    cfg: &NewtonConfig,
+    threads: usize,
+) -> Result<Vec<LayerMeasurement>, AimError> {
+    let all = Benchmark::all();
+    try_par_indexed(all.len(), threads, |i| measure_layer(cfg, all[i]))
 }
 
 // ----------------------------------------------------------------------
@@ -142,11 +179,27 @@ pub struct SpeedupRow {
 ///
 /// Propagates simulator errors.
 pub fn fig08_layers(layers: &[LayerMeasurement]) -> Result<Vec<SpeedupRow>, AimError> {
+    fig08_layers_with(layers, default_threads())
+}
+
+/// [`fig08_layers`] on an explicit worker count: the Non-opt runs (the
+/// only simulations this figure adds) are measured in parallel and
+/// merged in layer order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig08_layers_with(
+    layers: &[LayerMeasurement],
+    threads: usize,
+) -> Result<Vec<SpeedupRow>, AimError> {
     let nonopt = NewtonConfig::at_level(OptLevel::NonOpt);
+    let nons = try_par_indexed(layers.len(), threads, |i| {
+        measure_layer(&nonopt, layers[i].benchmark)
+    })?;
     let mut rows = Vec::new();
     let (mut sn, mut si, mut so) = (Vec::new(), Vec::new(), Vec::new());
-    for m in layers {
-        let non = measure_layer(&nonopt, m.benchmark)?;
+    for (m, non) in layers.iter().zip(&nons) {
         let row = SpeedupRow {
             name: m.benchmark.name().to_string(),
             newton_x: m.gpu_ns / m.newton_ns,
@@ -297,17 +350,31 @@ pub fn measure_end_to_end(
 ///
 /// Propagates simulator errors.
 pub fn fig08_end_to_end() -> Result<Vec<SpeedupRow>, AimError> {
-    let nonopt = NewtonConfig::at_level(OptLevel::NonOpt);
-    let nonopt_times: Vec<(Benchmark, f64)> = Benchmark::all()
-        .iter()
-        .map(|&b| measure_layer(&nonopt, b).map(|m| (b, m.newton_ns)))
-        .collect::<Result<_, _>>()?;
+    fig08_end_to_end_with(default_threads())
+}
 
+/// [`fig08_end_to_end`] on an explicit worker count: the Non-opt layer
+/// times and the four end-to-end models are measured in parallel and
+/// merged in their canonical order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig08_end_to_end_with(threads: usize) -> Result<Vec<SpeedupRow>, AimError> {
+    let nonopt = NewtonConfig::at_level(OptLevel::NonOpt);
+    let all = Benchmark::all();
+    let nonopt_times: Vec<(Benchmark, f64)> = try_par_indexed(all.len(), threads, |i| {
+        measure_layer(&nonopt, all[i]).map(|m| (all[i], m.newton_ns))
+    })?;
+
+    let models = EndToEndModel::all();
+    let measured = try_par_indexed(models.len(), threads, |i| {
+        measure_end_to_end(&models[i], &nonopt_times)
+    })?;
     let mut rows = Vec::new();
     let (mut all_n, mut all_i, mut all_o, mut key_n) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-    for model in EndToEndModel::all() {
-        let m = measure_end_to_end(&model, &nonopt_times)?;
+    for (model, m) in models.iter().zip(measured) {
         all_n.push(m.row.newton_x);
         all_i.push(m.row.ideal_x);
         all_o.push(m.row.nonopt_x);
@@ -351,20 +418,32 @@ pub struct LadderRow {
 ///
 /// Propagates simulator errors.
 pub fn fig09_ladder() -> Result<Vec<LadderRow>, AimError> {
-    let mut rows = Vec::new();
-    for level in OptLevel::ladder() {
-        let cfg = NewtonConfig::at_level(level);
-        let mut speedups = Vec::new();
-        for b in Benchmark::all() {
-            let m = measure_layer(&cfg, b)?;
-            speedups.push(m.gpu_ns / m.newton_ns);
-        }
-        rows.push(LadderRow {
+    fig09_ladder_with(default_threads())
+}
+
+/// [`fig09_ladder`] on an explicit worker count: all
+/// `ladder-rung x layer` simulations run in parallel (48 independent
+/// measurements) and fold into per-rung geomeans in ladder order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig09_ladder_with(threads: usize) -> Result<Vec<LadderRow>, AimError> {
+    let levels = OptLevel::ladder();
+    let benches = Benchmark::all();
+    let speedups = try_par_indexed(levels.len() * benches.len(), threads, |k| {
+        let cfg = NewtonConfig::at_level(levels[k / benches.len()]);
+        let m = measure_layer(&cfg, benches[k % benches.len()])?;
+        Ok(m.gpu_ns / m.newton_ns)
+    })?;
+    Ok(levels
+        .iter()
+        .zip(speedups.chunks(benches.len()))
+        .map(|(&level, per_layer)| LadderRow {
             level,
-            speedup_x: geomean(&speedups),
-        });
-    }
-    Ok(rows)
+            speedup_x: geomean(per_layer),
+        })
+        .collect())
 }
 
 // ----------------------------------------------------------------------
@@ -386,8 +465,26 @@ pub struct BankSweepRow {
 ///
 /// Propagates simulator errors.
 pub fn fig10_bank_sweep() -> Result<Vec<BankSweepRow>, AimError> {
+    fig10_bank_sweep_with(default_threads())
+}
+
+/// [`fig10_bank_sweep`] on an explicit worker count: all
+/// `bank-count x layer` simulations run in parallel and fold into the
+/// sweep rows in the serial (bank-count outer, layer inner) order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig10_bank_sweep_with(threads: usize) -> Result<Vec<BankSweepRow>, AimError> {
     let bank_counts = [8usize, 16, 32];
-    let mut per_bench: Vec<BankSweepRow> = Benchmark::all()
+    let benches = Benchmark::all();
+    let speedups = try_par_indexed(bank_counts.len() * benches.len(), threads, |idx| {
+        let mut cfg = NewtonConfig::paper_default();
+        cfg.dram = cfg.dram.with_banks(bank_counts[idx / benches.len()]);
+        let m = measure_layer(&cfg, benches[idx % benches.len()])?;
+        Ok(m.gpu_ns / m.newton_ns)
+    })?;
+    let mut per_bench: Vec<BankSweepRow> = benches
         .iter()
         .map(|b| BankSweepRow {
             name: b.name().to_string(),
@@ -395,14 +492,11 @@ pub fn fig10_bank_sweep() -> Result<Vec<BankSweepRow>, AimError> {
         })
         .collect();
     let mut means = [Vec::new(), Vec::new(), Vec::new()];
-    for (k, &banks) in bank_counts.iter().enumerate() {
-        let mut cfg = NewtonConfig::paper_default();
-        cfg.dram = cfg.dram.with_banks(banks);
-        for (j, &b) in Benchmark::all().iter().enumerate() {
-            let m = measure_layer(&cfg, b)?;
-            let s = m.gpu_ns / m.newton_ns;
-            per_bench[j].speedup_x[k] = s;
-            means[k].push(s);
+    for (k, mean) in means.iter_mut().enumerate() {
+        for (j, row) in per_bench.iter_mut().enumerate() {
+            let s = speedups[k * benches.len() + j];
+            row.speedup_x[k] = s;
+            mean.push(s);
         }
     }
     per_bench.push(BankSweepRow {
@@ -632,21 +726,36 @@ impl AblationRow {
 ///
 /// Propagates simulator errors.
 pub fn ablation_layout() -> Result<Vec<AblationRow>, AimError> {
-    let full = NewtonConfig::paper_default();
+    ablation_layout_with(default_threads())
+}
+
+/// [`ablation_layout`] on an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ablation_layout_with(threads: usize) -> Result<Vec<AblationRow>, AimError> {
     let mut no_reuse = NewtonConfig::paper_default();
     no_reuse.opts.interleaved_reuse = false;
-    Benchmark::all()
-        .iter()
-        .map(|&b| {
-            let base = measure_layer(&full, b)?;
-            let var = measure_layer(&no_reuse, b)?;
-            Ok(AblationRow {
-                name: b.name().to_string(),
-                newton_ns: base.newton_ns,
-                variant_ns: var.newton_ns,
-            })
+    ablation_with(&no_reuse, threads)
+}
+
+/// Measures every Table II layer under full Newton and under `variant`,
+/// pairing the times per layer. Layer pairs run in parallel and merge in
+/// benchmark order.
+fn ablation_with(variant: &NewtonConfig, threads: usize) -> Result<Vec<AblationRow>, AimError> {
+    let full = NewtonConfig::paper_default();
+    let benches = Benchmark::all();
+    try_par_indexed(benches.len(), threads, |i| {
+        let b = benches[i];
+        let base = measure_layer(&full, b)?;
+        let var = measure_layer(variant, b)?;
+        Ok(AblationRow {
+            name: b.name().to_string(),
+            newton_ns: base.newton_ns,
+            variant_ns: var.newton_ns,
         })
-        .collect()
+    })
 }
 
 /// One row of the DRAM-family what-if (Sec. III-E extension).
@@ -674,6 +783,16 @@ pub struct FamilyRow {
 ///
 /// Propagates simulator errors.
 pub fn ext_dram_families() -> Result<Vec<FamilyRow>, AimError> {
+    ext_dram_families_with(default_threads())
+}
+
+/// [`ext_dram_families`] on an explicit worker count: the four family
+/// probes run in parallel and merge in the fixed family order.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ext_dram_families_with(threads: usize) -> Result<Vec<FamilyRow>, AimError> {
     use newton_dram::DramConfig;
     use newton_model::PerfModel;
     let families: [(&'static str, DramConfig); 4] = [
@@ -682,8 +801,8 @@ pub fn ext_dram_families() -> Result<Vec<FamilyRow>, AimError> {
         ("LPDDR4-like", DramConfig::lpddr4_like()),
         ("DDR4-like", DramConfig::ddr4_like()),
     ];
-    let mut rows = Vec::new();
-    for (name, dram) in families {
+    try_par_indexed(families.len(), threads, |i| {
+        let (name, dram) = &families[i];
         let mut cfg = NewtonConfig::paper_default();
         cfg.dram = dram.clone();
         cfg.channels = 1;
@@ -702,16 +821,15 @@ pub fn ext_dram_families() -> Result<Vec<FamilyRow>, AimError> {
         let rows_needed = (m * n * 2) / dram.row_bytes();
         let ideal_ns = rows_needed as f64 * dram.cols_per_row as f64 * dram.timing.t_ccd_ns;
         let model = PerfModel::new(cfg.effective_dram());
-        rows.push(FamilyRow {
+        Ok(FamilyRow {
             name,
             banks,
             newton_ns: run.elapsed_ns,
             ideal_ns,
             measured_x: ideal_ns / run.elapsed_ns,
             predicted_x: model.speedup_vs_ideal_refined(),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the channel-scaling extension (the paper's Sec. V-C note
@@ -736,28 +854,43 @@ pub struct ChannelSweepRow {
 ///
 /// Propagates simulator errors.
 pub fn ext_channel_sweep() -> Result<Vec<ChannelSweepRow>, AimError> {
+    ext_channel_sweep_with(default_threads())
+}
+
+/// [`ext_channel_sweep`] on an explicit worker count: the channel-count
+/// points are simulated in parallel; scaling/efficiency (relative to the
+/// first point) are derived afterwards, so the rows match the serial
+/// sweep exactly.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ext_channel_sweep_with(threads: usize) -> Result<Vec<ChannelSweepRow>, AimError> {
     let shape = Benchmark::GnmtS1.shape();
     let matrix = generator::matrix(shape, 5);
     let vector = generator::vector(shape.n, 5);
     let counts = [8usize, 16, 24, 32, 48];
-    let mut rows = Vec::new();
-    let mut base: Option<f64> = None;
-    for &channels in &counts {
+    let times = try_par_indexed(counts.len(), threads, |i| {
         let mut cfg = NewtonConfig::paper_default();
-        cfg.channels = channels;
+        cfg.channels = counts[i];
         let mut sys = NewtonSystem::new(cfg)?;
-        let run = sys.run_mv(&matrix, shape.m, shape.n, &vector)?;
-        let b = *base.get_or_insert(run.elapsed_ns);
-        let scaling = b / run.elapsed_ns;
-        let linear = channels as f64 / counts[0] as f64;
-        rows.push(ChannelSweepRow {
-            channels,
-            newton_ns: run.elapsed_ns,
-            scaling,
-            efficiency: scaling / linear,
-        });
-    }
-    Ok(rows)
+        Ok(sys.run_mv(&matrix, shape.m, shape.n, &vector)?.elapsed_ns)
+    })?;
+    let base = times.first().copied().unwrap_or(0.0);
+    Ok(counts
+        .iter()
+        .zip(&times)
+        .map(|(&channels, &newton_ns)| {
+            let scaling = base / newton_ns;
+            let linear = channels as f64 / counts[0] as f64;
+            ChannelSweepRow {
+                channels,
+                newton_ns,
+                scaling,
+                efficiency: scaling / linear,
+            }
+        })
+        .collect())
 }
 
 /// Sec. III-C: the four-result-latch "option in between" vs full Newton
@@ -767,20 +900,17 @@ pub fn ext_channel_sweep() -> Result<Vec<ChannelSweepRow>, AimError> {
 ///
 /// Propagates simulator errors.
 pub fn ablation_latches() -> Result<Vec<AblationRow>, AimError> {
-    let full = NewtonConfig::paper_default();
+    ablation_latches_with(default_threads())
+}
+
+/// [`ablation_latches`] on an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ablation_latches_with(threads: usize) -> Result<Vec<AblationRow>, AimError> {
     let mut four = NewtonConfig::paper_default();
     four.result_latches_per_bank = 4;
     four.opts.interleaved_reuse = false; // four-latch runs the grouped layout
-    Benchmark::all()
-        .iter()
-        .map(|&b| {
-            let base = measure_layer(&full, b)?;
-            let var = measure_layer(&four, b)?;
-            Ok(AblationRow {
-                name: b.name().to_string(),
-                newton_ns: base.newton_ns,
-                variant_ns: var.newton_ns,
-            })
-        })
-        .collect()
+    ablation_with(&four, threads)
 }

@@ -1,0 +1,601 @@
+//! The deterministic parallel experiment harness behind the `reproduce`
+//! binary.
+//!
+//! Each table/figure of the evaluation is an independent job: it renders
+//! its printed text into a [`String`] and collects its metrics into a
+//! [`MetricsSnapshot`] instead of writing to stdout directly. Jobs run on
+//! a bounded worker pool ([`newton_core::parallel`]) and their reports
+//! are merged back in the canonical [`EXPERIMENTS`] order — never in
+//! completion order — so the printed output, the snapshot files, and any
+//! error surfaced are byte-identical for every worker count (including
+//! `NEWTON_THREADS=1`, the fully serial reference).
+//!
+//! Shared heavy work is hoisted: the full-Newton Table II layer
+//! measurements feed Figs. 8/11/12/13 and are computed once (themselves
+//! in parallel, one layer per worker) before the job pool starts.
+
+use std::fmt::Write as _;
+
+use newton_core::config::NewtonConfig;
+use newton_core::parallel::{self, ParallelPolicy};
+use newton_core::AimError;
+use newton_trace::MetricsSnapshot;
+use newton_workloads::Benchmark;
+
+use crate::experiments::{
+    ablation_latches_with, ablation_layout_with, ext_channel_sweep_with, ext_dram_families_with,
+    fig07_command_trace, fig08_end_to_end_with, fig08_layers_with, fig09_ladder_with,
+    fig10_bank_sweep_with, fig11_batch_vs_ideal, fig12_batch_vs_gpu, fig13_power,
+    measure_all_layers_with, model_validation, LayerMeasurement, BATCH_SIZES,
+};
+use crate::report::{fns, fx, geomean, Table};
+use crate::snapshot::add_table;
+
+/// Every experiment name, in the canonical report order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table2",
+    "table3",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablations",
+    "extensions",
+];
+
+/// One experiment's rendered output: the text that would previously have
+/// gone straight to stdout, plus the versioned metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The canonical experiment name (an [`EXPERIMENTS`] entry).
+    pub name: &'static str,
+    /// The printed report, exactly as the serial harness would emit it.
+    pub text: String,
+    /// The metrics snapshot (`<snapshot-dir>/<name>.json`).
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Harness selection and worker-pool options.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessOptions {
+    /// Substring filters over [`EXPERIMENTS`]; empty selects everything.
+    pub filter: Vec<String>,
+    /// Worker-pool width. `None` resolves through the default
+    /// [`ParallelPolicy`], so `NEWTON_THREADS` applies; `Some(n)` pins
+    /// the width regardless of the environment.
+    pub threads: Option<usize>,
+}
+
+impl HarnessOptions {
+    /// Whether `name` passes the filter.
+    #[must_use]
+    pub fn wants(&self, name: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// The selected experiments, always in canonical order (the filter
+    /// narrows the set; it never reorders).
+    #[must_use]
+    pub fn selected(&self) -> Vec<&'static str> {
+        EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|e| self.wants(e))
+            .collect()
+    }
+
+    /// The resolved worker-pool width.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| ParallelPolicy::default().threads())
+            .max(1)
+    }
+}
+
+/// Runs the selected experiments on a bounded worker pool and returns
+/// their reports in canonical order.
+///
+/// Determinism contract: for a fixed repository state the returned
+/// reports (text bytes, snapshot contents, and error — if any — in
+/// index order) are identical for every `threads` value.
+///
+/// # Errors
+///
+/// Propagates the lowest-canonical-order simulator error.
+///
+/// # Panics
+///
+/// Panics if a Table II layer fails its numeric check against the `f64`
+/// reference (the same gate the serial harness applied).
+pub fn run_experiments(opts: &HarnessOptions) -> Result<Vec<ExperimentReport>, AimError> {
+    let names = opts.selected();
+    let threads = opts.threads();
+
+    // Figs. 8/11/12/13 share the full-Newton layer measurements; compute
+    // them once, before the job pool, layer-parallel.
+    let needs_layers = names
+        .iter()
+        .any(|n| matches!(*n, "fig08" | "fig11" | "fig12" | "fig13"));
+    let layers = if needs_layers {
+        let layers = measure_all_layers_with(&NewtonConfig::paper_default(), threads)?;
+        for m in &layers {
+            assert!(
+                m.numerics_ok,
+                "{}: numeric error {} out of bounds",
+                m.benchmark.name(),
+                m.max_numeric_error
+            );
+        }
+        layers
+    } else {
+        Vec::new()
+    };
+    let layers: &[LayerMeasurement] = &layers;
+
+    type Job<'a> = Box<dyn Fn() -> Result<ExperimentReport, AimError> + Sync + 'a>;
+    let jobs: Vec<Job<'_>> = names
+        .iter()
+        .map(|&name| -> Job<'_> {
+            match name {
+                "table2" => Box::new(report_table2),
+                "table3" => Box::new(report_table3),
+                "fig07" => Box::new(report_fig07),
+                "fig08" => Box::new(move || report_fig08(layers, threads)),
+                "fig09" => Box::new(move || report_fig09(threads)),
+                "fig10" => Box::new(move || report_fig10(threads)),
+                "fig11" => Box::new(move || report_fig11(layers)),
+                "fig12" => Box::new(move || report_fig12(layers)),
+                "fig13" => Box::new(move || report_fig13(layers)),
+                "ablations" => Box::new(move || report_ablations(threads)),
+                "extensions" => Box::new(move || report_extensions(threads)),
+                other => unreachable!("unknown experiment {other}"),
+            }
+        })
+        .collect();
+    parallel::par_map_indexed(jobs.len(), threads, |i| jobs[i]())
+        .into_iter()
+        .collect()
+}
+
+fn report_table2() -> Result<ExperimentReport, AimError> {
+    let mut t = Table::new(&["Table II workload", "matrix", "vector", "weights"]);
+    for b in Benchmark::all() {
+        let s = b.shape();
+        t.row(&[
+            b.name().into(),
+            format!("{} x {}", s.m, s.n),
+            format!("{} x 1", s.n),
+            format!("{:.1} MB", s.matrix_bytes() as f64 / 1e6),
+        ]);
+    }
+    let mut text = String::new();
+    let _ = writeln!(text, "{}", t.render());
+    let mut snap = MetricsSnapshot::new("table2");
+    snap.count("workloads", Benchmark::all().len() as u64);
+    add_table(&mut snap, "Table II: workloads", &t);
+    Ok(ExperimentReport {
+        name: "table2",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_table3() -> Result<ExperimentReport, AimError> {
+    let mv = model_validation()?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Sec. III-F model vs simulator (speedup over Ideal Non-PIM):"
+    );
+    let _ = writeln!(text, "  paper formula : {}", fx(mv.paper_model_x));
+    let _ = writeln!(text, "  refined model : {}", fx(mv.refined_model_x));
+    let _ = writeln!(text, "  measured      : {}\n", fx(mv.measured_x));
+    let mut snap = MetricsSnapshot::new("table3");
+    snap.scalar("paper_model_x", mv.paper_model_x)
+        .scalar("refined_model_x", mv.refined_model_x)
+        .scalar("measured_x", mv.measured_x);
+    Ok(ExperimentReport {
+        name: "table3",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_fig07() -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Fig. 7 command timeline (one DRAM row across all banks, first 44 commands):"
+    );
+    let trace = fig07_command_trace()?;
+    for line in trace.lines().take(44) {
+        let _ = writeln!(text, "  {line}");
+    }
+    let _ = writeln!(text);
+    let mut snap = MetricsSnapshot::new("fig07");
+    snap.count("commands", trace.lines().count() as u64);
+    Ok(ExperimentReport {
+        name: "fig07",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_fig08(layers: &[LayerMeasurement], threads: usize) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Fig. 8 (left): per-layer speedup over the Titan-V-like GPU"
+    );
+    let rows = fig08_layers_with(layers, threads)?;
+    let mut snap = MetricsSnapshot::new("fig08");
+    snap.scalar(
+        "geomean_newton_x",
+        geomean(&rows.iter().map(|r| r.newton_x).collect::<Vec<_>>()),
+    )
+    .scalar(
+        "geomean_ideal_x",
+        geomean(&rows.iter().map(|r| r.ideal_x).collect::<Vec<_>>()),
+    );
+    let mut t = Table::new(&["layer", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            fx(r.newton_x),
+            fx(r.ideal_x),
+            fx(r.nonopt_x),
+        ]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    let _ = writeln!(
+        text,
+        "paper: geomean Newton 54x, Ideal 5.4x, Non-opt 1.48x\n"
+    );
+    add_table(&mut snap, "Fig. 8 (left): per-layer speedup vs GPU", &t);
+
+    // Cycle attribution behind the speedups: where Newton's banks spend
+    // their time, and the bandwidth the Ideal stream actually sustained.
+    let mut attr = Table::new(&[
+        "layer",
+        "Newton bank util",
+        "Newton acts",
+        "Ideal ext BW (B/ns)",
+    ]);
+    for m in layers {
+        let util = if m.newton_summaries.is_empty() {
+            0.0
+        } else {
+            m.newton_summaries
+                .iter()
+                .map(newton_dram::stats::RunSummary::bank_utilization)
+                .sum::<f64>()
+                / m.newton_summaries.len() as f64
+        };
+        let acts: u64 = m.newton_summaries.iter().map(|s| s.stats.activates).sum();
+        attr.row(&[
+            m.benchmark.name().into(),
+            format!("{util:.3}"),
+            acts.to_string(),
+            format!("{:.2}", m.ideal_summary.external_bandwidth()),
+        ]);
+    }
+    add_table(
+        &mut snap,
+        "Attribution: Newton vs Ideal DRAM activity",
+        &attr,
+    );
+
+    let _ = writeln!(
+        text,
+        "Fig. 8 (right): end-to-end speedup over the Titan-V-like GPU"
+    );
+    let rows = fig08_end_to_end_with(threads)?;
+    let mut t = Table::new(&["model", "Newton", "Ideal Non-PIM", "Non-opt-Newton"]);
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            fx(r.newton_x),
+            fx(r.ideal_x),
+            fx(r.nonopt_x),
+        ]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    let _ = writeln!(
+        text,
+        "paper: DLRM 47x, AlexNet 1.2x, mean(all) 20x, mean(key targets) 49x\n"
+    );
+    add_table(&mut snap, "Fig. 8 (right): end-to-end speedup vs GPU", &t);
+    Ok(ExperimentReport {
+        name: "fig08",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_fig09(threads: usize) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Fig. 9: isolating Newton's optimizations (geomean over layers)"
+    );
+    let rows = fig09_ladder_with(threads)?;
+    let mut t = Table::new(&["configuration", "speedup vs GPU"]);
+    for r in &rows {
+        t.row(&[r.level.label().into(), fx(r.speedup_x)]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    let mut snap = MetricsSnapshot::new("fig09");
+    add_table(&mut snap, "Fig. 9: optimization ladder", &t);
+    Ok(ExperimentReport {
+        name: "fig09",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_fig10(threads: usize) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(text, "Fig. 10: sensitivity to banks per channel");
+    let rows = fig10_bank_sweep_with(threads)?;
+    let mut t = Table::new(&["layer", "8 banks", "16 banks", "32 banks"]);
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            fx(r.speedup_x[0]),
+            fx(r.speedup_x[1]),
+            fx(r.speedup_x[2]),
+        ]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    let _ = writeln!(text, "paper: geomean 28x / 54x / 96x\n");
+    let mut snap = MetricsSnapshot::new("fig10");
+    add_table(&mut snap, "Fig. 10: banks-per-channel sensitivity", &t);
+    Ok(ExperimentReport {
+        name: "fig10",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn batch_header() -> Vec<String> {
+    ["layer", "arch"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .chain(BATCH_SIZES.iter().map(|k| format!("k={k}")))
+        .collect()
+}
+
+fn report_fig11(layers: &[LayerMeasurement]) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Fig. 11: batch sensitivity vs Ideal Non-PIM (perf normalized to GPU @ k=1)"
+    );
+    let rows = fig11_batch_vs_ideal(layers)?;
+    let header = batch_header();
+    let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hrefs);
+    for r in &rows {
+        let mut newton = vec![r.name.clone(), "Newton".into()];
+        newton.extend(r.newton.iter().map(|v| fx(*v)));
+        t.row(&newton);
+        let mut ideal = vec![String::new(), "Ideal".into()];
+        ideal.extend(r.other.iter().map(|v| fx(*v)));
+        t.row(&ideal);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    let _ = writeln!(
+        text,
+        "paper: Ideal nearly catches Newton at k=8, ~1.6x ahead at k=16\n"
+    );
+    let mut snap = MetricsSnapshot::new("fig11");
+    add_table(&mut snap, "Fig. 11: batch sensitivity vs Ideal Non-PIM", &t);
+    Ok(ExperimentReport {
+        name: "fig11",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_fig12(layers: &[LayerMeasurement]) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Fig. 12: batch sensitivity vs GPU (perf normalized to GPU @ k=1)"
+    );
+    let rows = fig12_batch_vs_gpu(layers);
+    let header = batch_header();
+    let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hrefs);
+    for r in &rows {
+        let mut newton = vec![r.name.clone(), "Newton".into()];
+        newton.extend(r.newton.iter().map(|v| fx(*v)));
+        t.row(&newton);
+        let mut gpu = vec![String::new(), "GPU".into()];
+        gpu.extend(r.other.iter().map(|v| fx(*v)));
+        t.row(&gpu);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    let _ = writeln!(text, "paper: the GPU needs batch 64 to outperform Newton\n");
+    let mut snap = MetricsSnapshot::new("fig12");
+    add_table(&mut snap, "Fig. 12: batch sensitivity vs GPU", &t);
+    Ok(ExperimentReport {
+        name: "fig12",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_fig13(layers: &[LayerMeasurement]) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Fig. 13: Newton average power normalized to conventional DRAM"
+    );
+    let rows = fig13_power(layers);
+    let mut t = Table::new(&["workload", "normalized power"]);
+    for r in &rows {
+        t.row(&[r.name.clone(), format!("{:.2}x", r.normalized_power)]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    let _ = writeln!(text, "paper: ~2.8x mean\n");
+    let mut snap = MetricsSnapshot::new("fig13");
+    snap.scalar(
+        "mean_normalized_power",
+        rows.iter().map(|r| r.normalized_power).sum::<f64>() / rows.len().max(1) as f64,
+    );
+    add_table(&mut snap, "Fig. 13: normalized power", &t);
+    Ok(ExperimentReport {
+        name: "fig13",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_ablations(threads: usize) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Ablation (Sec. III-C): interleaved full-reuse vs Newton-no-reuse"
+    );
+    let rows = ablation_layout_with(threads)?;
+    let mut snap = MetricsSnapshot::new("ablations");
+    let mut t = Table::new(&["layer", "Newton", "no-reuse", "slowdown"]);
+    let mut slow = Vec::new();
+    for r in &rows {
+        slow.push(r.slowdown());
+        t.row(&[
+            r.name.clone(),
+            fns(r.newton_ns),
+            fns(r.variant_ns),
+            fx(r.slowdown()),
+        ]);
+    }
+    t.row(&[
+        "geomean".into(),
+        String::new(),
+        String::new(),
+        fx(geomean(&slow)),
+    ]);
+    let _ = writeln!(text, "{}", t.render());
+    snap.scalar("no_reuse_geomean_slowdown", geomean(&slow));
+    add_table(
+        &mut snap,
+        "Ablation: interleaved full-reuse vs no-reuse",
+        &t,
+    );
+
+    let _ = writeln!(
+        text,
+        "Ablation (Sec. III-C): four result latches per bank vs full Newton"
+    );
+    let rows = ablation_latches_with(threads)?;
+    let mut t = Table::new(&["layer", "Newton", "4-latch", "ratio"]);
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            fns(r.newton_ns),
+            fns(r.variant_ns),
+            fx(r.slowdown()),
+        ]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    add_table(&mut snap, "Ablation: four result latches per bank", &t);
+    Ok(ExperimentReport {
+        name: "ablations",
+        text,
+        snapshot: snap,
+    })
+}
+
+fn report_extensions(threads: usize) -> Result<ExperimentReport, AimError> {
+    let mut text = String::new();
+    let _ = writeln!(text, "Extension (Sec. III-E): Newton across DRAM families");
+    let rows = ext_dram_families_with(threads)?;
+    let mut snap = MetricsSnapshot::new("extensions");
+    let mut t = Table::new(&["family", "banks", "measured", "model"]);
+    for r in &rows {
+        t.row(&[
+            r.name.into(),
+            r.banks.to_string(),
+            fx(r.measured_x),
+            fx(r.predicted_x),
+        ]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    add_table(&mut snap, "Extension: DRAM families", &t);
+
+    let _ = writeln!(text, "Extension (Sec. V-C): channel scaling (GNMTs1)");
+    let rows = ext_channel_sweep_with(threads)?;
+    let mut t = Table::new(&["channels", "layer time", "efficiency"]);
+    for r in &rows {
+        t.row(&[
+            r.channels.to_string(),
+            fns(r.newton_ns),
+            format!("{:.0}%", r.efficiency * 100.0),
+        ]);
+    }
+    let _ = writeln!(text, "{}", t.render());
+    add_table(&mut snap, "Extension: channel scaling", &t);
+    Ok(ExperimentReport {
+        name: "extensions",
+        text,
+        snapshot: snap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_is_canonical_order_and_substring_matched() {
+        let all = HarnessOptions::default();
+        assert_eq!(all.selected(), EXPERIMENTS);
+        let figs = HarnessOptions {
+            filter: vec!["fig1".into()],
+            threads: None,
+        };
+        assert_eq!(figs.selected(), ["fig10", "fig11", "fig12", "fig13"]);
+        // Filter order never reorders the canonical sequence.
+        let rev = HarnessOptions {
+            filter: vec!["table3".into(), "table2".into()],
+            threads: None,
+        };
+        assert_eq!(rev.selected(), ["table2", "table3"]);
+        assert!(!rev.wants("fig08"));
+    }
+
+    #[test]
+    fn reports_are_identical_across_worker_counts() {
+        // table2 + fig07 are cheap enough for a debug test and exercise
+        // both a pure-table job and a simulation-backed job.
+        let run = |threads: usize| {
+            let opts = HarnessOptions {
+                filter: vec!["table2".into(), "fig07".into()],
+                threads: Some(threads),
+            };
+            run_experiments(&opts).expect("harness run")
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 2);
+        assert_eq!(serial[0].name, "table2");
+        assert_eq!(serial[1].name, "fig07");
+        for threads in [2, 8] {
+            let par = run(threads);
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.text, b.text, "text differs at {threads} threads");
+                assert_eq!(
+                    a.snapshot.render(),
+                    b.snapshot.render(),
+                    "snapshot differs at {threads} threads"
+                );
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod snapshot;
 

@@ -1,0 +1,253 @@
+//! Cross-layer determinism suite (PR 4): N-thread execution must be
+//! bit-exact against the serial reference at every observable surface —
+//! outputs, cycle counts, AiM stats, per-channel DRAM summaries, command
+//! traces, and rendered snapshot JSON — including across random
+//! interleavings of storage writes and COMPs.
+//!
+//! Every system here pins its pool width with [`ParallelPolicy::exact`],
+//! which ignores `NEWTON_THREADS`, so the suite passes identically under
+//! `NEWTON_THREADS=1` (the CI serial leg) and the default environment.
+
+use newton_bf16::Bf16;
+use newton_core::config::NewtonConfig;
+use newton_core::parallel::{env_threads, ParallelPolicy, THREADS_ENV};
+use newton_core::system::{NewtonSystem, SystemRun};
+use newton_trace::MetricsSnapshot;
+use newton_workloads::{generator, Benchmark, MvShape};
+use proptest::prelude::*;
+
+/// An 8-channel system with the worker-pool width pinned to `threads`.
+fn system(threads: usize) -> NewtonSystem {
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 8;
+    cfg.parallel = ParallelPolicy::exact(threads);
+    NewtonSystem::new(cfg).expect("system")
+}
+
+/// Everything observable about one traced run, rendered to comparable
+/// form: the run itself, every channel's command trace, and a snapshot
+/// document built from the run's metrics.
+fn observe(run: &SystemRun, traces: Vec<String>) -> (Vec<u32>, u64, u64, String, Vec<String>) {
+    let bits: Vec<u32> = run.output.iter().map(|v| v.to_bits()).collect();
+    let mut snap = MetricsSnapshot::new("determinism_probe");
+    snap.count("cycles", run.cycles)
+        .count("gwrites", run.stats.gwrite_commands)
+        .count("comps", run.stats.compute_commands)
+        .count("readres", run.stats.readres_commands)
+        .count("activates", run.stats.activate_commands)
+        .count("row_sets", run.stats.row_sets)
+        .count("refreshes", run.stats.refreshes)
+        .scalar("elapsed_ns", run.elapsed_ns);
+    for (i, s) in run.channel_summaries.iter().enumerate() {
+        snap.count(&format!("ch{i}/commands"), s.commands);
+    }
+    (
+        bits,
+        run.cycles,
+        run.stats.compute_commands,
+        snap.render(),
+        traces,
+    )
+}
+
+/// Runs one Table II layer (DLRM s1, the smallest paper shape) with
+/// tracing on and returns the full observation.
+fn traced_layer_run(threads: usize) -> (Vec<u32>, u64, u64, String, Vec<String>) {
+    let b = Benchmark::DlrmS1;
+    let shape = b.shape();
+    let matrix = generator::matrix(shape, b.seed());
+    let vector = generator::vector(shape.n, b.seed());
+    let mut sys = system(threads);
+    for ch in sys.channels_mut() {
+        ch.enable_trace();
+    }
+    let run = sys
+        .run_mv(&matrix, shape.m, shape.n, &vector)
+        .expect("layer run");
+    let traces: Vec<String> = sys
+        .channels_mut()
+        .iter()
+        .map(|ch| ch.trace().render())
+        .collect();
+    observe(&run, traces)
+}
+
+#[test]
+fn table_ii_layer_is_bit_exact_across_thread_counts() {
+    let serial = traced_layer_run(1);
+    assert!(!serial.0.is_empty());
+    assert_eq!(serial.4.len(), 8, "one trace per channel");
+    for threads in [2, 8] {
+        let par = traced_layer_run(threads);
+        assert_eq!(par.0, serial.0, "output bits, threads={threads}");
+        assert_eq!(par.1, serial.1, "cycles, threads={threads}");
+        assert_eq!(par.2, serial.2, "COMP count, threads={threads}");
+        assert_eq!(par.3, serial.3, "snapshot JSON, threads={threads}");
+        assert_eq!(par.4, serial.4, "command traces, threads={threads}");
+    }
+}
+
+#[test]
+fn idle_channels_stay_bit_exact_across_thread_counts() {
+    // Fewer matrix rows than channels: the trailing channels get no
+    // mapping, spawn no work, and must still appear in the summaries at
+    // the common end cycle.
+    let (m, n) = (3, 64);
+    let matrix = generator::matrix(MvShape::new(m, n), 11);
+    let vector = generator::vector(n, 11);
+    let run_with = |threads: usize| {
+        let mut sys = system(threads);
+        let run = sys.run_mv(&matrix, m, n, &vector).expect("idle run");
+        assert_eq!(run.channel_summaries.len(), 8);
+        assert_eq!(run.output.len(), m);
+        run
+    };
+    let serial = run_with(1);
+    for threads in [2, 8] {
+        let par = run_with(threads);
+        let a: Vec<u32> = serial.output.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = par.output.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "threads={threads}");
+        assert_eq!(serial.cycles, par.cycles, "threads={threads}");
+        assert_eq!(serial.stats, par.stats, "threads={threads}");
+        assert_eq!(
+            serial.channel_summaries, par.channel_summaries,
+            "threads={threads}"
+        );
+    }
+}
+
+/// `NEWTON_THREADS` parsing and precedence, in one test (env mutation is
+/// process-global, so it is not spread across parallel test threads).
+#[test]
+fn newton_threads_env_controls_default_policy_only() {
+    let old = std::env::var(THREADS_ENV).ok();
+    std::env::set_var(THREADS_ENV, "3");
+    assert_eq!(env_threads(), Some(3));
+    assert_eq!(ParallelPolicy::default().threads(), 3);
+    // exact() pins the width regardless of the environment.
+    assert_eq!(ParallelPolicy::exact(2).threads(), 2);
+    std::env::set_var(THREADS_ENV, "1");
+    assert_eq!(env_threads(), Some(1));
+    assert_eq!(ParallelPolicy::default().threads(), 1);
+    // Unparseable or zero values fall back to auto-detection.
+    std::env::set_var(THREADS_ENV, "0");
+    assert_eq!(env_threads(), None);
+    std::env::set_var(THREADS_ENV, "lots");
+    assert_eq!(env_threads(), None);
+    match old {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+}
+
+/// One step of the random interleaving, applied identically to every
+/// system under comparison.
+#[derive(Debug, Clone)]
+enum Mutation {
+    WriteRow {
+        channel: usize,
+        bank: usize,
+        seed: u8,
+    },
+    FlipBit {
+        channel: usize,
+        bank: usize,
+        bit: usize,
+    },
+    Comp,
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        2 => (0usize..8, 0usize..16, any::<u8>())
+            .prop_map(|(channel, bank, seed)| Mutation::WriteRow { channel, bank, seed }),
+        1 => (0usize..8, 0usize..16, 0usize..4096)
+            .prop_map(|(channel, bank, bit)| Mutation::FlipBit { channel, bank, bit }),
+        3 => Just(Mutation::Comp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random interleavings of storage writes and COMPs against a
+    /// resident matrix: systems at 1, 2 and 8 workers stay bit-identical
+    /// at every COMP (writes go through the same storage paths; the only
+    /// degree of freedom is the pool width, which must not be
+    /// observable).
+    #[test]
+    fn random_write_comp_interleavings_are_thread_invariant(
+        ops in prop::collection::vec(mutation(), 1..16)
+    ) {
+        let (m, n) = (32, 256);
+        let matrix = generator::matrix(MvShape::new(m, n), 23);
+        let vector = generator::vector(n, 23);
+
+        let mut systems: Vec<NewtonSystem> = [1usize, 2, 8].iter().map(|&t| system(t)).collect();
+        let loaded: Vec<_> = systems
+            .iter_mut()
+            .map(|s| s.load_matrix(&matrix, m, n).expect("load"))
+            .collect();
+        let row_bytes = systems[0].config().row_elems() * 2;
+
+        let compare = |systems: &mut Vec<NewtonSystem>, loaded: &[newton_core::system::LoadedMatrix], vector: &[Bf16]| {
+            let runs: Vec<SystemRun> = systems
+                .iter_mut()
+                .zip(loaded)
+                .map(|(s, l)| s.run_resident(l, vector).expect("resident run"))
+                .collect();
+            let bits: Vec<Vec<u32>> = runs
+                .iter()
+                .map(|r| r.output.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            for r in &runs[1..] {
+                assert_eq!(
+                    bits[0],
+                    r.output.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                );
+                assert_eq!(runs[0].cycles, r.cycles);
+                assert_eq!(runs[0].stats, r.stats);
+                assert_eq!(runs[0].channel_summaries, r.channel_summaries);
+            }
+        };
+
+        for op in &ops {
+            match op {
+                Mutation::WriteRow { channel, bank, seed } => {
+                    let data: Vec<u8> =
+                        (0..row_bytes).map(|i| (i as u8).wrapping_mul(*seed)).collect();
+                    // A write may legitimately land on an unallocated row;
+                    // what matters is that every system agrees.
+                    let outcomes: Vec<bool> = systems
+                        .iter_mut()
+                        .map(|s| {
+                            s.channels_mut()[*channel]
+                                .channel_mut()
+                                .storage_mut()
+                                .write_row(*bank, 0, &data)
+                                .is_ok()
+                        })
+                        .collect();
+                    prop_assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+                }
+                Mutation::FlipBit { channel, bank, bit } => {
+                    let outcomes: Vec<bool> = systems
+                        .iter_mut()
+                        .map(|s| {
+                            s.channels_mut()[*channel]
+                                .channel_mut()
+                                .storage_mut()
+                                .flip_bit(*bank, 0, *bit)
+                                .is_ok()
+                        })
+                        .collect();
+                    prop_assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+                }
+                Mutation::Comp => compare(&mut systems, &loaded, &vector),
+            }
+        }
+        // Always end on a COMP so trailing writes are exercised.
+        compare(&mut systems, &loaded, &vector);
+    }
+}

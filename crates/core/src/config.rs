@@ -21,6 +21,7 @@ use newton_dram::timing::Cycle;
 use newton_dram::DramConfig;
 
 use crate::error::AimError;
+use crate::parallel::ParallelPolicy;
 
 /// The five independently switchable Newton optimizations (Sec. V-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +172,10 @@ pub struct NewtonConfig {
     /// layer's output before the next layer can start (Sec. III-C batch
     /// normalization pipelining; the rest is hidden under compute).
     pub batch_norm_first_tile_ns: f64,
+    /// How channel simulation and matrix loading spread across host
+    /// threads. Affects wall-clock only: results are bit-identical for
+    /// every thread count (see [`crate::parallel`]).
+    pub parallel: ParallelPolicy,
 }
 
 impl NewtonConfig {
@@ -187,6 +192,7 @@ impl NewtonConfig {
             result_latches_per_bank: 1,
             tree_precision: TreePrecision::Wide,
             batch_norm_first_tile_ns: 100.0,
+            parallel: ParallelPolicy::default(),
         }
     }
 

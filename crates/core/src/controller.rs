@@ -76,6 +76,19 @@ pub struct AimStats {
     pub refreshes: u64,
 }
 
+impl AimStats {
+    /// Accumulates another run's counters into this one (the system layer
+    /// merges per-channel stats in channel-index order).
+    pub fn merge(&mut self, other: &AimStats) {
+        self.gwrite_commands += other.gwrite_commands;
+        self.compute_commands += other.compute_commands;
+        self.readres_commands += other.readres_commands;
+        self.activate_commands += other.activate_commands;
+        self.row_sets += other.row_sets;
+        self.refreshes += other.refreshes;
+    }
+}
+
 /// The outcome of one channel-local matrix–vector run.
 #[derive(Debug, Clone)]
 pub struct MvRun {
@@ -317,6 +330,24 @@ impl NewtonChannel {
         matrix: &[Bf16],
     ) -> Result<(), AimError> {
         mapping.load(&mut self.channel, matrix)
+    }
+
+    /// Loads this channel's rows of a *shared* row-major matrix (local
+    /// row `li` is global row `offset + li * stride`) without staging a
+    /// per-channel copy — the multi-channel scatter path of
+    /// [`MatrixMapping::load_strided`].
+    ///
+    /// # Errors
+    ///
+    /// Shape/capacity/storage errors from [`MatrixMapping::load_strided`].
+    pub fn load_matrix_strided(
+        &mut self,
+        mapping: &MatrixMapping,
+        matrix: &[Bf16],
+        offset: usize,
+        stride: usize,
+    ) -> Result<(), AimError> {
+        mapping.load_strided(&mut self.channel, matrix, offset, stride)
     }
 
     /// Runs one matrix–vector product under `schedule`.

@@ -223,6 +223,50 @@ impl MatrixMapping {
                 ),
             });
         }
+        self.load_strided(channel, matrix, 0, 1)
+    }
+
+    /// Writes this channel's rows of a *shared* row-major matrix into the
+    /// channel's backing storage: local row `li` is global row
+    /// `offset + li * stride`. With `offset = channel_index` and
+    /// `stride = channel_count` this scatters a round-robin row
+    /// distribution straight from the global matrix — no per-channel
+    /// intermediate copy (the old `O(m·n)` staging allocation per channel
+    /// per layer load).
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] if `stride` is zero or the last local row
+    /// (`offset + (m - 1) * stride`) lies outside `matrix`;
+    /// [`AimError::CapacityExceeded`] if the mapping overflows the bank;
+    /// [`AimError::Dram`] on storage failures.
+    pub fn load_strided(
+        &self,
+        channel: &mut Channel,
+        matrix: &[Bf16],
+        offset: usize,
+        stride: usize,
+    ) -> Result<(), AimError> {
+        if stride == 0 {
+            return Err(AimError::Shape {
+                what: "matrix stride",
+                detail: "stride must be positive".into(),
+            });
+        }
+        let last = offset + (self.m - 1) * stride;
+        if !matrix.len().is_multiple_of(self.n) || last >= matrix.len() / self.n {
+            return Err(AimError::Shape {
+                what: "strided matrix buffer",
+                detail: format!(
+                    "{} elements ({} rows of {}) cannot supply local row {} = global row {}",
+                    matrix.len(),
+                    matrix.len() / self.n,
+                    self.n,
+                    self.m - 1,
+                    last
+                ),
+            });
+        }
         let rows_per_bank = channel.config().rows_per_bank;
         if self.base_row + self.rows_per_bank() > rows_per_bank {
             return Err(AimError::CapacityExceeded {
@@ -232,11 +276,12 @@ impl MatrixMapping {
         }
         let row_bytes = channel.config().row_bytes();
         let mut buf = vec![0u8; row_bytes];
-        for i in 0..self.m {
+        for li in 0..self.m {
+            let gi = offset + li * stride;
             for c in 0..self.num_chunks() {
-                let (bank, dram_row, _) = self.location(i, c * self.row_elems)?;
+                let (bank, dram_row, _) = self.location(li, c * self.row_elems)?;
                 let len = self.chunk_elems(c);
-                let src = &matrix[i * self.n + c * self.row_elems..][..len];
+                let src = &matrix[gi * self.n + c * self.row_elems..][..len];
                 buf.fill(0);
                 slice::pack_into(src, &mut buf[..len * 2]);
                 channel.storage_mut().write_row(bank, dram_row, &buf)?;
@@ -353,6 +398,53 @@ mod tests {
             // base_row honored: row 0 of bank 0 untouched.
             assert!(ch.storage().row(0, 0).unwrap().iter().all(|&b| b == 0));
         }
+    }
+
+    #[test]
+    fn strided_load_matches_staged_copy() {
+        // A 3-channel round-robin distribution of a ragged global matrix:
+        // loading channel 1's rows via stride must leave storage identical
+        // to staging the rows into a contiguous copy first.
+        let (m, n, channels) = (11, 700, 3);
+        let global: Vec<Bf16> = (0..m * n)
+            .map(|k| Bf16::from_f32(((k % 113) as f32) - 56.0))
+            .collect();
+        for layout in [Layout::ChunkInterleaved, Layout::NoReuse] {
+            for ch in 0..channels {
+                let local_m = m / channels + usize::from(m % channels > ch);
+                let map = MatrixMapping::new(layout, local_m, n, 16, 512, 2).unwrap();
+                let staged: Vec<Bf16> = (0..local_m)
+                    .flat_map(|li| {
+                        let gi = li * channels + ch;
+                        global[gi * n..(gi + 1) * n].to_vec()
+                    })
+                    .collect();
+                let mut a = Channel::new(DramConfig::hbm2e_like()).unwrap();
+                let mut b = Channel::new(DramConfig::hbm2e_like()).unwrap();
+                map.load(&mut a, &staged).unwrap();
+                map.load_strided(&mut b, &global, ch, channels).unwrap();
+                assert_eq!(
+                    map.extract(&a).unwrap(),
+                    map.extract(&b).unwrap(),
+                    "{layout:?} ch={ch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_load_rejects_bad_geometry() {
+        let map = mapping(Layout::ChunkInterleaved, 4, 512);
+        let global = vec![Bf16::ONE; 10 * 512];
+        let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+        // stride 0 is meaningless.
+        assert!(map.load_strided(&mut ch, &global, 0, 0).is_err());
+        // last local row (3) at stride 3 from offset 2 = global row 11 > 9.
+        assert!(map.load_strided(&mut ch, &global, 2, 3).is_err());
+        // ragged buffer (not a whole number of rows).
+        assert!(map.load_strided(&mut ch, &global[..513], 0, 1).is_err());
+        // in-range stride works.
+        map.load_strided(&mut ch, &global, 1, 2).unwrap();
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`controller`]: the host memory controller — generates the timed
 //!   command stream for one channel under any optimization configuration,
 //!   with refresh interposition.
+//! * [`parallel`]: the deterministic host-thread execution layer —
+//!   [`ParallelPolicy`](parallel::ParallelPolicy), the `NEWTON_THREADS`
+//!   override, and index-ordered scoped-thread map helpers.
 //! * [`system`]: multi-channel execution, layer and end-to-end model runs,
 //!   host-side reduction/activation/batch-norm.
 //! * [`export`]: Chrome trace-event (Perfetto) export of command traces.
@@ -62,6 +65,7 @@ pub mod error;
 pub mod export;
 pub mod layout;
 pub mod lut;
+pub mod parallel;
 pub mod system;
 pub mod tiling;
 pub mod timeline;
@@ -69,3 +73,4 @@ pub mod timeline;
 pub use config::{NewtonConfig, OptFlags, OptLevel};
 pub use error::AimError;
 pub use export::export_chrome_trace;
+pub use parallel::ParallelPolicy;

@@ -18,6 +18,7 @@ use crate::controller::{AimStats, NewtonChannel};
 use crate::error::AimError;
 use crate::layout::MatrixMapping;
 use crate::lut::ActivationKind;
+use crate::parallel;
 use crate::tiling::{Schedule, ScheduleKind};
 
 /// One matrix–vector problem for [`NewtonSystem::run_model`].
@@ -55,6 +56,37 @@ pub struct SystemRun {
     /// Per-channel DRAM summaries (for bandwidth/power accounting).
     pub channel_summaries: Vec<RunSummary>,
 }
+
+/// A matrix made resident in channel DRAM by
+/// [`NewtonSystem::load_matrix`], reusable across inputs without
+/// reloading (run it with [`NewtonSystem::run_resident`]).
+#[derive(Debug, Clone)]
+pub struct LoadedMatrix {
+    mappings: Vec<Option<MatrixMapping>>,
+    m: usize,
+    n: usize,
+}
+
+impl LoadedMatrix {
+    /// Matrix rows.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Matrix columns.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+// The parallel data plane hands `&mut NewtonChannel` to scoped worker
+// threads; keep that guarantee checked at compile time.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<NewtonChannel>()
+};
 
 /// A multi-channel Newton system.
 #[derive(Debug)]
@@ -164,21 +196,16 @@ impl NewtonSystem {
         .map(Some)
     }
 
-    /// Extracts the channel-local slice of the global matrix (rows
-    /// `channel, channel + C, channel + 2C, ...`).
-    fn channel_matrix(&self, channel: usize, matrix: &[Bf16], m: usize, n: usize) -> Vec<Bf16> {
-        let c = self.config.channels;
-        let local_m = self.channel_rows(channel, m);
-        let mut out = Vec::with_capacity(local_m * n);
-        for li in 0..local_m {
-            let gi = li * c + channel;
-            out.extend_from_slice(&matrix[gi * n..(gi + 1) * n]);
-        }
-        out
-    }
-
     /// Loads a matrix into every channel at `base_row`; returns the
     /// per-channel mappings and the rows consumed per bank.
+    ///
+    /// Each channel's rows scatter *directly* from the shared row-major
+    /// matrix via [`NewtonChannel::load_matrix_strided`] (offset =
+    /// channel index, stride = channel count) — no per-channel staging
+    /// copy — and channels encode on parallel host threads per the
+    /// configured [`parallel::ParallelPolicy`]. DRAM contents are
+    /// bit-identical for every thread count (channels touch disjoint
+    /// storage).
     fn load_matrix_at(
         &mut self,
         matrix: &[Bf16],
@@ -192,16 +219,44 @@ impl NewtonSystem {
                 detail: format!("expected {} elements, got {}", m * n, matrix.len()),
             });
         }
-        let mut mappings = Vec::with_capacity(self.config.channels);
-        let mut max_rows = 0;
-        for ch in 0..self.config.channels {
-            let mapping = self.channel_mapping(ch, m, n, base_row)?;
-            if let Some(map) = &mapping {
-                let local = self.channel_matrix(ch, matrix, m, n);
-                self.channels[ch].load_matrix(map, &local)?;
-                max_rows = max_rows.max(map.rows_per_bank());
-            }
-            mappings.push(mapping);
+        let c = self.config.channels;
+        let mut mappings = Vec::with_capacity(c);
+        for ch in 0..c {
+            mappings.push(self.channel_mapping(ch, m, n, base_row)?);
+        }
+        let max_rows = mappings
+            .iter()
+            .flatten()
+            .map(MatrixMapping::rows_per_bank)
+            .max()
+            .unwrap_or(0);
+        let results = {
+            let mut active: Vec<(usize, &mut NewtonChannel, &MatrixMapping)> = self
+                .channels
+                .iter_mut()
+                .zip(&mappings)
+                .enumerate()
+                .filter_map(|(ch, (channel, mapping))| {
+                    mapping.as_ref().map(|map| (ch, channel, map))
+                })
+                .collect();
+            let per_channel_elems = active
+                .iter()
+                .map(|(_, _, map)| map.m() * map.n())
+                .max()
+                .unwrap_or(0);
+            let threads = self
+                .config
+                .parallel
+                .worker_threads(active.len(), per_channel_elems);
+            parallel::par_map_mut(&mut active, threads, |_, (ch, channel, map)| {
+                channel.load_matrix_strided(map, matrix, *ch, c)
+            })
+        };
+        // Index-ordered merge: the first failing channel's error wins,
+        // exactly as the old serial loop reported it.
+        for r in results {
+            r?;
         }
         Ok((mappings, max_rows))
     }
@@ -211,7 +266,12 @@ impl NewtonSystem {
     ///
     /// Channels are architecturally independent (Sec. III-D), so their
     /// command streams simulate on parallel host threads; results merge
-    /// deterministically by channel index.
+    /// deterministically by channel index, so every thread count — the
+    /// configured [`parallel::ParallelPolicy`] decides, with
+    /// `NEWTON_THREADS=1` forcing fully serial — produces bit-identical
+    /// outputs, cycles, stats, summaries, and traces. Channels whose
+    /// mapping is `None` (idle trailing channels of a short matrix) get
+    /// no thread and no work; the end-of-layer barrier advances them.
     fn run_loaded(
         &mut self,
         mappings: &[Option<MatrixMapping>],
@@ -229,63 +289,44 @@ impl NewtonSystem {
             .max()
             .unwrap_or(0);
 
-        // Threads pay off only when each channel simulates substantial
-        // work; small layers stay serial (thread spawn and cache effects
-        // would dominate).
-        let per_channel_macs = mappings
-            .iter()
-            .flatten()
-            .map(|m| m.m() * m.n())
-            .max()
-            .unwrap_or(0);
-        let parallel = c > 1 && per_channel_macs >= 1_000_000;
-
-        let run_one = |channel: &mut NewtonChannel,
-                       mapping: &Option<MatrixMapping>|
-         -> Option<Result<crate::controller::MvRun, AimError>> {
-            channel.advance_to(start);
-            mapping.as_ref().map(|map| {
-                let schedule = Schedule::build(kind, map);
-                channel.run_mv(map, &schedule, vector, lut_readout)
-            })
-        };
-
-        let runs: Vec<Option<Result<crate::controller::MvRun, AimError>>> = if parallel {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(c);
-                for (channel, mapping) in self.channels.iter_mut().zip(mappings) {
-                    handles.push(scope.spawn(move || run_one(channel, mapping)));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("channel simulation thread panicked"))
-                    .collect()
-            })
-        } else {
-            self.channels
+        let runs: Vec<(usize, Result<crate::controller::MvRun, AimError>)> = {
+            let mut active: Vec<(usize, &mut NewtonChannel, &MatrixMapping)> = self
+                .channels
                 .iter_mut()
                 .zip(mappings)
-                .map(|(channel, mapping)| run_one(channel, mapping))
-                .collect()
+                .enumerate()
+                .filter_map(|(ch, (channel, mapping))| {
+                    mapping.as_ref().map(|map| (ch, channel, map))
+                })
+                .collect();
+            // Threads pay off only when each channel simulates
+            // substantial work; the policy keeps small layers serial.
+            let per_channel_macs = active
+                .iter()
+                .map(|(_, _, map)| map.m() * map.n())
+                .max()
+                .unwrap_or(0);
+            let threads = self
+                .config
+                .parallel
+                .worker_threads(active.len(), per_channel_macs);
+            parallel::par_map_mut(&mut active, threads, |_, (ch, channel, map)| {
+                channel.advance_to(start);
+                let schedule = Schedule::build(kind, map);
+                (*ch, channel.run_mv(map, &schedule, vector, lut_readout))
+            })
         };
 
         let mut output = vec![0.0f32; m];
         let mut stats = AimStats::default();
         let mut end = start;
-        for (ch, run) in runs.into_iter().enumerate() {
-            if let Some(run) = run {
-                let run = run?;
-                for (li, v) in run.outputs.iter().enumerate() {
-                    output[li * c + ch] = *v;
-                }
-                stats.gwrite_commands += run.stats.gwrite_commands;
-                stats.compute_commands += run.stats.compute_commands;
-                stats.readres_commands += run.stats.readres_commands;
-                stats.activate_commands += run.stats.activate_commands;
-                stats.row_sets += run.stats.row_sets;
-                stats.refreshes += run.stats.refreshes;
-                end = end.max(run.end_cycle);
+        for (ch, run) in runs {
+            let run = run?;
+            for (li, v) in run.outputs.iter().enumerate() {
+                output[li * c + ch] = *v;
             }
+            stats.merge(&run.stats);
+            end = end.max(run.end_cycle);
         }
         // Barrier: the layer is done when the slowest channel is done.
         let mut summaries = Vec::with_capacity(c);
@@ -301,6 +342,49 @@ impl NewtonSystem {
             stats,
             channel_summaries: summaries,
         })
+    }
+
+    /// Loads an `m x n` row-major matrix at DRAM row 0 and returns a
+    /// handle for repeated inference against the resident copy (the
+    /// matrix stays resident across inputs, Sec. III-E; loading is the
+    /// parallel strided-scatter data plane of [`load_matrix_at`]).
+    ///
+    /// [`load_matrix_at`]: NewtonSystem::load_matrix_at
+    ///
+    /// # Errors
+    ///
+    /// Shape errors for inconsistent `matrix`/`m`/`n`; capacity/storage
+    /// errors otherwise.
+    pub fn load_matrix(
+        &mut self,
+        matrix: &[Bf16],
+        m: usize,
+        n: usize,
+    ) -> Result<LoadedMatrix, AimError> {
+        let (mappings, _) = self.load_matrix_at(matrix, m, n, 0)?;
+        Ok(LoadedMatrix { mappings, m, n })
+    }
+
+    /// Runs one inference against a matrix previously made resident by
+    /// [`NewtonSystem::load_matrix`], returning raw host-reduced sums
+    /// (the repeated-inference path: no reload between inputs).
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] if `vector.len()` differs from the loaded
+    /// matrix's `n`; substrate errors otherwise.
+    pub fn run_resident(
+        &mut self,
+        loaded: &LoadedMatrix,
+        vector: &[Bf16],
+    ) -> Result<SystemRun, AimError> {
+        if vector.len() != loaded.n {
+            return Err(AimError::Shape {
+                what: "input vector",
+                detail: format!("expected {} elements, got {}", loaded.n, vector.len()),
+            });
+        }
+        self.run_loaded(&loaded.mappings, loaded.m, vector, false)
     }
 
     /// Runs a single matrix–vector product (matrix loaded at row 0) and
@@ -482,12 +566,7 @@ impl NewtonSystem {
                 && layer.activation != ActivationKind::Identity
                 && self.activation == layer.activation;
             let run = self.run_loaded(mappings, layer.m, &vector, lut_readout)?;
-            stats.gwrite_commands += run.stats.gwrite_commands;
-            stats.compute_commands += run.stats.compute_commands;
-            stats.readres_commands += run.stats.readres_commands;
-            stats.activate_commands += run.stats.activate_commands;
-            stats.row_sets += run.stats.row_sets;
-            stats.refreshes += run.stats.refreshes;
+            stats.merge(&run.stats);
 
             // Host post-processing: batch norm (range scaling) and
             // activation; only the first tile's normalization latency is
@@ -807,6 +886,65 @@ mod tests {
         assert!(sys.run_model(&layers, &[bf(1.0); 33]).is_err());
         assert!(sys.run_model(&[], &[bf(1.0); 32]).is_err());
         assert!(sys.run_mv(&w, 16, 33, &[bf(1.0); 33]).is_err());
+    }
+
+    #[test]
+    fn idle_channels_skip_work_but_reach_the_barrier() {
+        // 3 rows on 8 channels: channels 3..8 have no mapping, get no
+        // thread and no commands, yet still sit at the layer-end barrier.
+        let mut sys = NewtonSystem::new(small_cfg(8)).unwrap();
+        let (m, n) = (3, 64);
+        let matrix = vec![bf(1.0); m * n];
+        let vector = vec![bf(1.0); n];
+        let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
+        assert_eq!(run.output, vec![n as f32; m]);
+        assert_eq!(run.channel_summaries.len(), 8);
+        let end = sys.channels()[0].now();
+        assert!(sys.channels().iter().all(|c| c.now() == end));
+        // Idle channels issued nothing.
+        assert_eq!(run.channel_summaries[7].commands, 0);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let (m, n) = (48, 300);
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 23) as f32 - 11.0) / 8.0))
+            .collect();
+        let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 9) as f32 - 4.0) / 4.0)).collect();
+        let run_with = |threads: usize| {
+            let mut cfg = small_cfg(6);
+            cfg.parallel = crate::parallel::ParallelPolicy::exact(threads);
+            let mut sys = NewtonSystem::new(cfg).unwrap();
+            sys.run_mv(&matrix, m, n, &vector).unwrap()
+        };
+        let baseline = run_with(1);
+        let bits = |r: &SystemRun| r.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        for threads in [2, 8] {
+            let run = run_with(threads);
+            assert_eq!(bits(&run), bits(&baseline), "threads={threads}");
+            assert_eq!(run.cycles, baseline.cycles, "threads={threads}");
+            assert_eq!(run.stats, baseline.stats, "threads={threads}");
+            assert_eq!(
+                run.channel_summaries, baseline.channel_summaries,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_matrix_reruns_without_reload() {
+        let mut sys = NewtonSystem::new(small_cfg(2)).unwrap();
+        let (m, n) = (8, 64);
+        let matrix = vec![bf(0.5); m * n];
+        let loaded = sys.load_matrix(&matrix, m, n).unwrap();
+        assert_eq!((loaded.m(), loaded.n()), (m, n));
+        let a = sys.run_resident(&loaded, &vec![bf(1.0); n]).unwrap();
+        let b = sys.run_resident(&loaded, &vec![bf(2.0); n]).unwrap();
+        assert!(a.output.iter().all(|&v| v == 32.0));
+        assert!(b.output.iter().all(|&v| v == 64.0));
+        // Wrong input length is rejected up front.
+        assert!(sys.run_resident(&loaded, &vec![bf(1.0); n + 1]).is_err());
     }
 
     #[test]

@@ -280,6 +280,21 @@ impl<W: Write + Send> TraceSink for StreamingSink<W> {
     }
 }
 
+// Compile-time guarantees for the parallel system simulator: every
+// provided sink crosses thread boundaries (`Send`), and the shared
+// recording sink can additionally be read from other threads while a
+// simulation holds a handle (`Sync`).
+const _: () = {
+    const fn require_send<T: Send>() {}
+    const fn require_sync<T: Sync>() {}
+    require_send::<NullSink>();
+    require_send::<RecordingSink>();
+    require_send::<SharedRecordingSink>();
+    require_sync::<SharedRecordingSink>();
+    require_send::<StreamingSink<std::io::Sink>>();
+    require_send::<Box<dyn TraceSink>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

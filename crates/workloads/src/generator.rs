@@ -6,14 +6,53 @@
 //! weights scaled like trained networks: uniform in
 //! `[-1/sqrt(n), 1/sqrt(n)]` (Xavier-style), keeping chained layer outputs
 //! O(1) so bf16 accumulation error stays analyzable.
+//!
+//! Element `k` of every buffer is a pure function of `(seed, k)` via the
+//! counter-based [`CounterRng`], so large fills run on parallel host
+//! threads (honoring `NEWTON_THREADS`) while producing bytes identical to
+//! a serial fill — the generation half of the simulator's bit-exact
+//! parallelism contract.
 
 use newton_bf16::Bf16;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use newton_core::parallel::{par_map_mut, ParallelPolicy};
 
+use crate::rng::CounterRng;
 use crate::suite::MvShape;
 
+/// Element count below which a fill stays serial (thread spawn would
+/// dominate).
+const PAR_FILL_MIN_ELEMS: usize = 1 << 18;
+
+/// Fills `len` bf16 values where element `k = f(rng, k)`, splitting the
+/// index space across `threads` workers. Identical output for every
+/// thread count by construction.
+fn fill(len: usize, threads: usize, f: impl Fn(u64) -> Bf16 + Sync) -> Vec<Bf16> {
+    let mut out = vec![Bf16::ZERO; len];
+    if threads <= 1 || len < PAR_FILL_MIN_ELEMS {
+        for (k, x) in out.iter_mut().enumerate() {
+            *x = f(k as u64);
+        }
+        return out;
+    }
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<(usize, &mut [Bf16])> = out
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, part)| (ci * chunk, part))
+        .collect();
+    par_map_mut(&mut chunks, threads, |_, (start, part)| {
+        for (j, x) in part.iter_mut().enumerate() {
+            *x = f((*start + j) as u64);
+        }
+    });
+    out
+}
+
 /// Generates an `m x n` row-major bf16 matrix with Xavier-style scaling.
+///
+/// Large matrices fill on parallel host threads (the default
+/// [`ParallelPolicy`], so `NEWTON_THREADS` applies); the bytes are
+/// identical for every thread count.
 ///
 /// # Example
 ///
@@ -26,20 +65,22 @@ use crate::suite::MvShape;
 /// ```
 #[must_use]
 pub fn matrix(shape: MvShape, seed: u64) -> Vec<Bf16> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let rng = CounterRng::new(seed);
     let scale = 1.0 / (shape.n as f32).sqrt();
-    (0..shape.m * shape.n)
-        .map(|_| Bf16::from_f32(rng.gen_range(-scale..=scale)))
-        .collect()
+    fill(
+        shape.m * shape.n,
+        ParallelPolicy::default().threads(),
+        |k| Bf16::from_f32(rng.range_f32_at(k, -scale, scale)),
+    )
 }
 
 /// Generates a length-`n` bf16 input vector with entries in `[-1, 1]`.
 #[must_use]
 pub fn vector(n: usize, seed: u64) -> Vec<Bf16> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000_0000_0001);
-    (0..n)
-        .map(|_| Bf16::from_f32(rng.gen_range(-1.0..=1.0)))
-        .collect()
+    let rng = CounterRng::new(seed ^ 0x5eed_0000_0000_0001);
+    fill(n, ParallelPolicy::default().threads(), |k| {
+        Bf16::from_f32(rng.range_f32_at(k, -1.0, 1.0))
+    })
 }
 
 /// Generates a `k`-way batch of distinct input vectors (Figs. 11/12
@@ -92,5 +133,21 @@ mod tests {
         // Vector seed space is decoupled from the matrix seed space.
         let w = matrix(MvShape::new(1, 512), 3);
         assert_ne!(v, w);
+    }
+
+    #[test]
+    fn parallel_fill_is_bit_identical_to_serial() {
+        // Above the parallel threshold, any thread count must produce
+        // the same bytes (element k depends only on k).
+        let rng = CounterRng::new(77);
+        let len = PAR_FILL_MIN_ELEMS + 1234;
+        let gen = |k: u64| Bf16::from_f32(rng.range_f32_at(k, -0.5, 0.5));
+        let serial = fill(len, 1, gen);
+        for threads in [2, 3, 8] {
+            assert_eq!(fill(len, threads, gen), serial, "threads={threads}");
+        }
+        // Below the threshold the serial path is taken; same function,
+        // same bytes.
+        assert_eq!(fill(100, 8, gen), fill(100, 1, gen));
     }
 }

@@ -11,7 +11,8 @@
 //!   the conv-dominated non-FC fraction Newton does not accelerate);
 //! * [`generator`]: deterministic, seeded synthetic weights and inputs
 //!   (performance is data-independent; numerics are checked against
-//!   references);
+//!   references), built on the splittable counter-based [`rng`] so
+//!   parallel generation is bit-identical to serial;
 //! * [`mod@reference`]: `f64`/`f32` reference implementations of the MV
 //!   product, activations, normalization, and chained model execution.
 
@@ -22,6 +23,7 @@ pub mod generator;
 pub mod models;
 pub mod postprocess;
 pub mod reference;
+pub mod rng;
 pub mod suite;
 
 pub use suite::{Benchmark, MvShape};

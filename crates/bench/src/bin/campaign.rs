@@ -1,0 +1,328 @@
+//! Fault-injection campaign sweep (PR 5): raw bit-error rate vs
+//! silent-data-corruption, with SECDED ECC off and on.
+//!
+//! For each raw bit-error rate the campaign injects a deterministic set
+//! of faults (single-bit flips plus a proportion of double-bit words,
+//! drawn from the counter-based stream in `newton_dram::faults`) into
+//! the resident matrix of a freshly loaded system, then runs the same
+//! inference and compares output bits against the fault-free golden run:
+//!
+//! * **ECC off** — faults flow straight into the adder trees; corrupted
+//!   output elements are counted as silent data corruption (SDC).
+//! * **ECC on** — every activate scrubs the row through the SECDED
+//!   (72,64) code and every COMP operand fetch is checked; single-bit
+//!   faults are corrected in place, double-bit faults surface as typed
+//!   uncorrectable errors and the resilient run path (scrub-rewrite,
+//!   then bank retirement) retries to a clean result. The campaign
+//!   asserts **zero** SDC in every ECC-on cell.
+//!
+//! The sweep is a pure function of the `--seed`: outputs, counters and
+//! the JSON snapshot are byte-identical for every `NEWTON_THREADS`
+//! width (wall-clock is printed but never persisted).
+//!
+//! Usage:
+//!
+//! ```sh
+//! campaign                 # full sweep (64x1024, 2 channels)
+//! campaign --quick         # small sweep for CI smoke
+//! campaign --seed N        # campaign stream seed (default 5)
+//! campaign --out PATH      # snapshot path (default BENCH_pr5.json)
+//! ```
+
+use newton_bf16::Bf16;
+use newton_core::system::{LoadedMatrix, NewtonSystem};
+use newton_core::{config::NewtonConfig, AimError};
+use newton_dram::faults::{self, mix64, CampaignSpec};
+use newton_trace::MetricsSnapshot;
+use std::path::PathBuf;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+}
+
+impl Args {
+    fn from_env() -> Args {
+        let mut quick = false;
+        let mut out = PathBuf::from("BENCH_pr5.json");
+        let mut seed = 5u64;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => match it.next() {
+                    Some(v) => out = PathBuf::from(v),
+                    None => {
+                        eprintln!("error: --out requires a path");
+                        std::process::exit(2);
+                    }
+                },
+                "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => seed = v,
+                    None => {
+                        eprintln!("error: --seed requires an integer");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!(
+                        "error: unknown argument {other:?} (try --quick / --seed N / --out PATH)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        Args { quick, out, seed }
+    }
+}
+
+/// Deterministic pseudo-random bf16 in roughly [-2, 2) (same generator
+/// as the perf harness; no RNG crate).
+fn det_bf16(seed: u64, i: u64) -> Bf16 {
+    let h = (seed ^ i)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(31)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let frac = (h >> 40) as f32 / (1u64 << 24) as f32;
+    Bf16::from_f32(frac * 4.0 - 2.0)
+}
+
+/// The raw bit-error rates swept, as (label, rate) pairs.
+const RATES: &[(&str, f64)] = &[("0", 0.0), ("1e-6", 1e-6), ("1e-5", 1e-5), ("1e-4", 1e-4)];
+
+/// One campaign cell's measured outcome.
+struct Outcome {
+    injected: u64,
+    sdc: u64,
+    corrected: u64,
+    uncorrectable: u64,
+    attempts: u64,
+    scrub_rewrites: u64,
+    retired_banks: u64,
+}
+
+/// Resident-matrix bits per channel (the fault universe the rate
+/// applies to).
+fn resident_bits(sys: &NewtonSystem) -> Vec<u64> {
+    sys.channels()
+        .iter()
+        .map(|ch| {
+            let s = ch.channel().storage();
+            (s.allocated_row_indices().len() * s.row_bytes() * 8) as u64
+        })
+        .collect()
+}
+
+fn build_system(
+    ecc: bool,
+    channels: usize,
+    matrix: &[Bf16],
+    m: usize,
+    n: usize,
+) -> Result<(NewtonSystem, LoadedMatrix), AimError> {
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = channels;
+    cfg.ecc = ecc;
+    let mut sys = NewtonSystem::new(cfg)?;
+    let loaded = sys.load_matrix(matrix, m, n)?;
+    Ok((sys, loaded))
+}
+
+/// The fixed workload every campaign cell runs: the clean matrix and
+/// vector, their shape, and the golden output bits.
+struct Workload {
+    channels: usize,
+    m: usize,
+    n: usize,
+    matrix: Vec<Bf16>,
+    vector: Vec<Bf16>,
+    golden: Vec<u32>,
+}
+
+fn run_cell(ecc: bool, rate: f64, cell_seed: u64, w: &Workload) -> Result<Outcome, AimError> {
+    let (mut sys, loaded) = build_system(ecc, w.channels, &w.matrix, w.m, w.n)?;
+    let bits = resident_bits(&sys);
+    let mut injected = 0u64;
+    for (ch, &channel_bits) in bits.iter().enumerate() {
+        #[expect(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            reason = "flip counts are tiny (rate <= 1e-4 of a few Mbit)"
+        )]
+        let singles = (rate * channel_bits as f64).round() as usize;
+        // A slice of the error budget lands as double-bit words, so the
+        // uncorrectable path is exercised at realistic rates too.
+        let doubles = singles / 8;
+        let spec = CampaignSpec {
+            seed: cell_seed,
+            single_bit_flips: singles - 2 * doubles,
+            double_bit_words: doubles,
+            stuck_cells: 0,
+            retention: None,
+        }
+        .for_channel(ch);
+        let now = sys.channels()[ch].now();
+        let faults = faults::inject(sys.channels_mut()[ch].channel_mut(), now, &spec)?;
+        injected += faults.len() as u64;
+    }
+
+    let (run, attempts, scrub_rewrites, retired_banks) = if ecc {
+        let (run, report) = sys.run_resident_resilient(&loaded, &w.matrix, &w.vector)?;
+        (
+            run,
+            report.attempts,
+            report.scrub_rewrites,
+            report.retired_banks.len() as u64,
+        )
+    } else {
+        (sys.run_resident(&loaded, &w.vector)?, 1, 0, 0)
+    };
+
+    let sdc = run
+        .output
+        .iter()
+        .zip(&w.golden)
+        .filter(|(v, &g)| v.to_bits() != g)
+        .count() as u64;
+    let (mut corrected, mut uncorrectable) = (0u64, 0u64);
+    for ch in sys.channels() {
+        corrected += ch.channel().stats().ecc_corrected;
+        uncorrectable += ch.channel().stats().ecc_uncorrectable;
+    }
+    Ok(Outcome {
+        injected,
+        sdc,
+        corrected,
+        uncorrectable,
+        attempts,
+        scrub_rewrites,
+        retired_banks,
+    })
+}
+
+fn main() {
+    let args = Args::from_env();
+    let (m, n, channels, desc) = if args.quick {
+        (32, 512, 2, "quick 32x512, 2 channels")
+    } else {
+        (64, 1024, 2, "64x1024, 2 channels")
+    };
+    let matrix: Vec<Bf16> = (0..m * n).map(|i| det_bf16(2, i as u64)).collect();
+    let vector: Vec<Bf16> = (0..n).map(|i| det_bf16(3, i as u64)).collect();
+
+    println!("newton fault campaign: {desc}, seed {}", args.seed);
+    let t0 = std::time::Instant::now();
+
+    // The fault-free golden run every cell is compared against, bit for
+    // bit. ECC on a clean system is output-invariant, so one golden
+    // serves both columns.
+    let (mut sys, loaded) = build_system(false, channels, &matrix, m, n).expect("golden system");
+    let golden: Vec<u32> = sys
+        .run_resident(&loaded, &vector)
+        .expect("golden run")
+        .output
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let w = Workload {
+        channels,
+        m,
+        n,
+        matrix,
+        vector,
+        golden,
+    };
+
+    let mut snap = MetricsSnapshot::new("bench_pr5");
+    snap.text("workload", desc)
+        .count("seed", args.seed)
+        .count("channels", channels as u64)
+        .count("matrix_rows", m as u64)
+        .count("matrix_cols", n as u64);
+
+    let columns: Vec<String> = [
+        "rate",
+        "ecc",
+        "injected",
+        "sdc",
+        "corrected",
+        "uncorr",
+        "attempts",
+        "scrubs",
+        "retired",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for (ri, &(label, rate)) in RATES.iter().enumerate() {
+        for ecc in [false, true] {
+            let cell_seed = mix64(args.seed ^ ((ri as u64) << 1 | u64::from(ecc)));
+            let out = run_cell(ecc, rate, cell_seed, &w).expect("campaign cell");
+            let ecc_key = if ecc { "on" } else { "off" };
+            println!(
+                "  rate {label:>5}  ecc {ecc_key:<3}  injected {:>4}  sdc {:>3}  corrected {:>4}  \
+                 uncorrectable {:>2}  attempts {}  scrubs {}  retired {}",
+                out.injected,
+                out.sdc,
+                out.corrected,
+                out.uncorrectable,
+                out.attempts,
+                out.scrub_rewrites,
+                out.retired_banks,
+            );
+
+            // The campaign's headline guarantees, enforced, not implied.
+            if ecc {
+                assert_eq!(
+                    out.sdc, 0,
+                    "rate {label}: ECC must never let corrupted data reach an output"
+                );
+            }
+            if !ecc && rate >= 1e-5 {
+                assert!(
+                    out.sdc > 0,
+                    "rate {label}: without ECC the campaign must measure nonzero SDC"
+                );
+            }
+            if rate == 0.0 {
+                assert_eq!(out.injected, 0);
+                assert_eq!(out.sdc, 0, "fault-free runs match golden bit for bit");
+            }
+
+            let p = format!("rate_{label}/ecc_{ecc_key}");
+            snap.count(&format!("{p}/injected"), out.injected)
+                .count(&format!("{p}/sdc"), out.sdc)
+                .count(&format!("{p}/corrected"), out.corrected)
+                .count(&format!("{p}/uncorrectable"), out.uncorrectable)
+                .count(&format!("{p}/attempts"), out.attempts)
+                .count(&format!("{p}/scrub_rewrites"), out.scrub_rewrites)
+                .count(&format!("{p}/retired_banks"), out.retired_banks);
+            rows.push(vec![
+                label.to_string(),
+                ecc_key.to_string(),
+                out.injected.to_string(),
+                out.sdc.to_string(),
+                out.corrected.to_string(),
+                out.uncorrectable.to_string(),
+                out.attempts.to_string(),
+                out.scrub_rewrites.to_string(),
+                out.retired_banks.to_string(),
+            ]);
+        }
+    }
+    snap.table("Fault campaign: BER sweep, ECC off/on", &columns, &rows);
+
+    let rendered = snap.render();
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("error: cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({:.1} s)",
+        args.out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -363,6 +363,7 @@ fn main() {
         let opts = HarnessOptions {
             filter: experiments.clone(),
             threads: Some(t),
+            audit: false,
         };
         let start = Instant::now();
         let reports = run_experiments(&opts).expect("harness run");

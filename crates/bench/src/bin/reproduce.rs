@@ -11,7 +11,14 @@
 //! reproduce --threads N           # worker-pool width (default: NEWTON_THREADS or host cores)
 //! reproduce --snapshot-dir DIR    # where metrics snapshots go (default target/snapshots)
 //! reproduce --no-snapshots        # skip snapshot files
+//! reproduce --audit               # timing-audit every channel's command stream
 //! ```
+//!
+//! With `--audit`, every channel records its full command stream and
+//! re-validates it against the raw timing constraints (tRCD, tRP, tRAS,
+//! tCCD, tRRD, tFAW, tRTP, tWR, tRFC, tREFI) at the end of each run; a
+//! violation aborts the experiment with a typed error instead of
+//! producing silently-wrong timing numbers.
 //!
 //! The experiments run on a bounded worker pool
 //! (`newton_bench::harness`); reports and snapshot files are merged in
@@ -41,6 +48,7 @@ impl Args {
         }
         let mut only = Vec::new();
         let mut threads = None;
+        let mut audit = false;
         let mut snapshot_dir = Some(PathBuf::from("target/snapshots"));
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -67,6 +75,7 @@ impl Args {
                     }
                 },
                 "--no-snapshots" => snapshot_dir = None,
+                "--audit" => audit = true,
                 _ => {}
             }
         }
@@ -82,6 +91,7 @@ impl Args {
             opts: HarnessOptions {
                 filter: only,
                 threads,
+                audit,
             },
             snapshot_dir,
         }

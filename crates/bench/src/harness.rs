@@ -67,6 +67,12 @@ pub struct HarnessOptions {
     /// [`ParallelPolicy`], so `NEWTON_THREADS` applies; `Some(n)` pins
     /// the width regardless of the environment.
     pub threads: Option<usize>,
+    /// Run every experiment with the channel timing audit enabled
+    /// (`reproduce --audit`): each channel records its full command
+    /// stream and re-validates it against the raw timing constraints at
+    /// the end of every run; any violation aborts the experiment with
+    /// [`AimError::AuditFailed`](newton_core::AimError::AuditFailed).
+    pub audit: bool,
 }
 
 impl HarnessOptions {
@@ -112,6 +118,7 @@ impl HarnessOptions {
 /// Panics if a Table II layer fails its numeric check against the `f64`
 /// reference (the same gate the serial harness applied).
 pub fn run_experiments(opts: &HarnessOptions) -> Result<Vec<ExperimentReport>, AimError> {
+    newton_core::set_audit_mode(opts.audit);
     let names = opts.selected();
     let threads = opts.threads();
 
@@ -558,13 +565,13 @@ mod tests {
         assert_eq!(all.selected(), EXPERIMENTS);
         let figs = HarnessOptions {
             filter: vec!["fig1".into()],
-            threads: None,
+            ..HarnessOptions::default()
         };
         assert_eq!(figs.selected(), ["fig10", "fig11", "fig12", "fig13"]);
         // Filter order never reorders the canonical sequence.
         let rev = HarnessOptions {
             filter: vec!["table3".into(), "table2".into()],
-            threads: None,
+            ..HarnessOptions::default()
         };
         assert_eq!(rev.selected(), ["table2", "table3"]);
         assert!(!rev.wants("fig08"));
@@ -578,6 +585,7 @@ mod tests {
             let opts = HarnessOptions {
                 filter: vec!["table2".into(), "fig07".into()],
                 threads: Some(threads),
+                audit: false,
             };
             run_experiments(&opts).expect("harness run")
         };

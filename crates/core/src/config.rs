@@ -16,12 +16,33 @@
 //! [`OptFlags`] holds the five switches independently; [`OptLevel`] is the
 //! exact cumulative ladder of Fig. 9.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use newton_bf16::reduce::TreePrecision;
 use newton_dram::timing::Cycle;
 use newton_dram::DramConfig;
 
 use crate::error::AimError;
 use crate::parallel::ParallelPolicy;
+
+/// Process-wide switch for the post-run channel timing audit.
+///
+/// The bench harness constructs `NewtonConfig`s internally per experiment,
+/// so a config field cannot reach them from the CLI; the `--audit` flag
+/// sets this global instead, and every subsequently constructed
+/// `NewtonChannel` records + validates its command stream.
+static AUDIT_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Turns the process-wide timing-audit mode on or off.
+pub fn set_audit_mode(enabled: bool) {
+    AUDIT_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the process-wide timing-audit mode is on.
+#[must_use]
+pub fn audit_mode() -> bool {
+    AUDIT_MODE.load(Ordering::Relaxed)
+}
 
 /// The five independently switchable Newton optimizations (Sec. V-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -176,6 +197,11 @@ pub struct NewtonConfig {
     /// threads. Affects wall-clock only: results are bit-identical for
     /// every thread count (see [`crate::parallel`]).
     pub parallel: ParallelPolicy,
+    /// Enables the SECDED (72,64) on-die ECC model: rows carry check
+    /// bytes, activations scrub, and every read / COMP operand fetch is
+    /// checked. Off by default — the paper's evaluation assumes perfect
+    /// cells, and fault campaigns opt in explicitly.
+    pub ecc: bool,
 }
 
 impl NewtonConfig {
@@ -193,6 +219,7 @@ impl NewtonConfig {
             tree_precision: TreePrecision::Wide,
             batch_norm_first_tile_ns: 100.0,
             parallel: ParallelPolicy::default(),
+            ecc: false,
         }
     }
 

@@ -74,6 +74,12 @@ pub struct AimStats {
     pub row_sets: u64,
     /// Refreshes interposed during AiM operation.
     pub refreshes: u64,
+    /// ECC-corrected 64-bit words during this run (scrubs and COMP
+    /// operand fetches; zero when ECC is off).
+    pub ecc_corrected: u64,
+    /// Uncorrectable ECC detections during this run. Nonzero only when an
+    /// error variant also surfaced — the run never silently continues.
+    pub ecc_uncorrectable: u64,
 }
 
 impl AimStats {
@@ -86,6 +92,8 @@ impl AimStats {
         self.activate_commands += other.activate_commands;
         self.row_sets += other.row_sets;
         self.refreshes += other.refreshes;
+        self.ecc_corrected += other.ecc_corrected;
+        self.ecc_uncorrectable += other.ecc_uncorrectable;
     }
 }
 
@@ -169,7 +177,13 @@ impl NewtonChannel {
     ) -> Result<NewtonChannel, AimError> {
         config.validate()?;
         let dram = config.effective_dram();
-        let channel = Channel::new(dram)?;
+        let mut channel = Channel::new(dram)?;
+        if config.ecc {
+            channel.storage_mut().enable_ecc();
+        }
+        if crate::config::audit_mode() {
+            channel.enable_audit();
+        }
         let device = NewtonDevice::new(
             config.dram.banks,
             config.row_elems(),
@@ -377,6 +391,8 @@ impl NewtonChannel {
         let start_cycle = self.now;
         let mut stats = AimStats::default();
         let refreshes_before = self.channel.stats().refreshes;
+        let ecc_corrected_before = self.channel.stats().ecc_corrected;
+        let ecc_uncorrectable_before = self.channel.stats().ecc_uncorrectable;
         let mut outputs = vec![0.0f32; mapping.m()];
         let mut end = self.now;
 
@@ -436,7 +452,12 @@ impl NewtonChannel {
         }
 
         stats.refreshes = self.channel.stats().refreshes - refreshes_before;
+        stats.ecc_corrected = self.channel.stats().ecc_corrected - ecc_corrected_before;
+        stats.ecc_uncorrectable = self.channel.stats().ecc_uncorrectable - ecc_uncorrectable_before;
         self.now = self.now.max(end);
+        if crate::config::audit_mode() {
+            self.validate_audit()?;
+        }
         Ok(MvRun {
             outputs,
             end_cycle: end,
@@ -747,6 +768,58 @@ impl NewtonChannel {
         self.channel.issue_refresh_all(at)?;
         self.trace.record(at, AimCommand::Refresh);
         self.now = at + t.t_rfc;
+        Ok(())
+    }
+
+    /// Re-validates the recorded command stream against the raw timing
+    /// constraints (the `--audit` path). tREFI violations are ignored when
+    /// periodic refresh is disabled on the channel — an experiment that
+    /// disables refresh makes the deadline unmeetable by construction, not
+    /// through a controller bug. The reported channel index is `0`; the
+    /// system layer rewrites it to the real index when propagating.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::AuditFailed`] when violations remain. No-op when the
+    /// channel has no audit attached.
+    pub fn validate_audit(&self) -> Result<(), AimError> {
+        let Some(audit) = self.channel.audit() else {
+            return Ok(());
+        };
+        let refresh_enabled = self.channel.refresh_enabled();
+        let violations: Vec<_> = audit
+            .validate(self.channel.timing())
+            .into_iter()
+            .filter(|v| refresh_enabled || v.constraint != "tREFI")
+            .collect();
+        if let Some(first) = violations.first() {
+            return Err(AimError::AuditFailed {
+                channel: 0,
+                violations: violations.len(),
+                first: format!("{}: {}", first.constraint, first.detail),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns the channel to a quiescent, all-banks-precharged state
+    /// after an error abandoned a run mid-row-set, and invalidates the
+    /// decoded-weight cache (a recovery rewrite changes row contents).
+    /// Used by `NewtonSystem::run_mv_resilient` between retry attempts.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from the precharge (none are expected: the cycle
+    /// is chosen at the earliest legal slot).
+    pub fn recover(&mut self) -> Result<(), AimError> {
+        let t = *self.channel.timing();
+        let any_open = (0..self.config.dram.banks).any(|b| self.channel.open_row(b).is_some());
+        if any_open {
+            let p = self.channel.earliest_precharge_all().max(self.now);
+            self.channel.issue_precharge_all(p)?;
+            self.now = p + t.t_rp;
+        }
+        self.weight_cache.clear();
         Ok(())
     }
 
@@ -1137,6 +1210,85 @@ mod tests {
             .run_mv(&mapping, &schedule, &[bf(1.0); 100], false)
             .unwrap_err();
         assert!(matches!(err, AimError::Shape { .. }));
+    }
+
+    #[test]
+    fn ecc_corrects_single_bit_faults_to_golden_outputs() {
+        let mut cfg = cfg1(OptLevel::Full);
+        cfg.ecc = true;
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let matrix: Vec<Bf16> = (0..16 * 512)
+            .map(|k| bf(((k % 13) as f32 - 6.0) / 4.0))
+            .collect();
+        let vector: Vec<Bf16> = (0..512).map(|k| bf(((k % 7) as f32 - 3.0) / 2.0)).collect();
+
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        let golden = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        assert_eq!(golden.stats.ecc_corrected, 0, "fault-free run is clean");
+
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        // One bit flipped in each of three banks, all in distinct words.
+        for (bank, bit) in [(0, 5), (7, 64 * 3 + 17), (15, 64 * 20)] {
+            ch.channel_mut()
+                .storage_mut()
+                .flip_bit(bank, 0, bit)
+                .unwrap();
+        }
+        let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        assert_eq!(run.outputs, golden.outputs, "single-bit faults corrected");
+        assert_eq!(run.stats.ecc_corrected, 3);
+        assert_eq!(run.stats.ecc_uncorrectable, 0);
+    }
+
+    #[test]
+    fn ecc_surfaces_double_bit_faults_instead_of_computing() {
+        let mut cfg = cfg1(OptLevel::Full);
+        cfg.ecc = true;
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.load_matrix(&mapping, &vec![bf(1.0); 16 * 512]).unwrap();
+        ch.channel_mut().storage_mut().flip_bit(4, 0, 10).unwrap();
+        ch.channel_mut().storage_mut().flip_bit(4, 0, 11).unwrap();
+        let err = ch
+            .run_mv(&mapping, &schedule, &vec![bf(1.0); 512], false)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AimError::Dram(newton_dram::DramError::Uncorrectable { bank: 4, row: 0 })
+        );
+        assert_eq!(ch.channel().stats().ecc_uncorrectable, 1);
+    }
+
+    #[test]
+    fn recover_precharges_and_allows_a_clean_rerun() {
+        let mut cfg = cfg1(OptLevel::Full);
+        cfg.ecc = true;
+        let mapping =
+            MatrixMapping::new(crate::layout::Layout::ChunkInterleaved, 16, 512, 16, 512, 0)
+                .unwrap();
+        let schedule = Schedule::build(ScheduleKind::InterleavedFullReuse, &mapping);
+        let matrix = vec![bf(0.5); 16 * 512];
+        let vector = vec![bf(1.0); 512];
+        let mut ch = NewtonChannel::new(&cfg, ActivationKind::Identity).unwrap();
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        ch.channel_mut().storage_mut().flip_bit(2, 0, 40).unwrap();
+        ch.channel_mut().storage_mut().flip_bit(2, 0, 41).unwrap();
+        ch.run_mv(&mapping, &schedule, &vector, false).unwrap_err();
+        // Host-side scrub: rewrite the matrix (re-encodes the checks),
+        // recover the channel, retry.
+        ch.recover().unwrap();
+        ch.load_matrix(&mapping, &matrix).unwrap();
+        let run = ch.run_mv(&mapping, &schedule, &vector, false).unwrap();
+        assert!(run.outputs.iter().all(|&v| v == 256.0));
+        assert_eq!(run.stats.ecc_uncorrectable, 0);
     }
 
     #[test]

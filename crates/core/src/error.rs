@@ -28,6 +28,28 @@ pub enum AimError {
         /// Rows available per bank.
         available_rows: usize,
     },
+    /// The ECC scrub detected an uncorrectable multi-bit error in resident
+    /// matrix data. The device reported it instead of computing on
+    /// garbage; recovery (scrub-rewrite, then bank retirement) is the
+    /// system's job — see `NewtonSystem::run_mv_resilient`.
+    Uncorrectable {
+        /// Channel holding the damaged row.
+        channel: usize,
+        /// Bank within the channel.
+        bank: usize,
+        /// The damaged row.
+        row: usize,
+    },
+    /// The post-run timing audit (enabled via `--audit`) found violations
+    /// in the command stream the controller issued.
+    AuditFailed {
+        /// Channel whose command stream failed.
+        channel: usize,
+        /// Number of violations found.
+        violations: usize,
+        /// The first violation, for the error message.
+        first: String,
+    },
 }
 
 impl fmt::Display for AimError {
@@ -42,6 +64,18 @@ impl fmt::Display for AimError {
             } => write!(
                 f,
                 "matrix needs {required_rows} rows per bank but only {available_rows} exist"
+            ),
+            AimError::Uncorrectable { channel, bank, row } => write!(
+                f,
+                "uncorrectable ECC error in channel {channel}, bank {bank}, row {row}"
+            ),
+            AimError::AuditFailed {
+                channel,
+                violations,
+                first,
+            } => write!(
+                f,
+                "timing audit failed on channel {channel}: {violations} violation(s), first: {first}"
             ),
         }
     }

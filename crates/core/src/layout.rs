@@ -40,7 +40,11 @@ pub struct MatrixMapping {
     m: usize,
     /// Matrix columns (elements per matrix row).
     n: usize,
-    banks: usize,
+    /// Logical-to-physical bank map. Entry `l` names the physical bank
+    /// serving logical bank `l`; the identity map in the common case, a
+    /// shorter non-contiguous map after bank retirement (graceful
+    /// degradation spreads the matrix over the surviving banks).
+    bank_map: Vec<usize>,
     /// bf16 elements per DRAM row (the chunk width).
     row_elems: usize,
     /// First DRAM row used (lets several matrices coexist per bank).
@@ -62,23 +66,51 @@ impl MatrixMapping {
         row_elems: usize,
         base_row: usize,
     ) -> Result<MatrixMapping, AimError> {
+        MatrixMapping::with_bank_map(layout, m, n, (0..banks).collect(), row_elems, base_row)
+    }
+
+    /// Creates a mapping over an explicit set of physical banks: logical
+    /// bank `l` lives in physical bank `bank_map[l]`. This is the
+    /// degraded-mode constructor — after retiring a bank, the system
+    /// rebuilds the mapping over the survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::Shape`] for zero dimensions, an empty bank map, or
+    /// duplicate physical banks.
+    pub fn with_bank_map(
+        layout: Layout,
+        m: usize,
+        n: usize,
+        bank_map: Vec<usize>,
+        row_elems: usize,
+        base_row: usize,
+    ) -> Result<MatrixMapping, AimError> {
         if m == 0 || n == 0 {
             return Err(AimError::Shape {
                 what: "matrix",
                 detail: format!("dimensions must be positive, got {m} x {n}"),
             });
         }
-        if banks == 0 || row_elems == 0 {
+        if bank_map.is_empty() || row_elems == 0 {
             return Err(AimError::Shape {
                 what: "channel geometry",
-                detail: format!("banks={banks}, row_elems={row_elems}"),
+                detail: format!("banks={}, row_elems={row_elems}", bank_map.len()),
+            });
+        }
+        let mut seen = bank_map.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(AimError::Shape {
+                what: "bank map",
+                detail: format!("duplicate physical bank in {bank_map:?}"),
             });
         }
         Ok(MatrixMapping {
             layout,
             m,
             n,
-            banks,
+            bank_map,
             row_elems,
             base_row,
         })
@@ -108,10 +140,22 @@ impl MatrixMapping {
         self.base_row
     }
 
-    /// Banks the mapping spreads across.
+    /// Logical banks the mapping spreads across (the length of the bank
+    /// map; physical-bank count of the channel may be larger after
+    /// retirement).
     #[must_use]
     pub fn banks(&self) -> usize {
-        self.banks
+        self.bank_map.len()
+    }
+
+    /// The physical bank serving logical bank `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= self.banks()`.
+    #[must_use]
+    pub fn physical_bank(&self, logical: usize) -> usize {
+        self.bank_map[logical]
     }
 
     /// bf16 elements per DRAM row (the chunk width).
@@ -131,7 +175,7 @@ impl MatrixMapping {
     /// positions).
     #[must_use]
     pub fn row_groups(&self) -> usize {
-        self.m.div_ceil(self.banks)
+        self.m.div_ceil(self.banks())
     }
 
     /// DRAM rows needed per bank.
@@ -164,14 +208,14 @@ impl MatrixMapping {
         let w = j % self.row_elems;
         Ok(match self.layout {
             Layout::ChunkInterleaved => {
-                let bank = i % self.banks;
-                let slot = i / self.banks;
+                let bank = self.bank_map[i % self.banks()];
+                let slot = i / self.banks();
                 let dram_row = self.base_row + c * self.row_groups() + slot;
                 (bank, dram_row, w)
             }
             Layout::NoReuse => {
-                let bank = i % self.banks;
-                let group = i / self.banks;
+                let bank = self.bank_map[i % self.banks()];
+                let group = i / self.banks();
                 let dram_row = self.base_row + group * self.num_chunks() + c;
                 (bank, dram_row, w)
             }
@@ -189,11 +233,12 @@ impl MatrixMapping {
         }
     }
 
-    /// The matrix row handled by `bank` in row-group `g`, if any (the
-    /// last group may leave trailing banks idle — Sec. III-D issue (3)).
+    /// The matrix row handled by *logical* bank `bank` in row-group `g`,
+    /// if any (the last group may leave trailing banks idle — Sec. III-D
+    /// issue (3)).
     #[must_use]
     pub fn matrix_row_for(&self, g: usize, bank: usize) -> Option<usize> {
-        let i = g * self.banks + bank;
+        let i = g * self.banks() + bank;
         (i < self.m).then_some(i)
     }
 
@@ -456,6 +501,37 @@ mod tests {
         assert!(map.location(0, 512).is_err());
         let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
         assert!(map.load(&mut ch, &[Bf16::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn bank_map_remaps_around_retired_banks() {
+        // 15 surviving banks after retiring physical bank 3.
+        let survivors: Vec<usize> = (0..16).filter(|&b| b != 3).collect();
+        let map =
+            MatrixMapping::with_bank_map(Layout::ChunkInterleaved, 30, 512, survivors, 512, 0)
+                .unwrap();
+        assert_eq!(map.banks(), 15);
+        assert_eq!(map.physical_bank(2), 2);
+        assert_eq!(map.physical_bank(3), 4, "map skips the retired bank");
+        assert_eq!(map.row_groups(), 2);
+        for i in 0..30 {
+            let (bank, _, _) = map.location(i, 0).unwrap();
+            assert_ne!(bank, 3, "no element may land in the retired bank");
+        }
+        // Functional load/extract still round-trips over the survivors.
+        let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+        let matrix: Vec<Bf16> = (0..30 * 512)
+            .map(|k| Bf16::from_f32((k % 97) as f32))
+            .collect();
+        map.load(&mut ch, &matrix).unwrap();
+        assert_eq!(map.extract(&ch).unwrap(), matrix);
+        assert!(ch.storage().row(3, 0).unwrap().iter().all(|&b| b == 0));
+        // Degenerate maps rejected.
+        let dup =
+            MatrixMapping::with_bank_map(Layout::ChunkInterleaved, 4, 512, vec![0, 1, 1], 512, 0);
+        assert!(dup.is_err());
+        let empty = MatrixMapping::with_bank_map(Layout::ChunkInterleaved, 4, 512, vec![], 512, 0);
+        assert!(empty.is_err());
     }
 
     #[test]

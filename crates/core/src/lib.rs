@@ -70,7 +70,8 @@ pub mod system;
 pub mod tiling;
 pub mod timeline;
 
-pub use config::{NewtonConfig, OptFlags, OptLevel};
+pub use config::{audit_mode, set_audit_mode, NewtonConfig, OptFlags, OptLevel};
 pub use error::AimError;
 pub use export::export_chrome_trace;
 pub use parallel::ParallelPolicy;
+pub use system::RecoveryReport;

@@ -9,9 +9,12 @@
 //! equal share (±1 row group); a layer completes when the slowest channel
 //! finishes.
 
+use std::collections::BTreeSet;
+
 use newton_bf16::{slice, Bf16};
 use newton_dram::stats::RunSummary;
 use newton_dram::timing::Cycle;
+use newton_dram::DramError;
 
 use crate::config::NewtonConfig;
 use crate::controller::{AimStats, NewtonChannel};
@@ -88,12 +91,33 @@ const _: () = {
     require_send::<NewtonChannel>()
 };
 
+/// What [`NewtonSystem::run_mv_resilient`] had to do to produce a clean
+/// result in the presence of uncorrectable ECC errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Full run attempts, including the successful one.
+    pub attempts: u64,
+    /// Host-side scrub-rewrites (matrix reloaded from the clean non-AiM
+    /// copy, re-encoding every check word — Sec. III-E's reload policy).
+    pub scrub_rewrites: u64,
+    /// Banks retired as `(channel, bank)` after a scrub-rewrite failed to
+    /// clear the fault (a hard fault: stuck cells survive rewrites).
+    pub retired_banks: Vec<(usize, usize)>,
+    /// Surviving fraction of the system's bank capacity in `0.0..=1.0`
+    /// (`1.0` when nothing is retired).
+    pub capacity_fraction: f64,
+}
+
 /// A multi-channel Newton system.
 #[derive(Debug)]
 pub struct NewtonSystem {
     config: NewtonConfig,
     channels: Vec<NewtonChannel>,
     activation: ActivationKind,
+    /// Per-channel sets of retired (physically failed) banks; mappings
+    /// built by [`channel_mapping`](NewtonSystem::channel_mapping) route
+    /// around them.
+    retired: Vec<BTreeSet<usize>>,
 }
 
 impl NewtonSystem {
@@ -120,10 +144,12 @@ impl NewtonSystem {
         let channels = (0..config.channels)
             .map(|_| NewtonChannel::new(&config, activation))
             .collect::<Result<Vec<_>, _>>()?;
+        let retired = vec![BTreeSet::new(); config.channels];
         Ok(NewtonSystem {
             config,
             channels,
             activation,
+            retired,
         })
     }
 
@@ -185,11 +211,15 @@ impl NewtonSystem {
             return Ok(None);
         }
         let kind = self.schedule_kind();
-        MatrixMapping::new(
+        let retired = &self.retired[channel];
+        let bank_map: Vec<usize> = (0..self.config.dram.banks)
+            .filter(|b| !retired.contains(b))
+            .collect();
+        MatrixMapping::with_bank_map(
             kind.layout(),
             local_m,
             n,
-            self.config.dram.banks,
+            bank_map,
             self.config.row_elems(),
             base_row,
         )
@@ -321,7 +351,28 @@ impl NewtonSystem {
         let mut stats = AimStats::default();
         let mut end = start;
         for (ch, run) in runs {
-            let run = run?;
+            // Lowest-index channel's failure wins (runs are in channel
+            // order), so error propagation is thread-count independent.
+            let run = match run {
+                Ok(run) => run,
+                Err(AimError::Dram(DramError::Uncorrectable { bank, row })) => {
+                    return Err(AimError::Uncorrectable {
+                        channel: ch,
+                        bank,
+                        row,
+                    })
+                }
+                Err(AimError::AuditFailed {
+                    violations, first, ..
+                }) => {
+                    return Err(AimError::AuditFailed {
+                        channel: ch,
+                        violations,
+                        first,
+                    })
+                }
+                Err(e) => return Err(e),
+            };
             for (li, v) in run.outputs.iter().enumerate() {
                 output[li * c + ch] = *v;
             }
@@ -403,6 +454,134 @@ impl NewtonSystem {
     ) -> Result<SystemRun, AimError> {
         let (mappings, _) = self.load_matrix_at(matrix, m, n, 0)?;
         self.run_loaded(&mappings, m, vector, false)
+    }
+
+    /// Banks retired so far, as `(channel, bank)` pairs in order.
+    #[must_use]
+    pub fn retired_banks(&self) -> Vec<(usize, usize)> {
+        self.retired
+            .iter()
+            .enumerate()
+            .flat_map(|(ch, set)| set.iter().map(move |&b| (ch, b)))
+            .collect()
+    }
+
+    /// Surviving fraction of the system's bank capacity (`1.0` when no
+    /// bank is retired).
+    #[must_use]
+    pub fn capacity_fraction(&self) -> f64 {
+        let total = (self.config.channels * self.config.dram.banks) as f64;
+        let lost: usize = self.retired.iter().map(BTreeSet::len).sum();
+        (total - lost as f64) / total
+    }
+
+    /// Runs a matrix–vector product with graceful degradation: an
+    /// uncorrectable ECC error triggers a host-side scrub-rewrite of the
+    /// matrix (reloading re-encodes every check word, clearing transient
+    /// faults) and one retry; a fault that survives the rewrite is hard
+    /// (stuck cells), so the affected bank is retired, the matrix is
+    /// remapped around it, and the run retries on the reduced capacity.
+    ///
+    /// Returns the clean run and a [`RecoveryReport`] of what it took.
+    /// Retirement is sticky: later runs on this system keep routing
+    /// around retired banks.
+    ///
+    /// # Errors
+    ///
+    /// Shape/capacity errors as [`NewtonSystem::run_mv`]; the last
+    /// [`AimError::Uncorrectable`] if retries are exhausted (a channel
+    /// down to banks that cannot hold its share, or faults appearing
+    /// faster than retirement can contain them).
+    pub fn run_mv_resilient(
+        &mut self,
+        matrix: &[Bf16],
+        m: usize,
+        n: usize,
+        vector: &[Bf16],
+    ) -> Result<(SystemRun, RecoveryReport), AimError> {
+        let loaded = self.load_matrix(matrix, m, n)?;
+        self.run_resident_resilient(&loaded, matrix, vector)
+    }
+
+    /// The resident-matrix form of [`NewtonSystem::run_mv_resilient`]:
+    /// runs against the *current* (possibly fault-injected) DRAM contents
+    /// first, and only touches `matrix` — the clean host-side copy — for
+    /// scrub-rewrites after an uncorrectable error. This is the campaign
+    /// path: inject faults into the resident copy, then run.
+    ///
+    /// If the report lists retired banks, `loaded`'s mappings are stale;
+    /// reload before reusing the handle.
+    ///
+    /// # Errors
+    ///
+    /// As [`NewtonSystem::run_mv_resilient`].
+    pub fn run_resident_resilient(
+        &mut self,
+        loaded: &LoadedMatrix,
+        matrix: &[Bf16],
+        vector: &[Bf16],
+    ) -> Result<(SystemRun, RecoveryReport), AimError> {
+        let (m, n) = (loaded.m, loaded.n);
+        if vector.len() != n {
+            return Err(AimError::Shape {
+                what: "input vector",
+                detail: format!("expected {n} elements, got {}", vector.len()),
+            });
+        }
+        if matrix.len() != m * n {
+            return Err(AimError::Shape {
+                what: "clean matrix copy",
+                detail: format!("expected {} elements, got {}", m * n, matrix.len()),
+            });
+        }
+        let mut report = RecoveryReport {
+            attempts: 0,
+            scrub_rewrites: 0,
+            retired_banks: Vec::new(),
+            capacity_fraction: 1.0,
+        };
+        let mut scrubbed: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let banks = self.config.dram.banks;
+        // Every (channel, bank) pair fails at most twice (scrub, then
+        // retire), so this bound is unreachable without a logic error.
+        let max_attempts = (1 + 2 * self.config.channels * banks) as u64;
+        let mut mappings = loaded.mappings.clone();
+        loop {
+            report.attempts += 1;
+            match self.run_loaded(&mappings, m, vector, false) {
+                Ok(run) => {
+                    report.capacity_fraction = self.capacity_fraction();
+                    return Ok((run, report));
+                }
+                Err(err @ AimError::Uncorrectable { channel, bank, .. }) => {
+                    if report.attempts >= max_attempts {
+                        return Err(err);
+                    }
+                    // Quiesce all channels: the failing one aborted
+                    // mid-row-set with banks open.
+                    for ch in &mut self.channels {
+                        ch.recover()?;
+                    }
+                    if scrubbed.insert((channel, bank)) {
+                        report.scrub_rewrites += 1;
+                    } else {
+                        // Scrub already tried: hard fault. Retire the bank.
+                        self.retired[channel].insert(bank);
+                        report.retired_banks.push((channel, bank));
+                        if self.retired[channel].len() >= banks {
+                            // Nothing left to remap onto.
+                            return Err(err);
+                        }
+                    }
+                    // The scrub-rewrite: reload the clean copy under the
+                    // current (possibly reduced) bank mapping. Rewriting
+                    // re-encodes every check word, clearing transient
+                    // faults; stuck cells reassert and fail again.
+                    mappings = self.load_matrix_at(matrix, m, n, 0)?.0;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Runs a `batch` of inferences against one resident matrix,
@@ -945,6 +1124,91 @@ mod tests {
         assert!(b.output.iter().all(|&v| v == 64.0));
         // Wrong input length is rejected up front.
         assert!(sys.run_resident(&loaded, &vec![bf(1.0); n + 1]).is_err());
+    }
+
+    #[test]
+    fn resilient_run_scrubs_transient_double_faults_back_to_golden() {
+        let mut cfg = small_cfg(2);
+        cfg.ecc = true;
+        let (m, n) = (32, 512);
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 13) as f32 - 6.0) / 4.0))
+            .collect();
+        let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 7) as f32 - 3.0) / 2.0)).collect();
+
+        let mut sys = NewtonSystem::new(cfg.clone()).unwrap();
+        let golden = sys.run_mv(&matrix, m, n, &vector).unwrap();
+
+        let mut sys = NewtonSystem::new(cfg).unwrap();
+        let loaded = sys.load_matrix(&matrix, m, n).unwrap();
+        // A transient double-bit fault: uncorrectable, but a rewrite
+        // clears it.
+        let storage = sys.channels_mut()[0].channel_mut().storage_mut();
+        storage.flip_bit(0, 0, 3).unwrap();
+        storage.flip_bit(0, 0, 5).unwrap();
+        let (run, report) = sys
+            .run_resident_resilient(&loaded, &matrix, &vector)
+            .unwrap();
+        assert_eq!(run.output, golden.output, "scrub-retry restores golden");
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.scrub_rewrites, 1);
+        assert!(report.retired_banks.is_empty());
+        assert_eq!(report.capacity_fraction, 1.0);
+        assert!(run.stats.ecc_uncorrectable == 0, "final run is clean");
+    }
+
+    #[test]
+    fn resilient_run_retires_banks_with_stuck_cells() {
+        let mut cfg = small_cfg(2);
+        cfg.ecc = true;
+        let (m, n) = (32, 512);
+        let matrix = vec![bf(1.0); m * n];
+        let vector = vec![bf(1.0); n];
+        let mut sys = NewtonSystem::new(cfg).unwrap();
+        let loaded = sys.load_matrix(&matrix, m, n).unwrap();
+        // bf16(1.0) = 0x3F80 stored LE, so bits 0 and 1 of every word are
+        // 0; sticking them at 1 is a hard double-bit fault that survives
+        // every rewrite.
+        let storage = sys.channels_mut()[0].channel_mut().storage_mut();
+        storage.set_stuck(2, 0, 0, true).unwrap();
+        storage.set_stuck(2, 0, 1, true).unwrap();
+        let (run, report) = sys
+            .run_resident_resilient(&loaded, &matrix, &vector)
+            .unwrap();
+        assert!(run.output.iter().all(|&v| v == 512.0), "exact after remap");
+        assert_eq!(report.attempts, 3, "fail, scrub+fail, retire+succeed");
+        assert_eq!(report.scrub_rewrites, 1);
+        assert_eq!(report.retired_banks, vec![(0, 2)]);
+        assert_eq!(report.capacity_fraction, 31.0 / 32.0);
+        assert_eq!(sys.retired_banks(), vec![(0, 2)]);
+        // Retirement is sticky: the next plain run routes around bank 2
+        // and stays clean.
+        let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
+        assert!(run.output.iter().all(|&v| v == 512.0));
+        assert_eq!(run.stats.ecc_uncorrectable, 0);
+    }
+
+    #[test]
+    fn uncorrectable_errors_carry_the_channel_index() {
+        let mut cfg = small_cfg(3);
+        cfg.ecc = true;
+        let (m, n) = (48, 512);
+        let matrix = vec![bf(1.0); m * n];
+        let vector = vec![bf(1.0); n];
+        let mut sys = NewtonSystem::new(cfg).unwrap();
+        let loaded = sys.load_matrix(&matrix, m, n).unwrap();
+        let storage = sys.channels_mut()[1].channel_mut().storage_mut();
+        storage.flip_bit(5, 0, 8).unwrap();
+        storage.flip_bit(5, 0, 9).unwrap();
+        let err = sys.run_resident(&loaded, &vector).unwrap_err();
+        assert_eq!(
+            err,
+            AimError::Uncorrectable {
+                channel: 1,
+                bank: 5,
+                row: 0
+            }
+        );
     }
 
     #[test]

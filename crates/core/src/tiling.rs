@@ -53,7 +53,8 @@ impl ScheduleKind {
 /// The work one bank performs in a row-set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankWork {
-    /// Bank index within the channel.
+    /// Physical bank index within the channel (after any retirement
+    /// remapping in the [`MatrixMapping`]'s bank map).
     pub bank: usize,
     /// The (channel-local) matrix row whose chunk this bank holds.
     pub matrix_row: usize,
@@ -127,9 +128,10 @@ impl Schedule {
     fn active_work(mapping: &MatrixMapping, g: usize, banks: usize) -> Vec<BankWork> {
         (0..banks)
             .filter_map(|bank| {
-                mapping
-                    .matrix_row_for(g, bank)
-                    .map(|matrix_row| BankWork { bank, matrix_row })
+                mapping.matrix_row_for(g, bank).map(|matrix_row| BankWork {
+                    bank: mapping.physical_bank(bank),
+                    matrix_row,
+                })
             })
             .collect()
     }
@@ -408,6 +410,30 @@ mod tests {
         assert_covers_iteration_space(kind, 16 * 5, 512);
         let max_latch = sched.row_sets().iter().map(|r| r.latch).max().unwrap();
         assert_eq!(max_latch, 3);
+    }
+
+    #[test]
+    fn schedule_routes_work_around_retired_banks() {
+        // A bank map that skips physical bank 3 (retired): the schedule
+        // must never touch it, yet still cover the iteration space.
+        let kind = ScheduleKind::InterleavedFullReuse;
+        let bank_map: Vec<usize> = (0..16).filter(|&b| b != 3).collect();
+        let m = 30;
+        let n = 700;
+        let mapping = MatrixMapping::with_bank_map(kind.layout(), m, n, bank_map, 512, 0).unwrap();
+        let sched = Schedule::build(kind, &mapping);
+        let chunks = mapping.num_chunks();
+        let mut seen = vec![0u32; m * chunks];
+        for rs in sched.row_sets() {
+            for w in &rs.work {
+                assert_ne!(w.bank, 3, "retired bank must receive no work");
+                seen[w.matrix_row * chunks + rs.chunk] += 1;
+            }
+            for r in &rs.read_after {
+                assert_ne!(r.bank, 3, "retired bank must not be read");
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
     }
 
     #[test]

@@ -399,6 +399,24 @@ impl Audit {
                 }
             }
         }
+        // tREFI deadline: mirroring the channel's rule, an activation may
+        // not be issued after the current refresh deadline has passed (the
+        // deadline starts at tREFI and advances to ref + tREFI on each
+        // refresh; a late refresh itself is permitted, pull-in semantics).
+        let mut deadline = t.t_refi;
+        let mut next_ref = 0;
+        for &a in &acts {
+            while next_ref < refs.len() && refs[next_ref] <= a {
+                deadline = refs[next_ref] + t.t_refi;
+                next_ref += 1;
+            }
+            if a > deadline {
+                out.push(AuditViolation {
+                    constraint: "tREFI",
+                    detail: format!("activation at {a} after refresh deadline {deadline}"),
+                });
+            }
+        }
     }
 }
 

@@ -21,6 +21,7 @@ use crate::audit::{Audit, AuditEvent, BusKind};
 use crate::bank::Bank;
 use crate::bus::{CommandBus, DataBus};
 use crate::config::DramConfig;
+use crate::ecc::EccCounters;
 use crate::error::DramError;
 use crate::faw::FawTracker;
 use crate::stats::{ChannelStats, RunSummary};
@@ -60,6 +61,11 @@ pub struct Channel {
     /// Cycle at which the next all-bank refresh falls due.
     next_refresh_due: Cycle,
     refresh_enabled: bool,
+    /// Cycle of the most recent all-bank refresh (0 before the first one);
+    /// the staleness anchor for retention-decay fault campaigns.
+    last_refresh: Cycle,
+    /// Per-bank ECC event counters (all zero while ECC is off).
+    ecc: EccCounters,
     audit: Option<Audit>,
     /// Optional structured-trace consumer; `None` (the default) keeps the
     /// instrumented issue paths to one branch per site.
@@ -95,6 +101,8 @@ impl Channel {
             stats: ChannelStats::default(),
             next_refresh_due: timing.t_refi,
             refresh_enabled: true,
+            last_refresh: 0,
+            ecc: EccCounters::new(config.banks),
             audit: None,
             sink: SinkSlot::default(),
             first_activity: None,
@@ -180,6 +188,86 @@ impl Channel {
     #[must_use]
     pub fn open_row(&self, bank: usize) -> Option<usize> {
         self.banks[bank].state().open_row()
+    }
+
+    /// Cycle of the most recent all-bank refresh (0 before the first).
+    #[must_use]
+    pub fn last_refresh(&self) -> Cycle {
+        self.last_refresh
+    }
+
+    /// Per-bank ECC correction/detection counters.
+    #[must_use]
+    pub fn ecc_counters(&self) -> &EccCounters {
+        &self.ecc
+    }
+
+    /// Scrubs an entire row against its SECDED check bytes on activation
+    /// (the row-buffer fill is where a real on-die ECC engine sees the
+    /// whole row). No-op while ECC is off.
+    fn ecc_scrub_row(&mut self, cycle: Cycle, bank: usize, row: usize) -> Result<(), DramError> {
+        if !self.storage.ecc_enabled() {
+            return Ok(());
+        }
+        match self.storage.scrub_row(bank, row) {
+            Ok(0) => Ok(()),
+            Ok(n) => {
+                self.note_ecc_corrected(cycle, bank, row, n);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_ecc_uncorrectable(cycle, bank, row, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Checks the words backing one column on a read or COMP operand
+    /// fetch. No-op while ECC is off.
+    fn ecc_check_column(
+        &mut self,
+        cycle: Cycle,
+        bank: usize,
+        row: usize,
+        col: usize,
+    ) -> Result<(), DramError> {
+        if !self.storage.ecc_enabled() {
+            return Ok(());
+        }
+        match self.storage.check_column(bank, row, col) {
+            Ok(0) => Ok(()),
+            Ok(n) => {
+                self.note_ecc_corrected(cycle, bank, row, n);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_ecc_uncorrectable(cycle, bank, row, &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn note_ecc_corrected(&mut self, cycle: Cycle, bank: usize, row: usize, words: u32) {
+        self.stats.ecc_corrected += u64::from(words);
+        self.ecc.corrected[bank] += u64::from(words);
+        self.emit(TraceEvent::EccCorrected {
+            cycle,
+            bank: bank as u32,
+            row: row as u32,
+            bits: words,
+        });
+    }
+
+    fn note_ecc_uncorrectable(&mut self, cycle: Cycle, bank: usize, row: usize, err: &DramError) {
+        if matches!(err, DramError::Uncorrectable { .. }) {
+            self.stats.ecc_uncorrectable += 1;
+            self.ecc.uncorrectable[bank] += 1;
+            self.emit(TraceEvent::EccUncorrectable {
+                cycle,
+                bank: bank as u32,
+                row: row as u32,
+            });
+        }
     }
 
     fn check_bank(&self, bank: usize) -> Result<(), DramError> {
@@ -375,6 +463,11 @@ impl Channel {
                 });
             }
         }
+        // Row-buffer-fill scrub: with ECC on, the whole activated row is
+        // checked/corrected as it enters the row buffer.
+        for &(bank, row) in pairs {
+            self.ecc_scrub_row(cycle, bank, row)?;
+        }
         Ok(cycle)
     }
 
@@ -449,6 +542,7 @@ impl Channel {
                 bytes: self.config.col_bytes() as u64,
             });
         }
+        self.ecc_check_column(cycle, bank, row, col)?;
         let data = self.storage.column(bank, row, col)?.to_vec();
         Ok((cycle, data))
     }
@@ -544,6 +638,7 @@ impl Channel {
                     external: false,
                 });
             }
+            self.ecc_check_column(cycle, bank, row, col)?;
             let data = self.storage.column(bank, row, col)?;
             sink(bank, data);
         }
@@ -831,6 +926,7 @@ impl Channel {
         }
         self.stats.refreshes += 1;
         self.next_refresh_due = cycle + self.timing.t_refi;
+        self.last_refresh = cycle;
         self.note_activity(cycle);
         if self.sink.0.is_some() {
             let banks = self.banks.len();
@@ -872,6 +968,7 @@ impl Channel {
             row_slot_gaps: self.row_bus.slot_gaps().clone(),
             col_slot_gaps: self.col_bus.slot_gaps().clone(),
             act_gaps: self.act_gaps.clone(),
+            ecc: self.ecc.clone(),
         }
     }
 }

@@ -59,6 +59,17 @@ pub enum DramError {
         /// What the caller provided.
         actual: usize,
     },
+    /// The SECDED scrub detected a multi-bit error it cannot correct.
+    /// Unlike the other variants this is not a simulator-user bug — it is
+    /// the device faithfully reporting damaged data so upper layers can
+    /// recover (scrub-rewrite, bank retirement) instead of silently
+    /// computing on garbage.
+    Uncorrectable {
+        /// The bank holding the damaged row.
+        bank: usize,
+        /// The damaged row.
+        row: usize,
+    },
 }
 
 impl fmt::Display for DramError {
@@ -100,6 +111,10 @@ impl fmt::Display for DramError {
             DramError::StorageSize { expected, actual } => write!(
                 f,
                 "storage access size mismatch: expected {expected} bytes, got {actual}"
+            ),
+            DramError::Uncorrectable { bank, row } => write!(
+                f,
+                "uncorrectable ECC error: multi-bit fault in bank {bank} row {row}"
             ),
         }
     }

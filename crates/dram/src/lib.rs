@@ -30,6 +30,10 @@
 //! * [`audit`]: an independent post-hoc validator that rechecks every issued
 //!   command against the raw constraint definitions (used throughout the
 //!   test suite).
+//! * [`ecc`]: a SECDED (72,64) on-die ECC model — check bytes per 64-bit
+//!   word, scrub on activation, check on every read and COMP operand fetch.
+//! * [`faults`]: deterministic fault-injection campaigns (bit flips,
+//!   stuck-at cells, retention decay) over resident rows.
 //!
 //! This crate knows nothing about machine learning: it exposes banks,
 //! timing, and buses. The AiM command set lives in `newton-core`, layered on
@@ -63,7 +67,9 @@ pub mod bus;
 pub mod channel;
 pub mod config;
 pub mod controller;
+pub mod ecc;
 pub mod error;
+pub mod faults;
 pub mod faw;
 pub mod ini;
 pub mod stats;
@@ -73,6 +79,8 @@ pub mod timing;
 
 pub use channel::Channel;
 pub use config::DramConfig;
+pub use ecc::{EccCounters, Secded};
 pub use error::DramError;
+pub use faults::{CampaignSpec, FaultKind, InjectedFault, RetentionSpec};
 pub use storage::Storage;
 pub use timing::{Cycle, TimingParams};

@@ -1,5 +1,6 @@
 //! Event counters for performance and energy accounting.
 
+use crate::ecc::EccCounters;
 use crate::timing::Cycle;
 use newton_trace::{Log2Histogram, Residency};
 
@@ -28,6 +29,11 @@ pub struct ChannelStats {
     /// (e.g. Newton's GWRITE); counted separately from column writes
     /// because they do not touch bank arrays.
     pub broadcast_bytes: u64,
+    /// SECDED-corrected single-bit errors (64-bit words corrected), total
+    /// across banks. Zero while the ECC model is off.
+    pub ecc_corrected: u64,
+    /// Detected-uncorrectable ECC errors, total across banks.
+    pub ecc_uncorrectable: u64,
 }
 
 impl ChannelStats {
@@ -70,6 +76,9 @@ pub struct RunSummary {
     pub col_slot_gaps: Log2Histogram,
     /// Gaps between consecutive activate commands (any bank).
     pub act_gaps: Log2Histogram,
+    /// Per-bank ECC correction/detection counters (empty vectors in a
+    /// default summary; one entry per bank when produced by a channel).
+    pub ecc: EccCounters,
 }
 
 impl RunSummary {

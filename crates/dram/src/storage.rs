@@ -4,8 +4,20 @@
 //! typical Newton workload touches only the rows holding its matrix).
 //! Reads of never-written rows return zeros, matching a simulator-reset
 //! device.
+//!
+//! With ECC enabled (see [`Storage::enable_ecc`]), every 64-bit word of a
+//! row carries a SECDED (72,64) check byte (see [`crate::ecc`]):
+//! legitimate writes ([`write_row`](Storage::write_row),
+//! [`write_column`](Storage::write_column)) encode, while
+//! [`flip_bit`](Storage::flip_bit) and stuck-at cells deliberately do
+//! *not* — they are the fault primitives whose damage the scrub paths
+//! ([`scrub_row`](Storage::scrub_row),
+//! [`check_column`](Storage::check_column)) must catch.
+
+use std::collections::BTreeMap;
 
 use crate::config::DramConfig;
+use crate::ecc::{self, Secded, WORD_BYTES};
 use crate::error::DramError;
 
 /// A materialized row: its bytes plus a generation counter that is bumped
@@ -15,6 +27,15 @@ use crate::error::DramError;
 struct RowSlot {
     data: Box<[u8]>,
     generation: u64,
+    /// SECDED check bytes, one per 64-bit word; present iff ECC is on.
+    check: Option<Box<[u8]>>,
+}
+
+/// A persistent cell defect: the bit at `bit` always reads as `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StuckBit {
+    bit: usize,
+    value: bool,
 }
 
 /// Per-channel functional storage, indexed by bank and row.
@@ -29,6 +50,12 @@ pub struct Storage {
     /// Monotonic counter handing out fresh generations across all rows, so
     /// a row rewritten after a cache snapshot never reuses an old value.
     next_generation: u64,
+    /// Whether rows carry SECDED check bytes.
+    ecc: bool,
+    /// Persistent stuck-at cells, re-asserted after every legitimate write
+    /// (a rewrite cannot heal broken silicon). Keyed `(bank, row)` in a
+    /// `BTreeMap` so iteration (and `Debug`) order is deterministic.
+    stuck: BTreeMap<(usize, usize), Vec<StuckBit>>,
 }
 
 impl Storage {
@@ -44,7 +71,45 @@ impl Storage {
             cols_per_row: config.cols_per_row,
             zero_row: vec![0u8; config.row_bytes()].into_boxed_slice(),
             next_generation: 0,
+            ecc: false,
+            stuck: BTreeMap::new(),
         }
+    }
+
+    /// Bytes per row.
+    #[must_use]
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Enables the SECDED (72,64) ECC model: every already-allocated row
+    /// is encoded now, and every subsequent legitimate write keeps its
+    /// check bytes current. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not word-aligned (row and column sizes
+    /// must be multiples of 8 bytes; every built-in preset is).
+    pub fn enable_ecc(&mut self) {
+        assert!(
+            self.row_bytes.is_multiple_of(WORD_BYTES) && self.col_bytes.is_multiple_of(WORD_BYTES),
+            "SECDED model requires 8-byte-aligned rows and columns"
+        );
+        if self.ecc {
+            return;
+        }
+        self.ecc = true;
+        for bank in &mut self.banks {
+            for slot in bank.iter_mut().flatten() {
+                slot.check = Some(encode_checks(&slot.data));
+            }
+        }
+    }
+
+    /// Whether the ECC model is enabled.
+    #[must_use]
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc
     }
 
     fn bump_generation(&mut self) -> u64 {
@@ -86,8 +151,9 @@ impl Storage {
     /// otherwise a value that strictly increases on every mutation of that
     /// row ([`write_row`](Storage::write_row),
     /// [`write_column`](Storage::write_column),
-    /// [`flip_bit`](Storage::flip_bit)). Caches keyed on (bank, row) stay
-    /// coherent by re-checking this against their snapshot.
+    /// [`flip_bit`](Storage::flip_bit), ECC scrub corrections). Caches
+    /// keyed on (bank, row) stay coherent by re-checking this against
+    /// their snapshot.
     ///
     /// # Errors
     ///
@@ -99,7 +165,9 @@ impl Storage {
             .map_or(0, |slot| slot.generation))
     }
 
-    /// Overwrites an entire row.
+    /// Overwrites an entire row. With ECC on, the row is re-encoded;
+    /// stuck-at cells then re-assert themselves (a rewrite cannot heal
+    /// them, and their damage stays visible to the check bytes).
     ///
     /// # Errors
     ///
@@ -114,10 +182,14 @@ impl Storage {
             });
         }
         let generation = self.bump_generation();
-        self.banks[bank][row] = Some(RowSlot {
+        let check = self.ecc.then(|| encode_checks(data));
+        let slot = RowSlot {
             data: data.to_vec().into_boxed_slice(),
             generation,
-        });
+            check,
+        };
+        self.banks[bank][row] = Some(slot);
+        self.reassert_stuck(bank, row, 0, self.row_bytes);
         Ok(())
     }
 
@@ -140,7 +212,8 @@ impl Storage {
     }
 
     /// Writes one column I/O worth of bytes into a row, allocating the row
-    /// if it was never touched.
+    /// if it was never touched. With ECC on, the covered words are
+    /// re-encoded and stuck-at cells in the range re-assert themselves.
     ///
     /// # Errors
     ///
@@ -167,23 +240,30 @@ impl Storage {
                 actual: data.len(),
             });
         }
-        let row_bytes = self.row_bytes;
         let generation = self.bump_generation();
-        let slot = self.banks[bank][row].get_or_insert_with(|| RowSlot {
-            data: vec![0u8; row_bytes].into_boxed_slice(),
-            generation,
-        });
-        slot.generation = generation;
         let start = col * self.col_bytes;
-        slot.data[start..start + self.col_bytes].copy_from_slice(data);
+        let end = start + self.col_bytes;
+        let slot = self.slot_mut(bank, row, generation);
+        slot.generation = generation;
+        slot.data[start..end].copy_from_slice(data);
+        if let Some(check) = &mut slot.check {
+            for w in start / WORD_BYTES..end / WORD_BYTES {
+                let word = word_at(&slot.data, w);
+                check[w] = ecc::encode(word);
+            }
+        }
+        self.reassert_stuck(bank, row, start, end);
         Ok(())
     }
 
-    /// Flips one bit in a stored row — a transient-error injection hook
+    /// Flips one bit in a stored row — the transient-error injection hook
     /// for studying the paper's Sec. III-E ECC discussion ("only the
     /// matrix resides in the DRAM for long periods of time with the
     /// possibility of collecting transient errors"). Allocates the row if
     /// it was never written (flipping a bit of an all-zero row).
+    ///
+    /// Deliberately does **not** update check bytes: this models a cell
+    /// upset, which the ECC scrub must detect.
     ///
     /// # Errors
     ///
@@ -198,15 +278,141 @@ impl Storage {
                 limit: self.row_bytes * 8,
             });
         }
-        let row_bytes = self.row_bytes;
         let generation = self.bump_generation();
-        let slot = self.banks[bank][row].get_or_insert_with(|| RowSlot {
-            data: vec![0u8; row_bytes].into_boxed_slice(),
-            generation,
-        });
+        let slot = self.slot_mut(bank, row, generation);
         slot.generation = generation;
         slot.data[bit / 8] ^= 1 << (bit % 8);
         Ok(())
+    }
+
+    /// Declares the cell at `(bank, row, bit)` permanently stuck at
+    /// `value`: the bit is forced now and re-asserted after every
+    /// legitimate write to its row (scrub-rewrite cannot heal it). Like
+    /// [`flip_bit`](Storage::flip_bit), check bytes are left alone so the
+    /// defect stays visible to ECC.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad indices.
+    pub fn set_stuck(
+        &mut self,
+        bank: usize,
+        row: usize,
+        bit: usize,
+        value: bool,
+    ) -> Result<(), DramError> {
+        self.check_bank_row(bank, row)?;
+        if bit >= self.row_bytes * 8 {
+            return Err(DramError::AddressOutOfRange {
+                kind: "bit",
+                index: bit,
+                limit: self.row_bytes * 8,
+            });
+        }
+        let cells = self.stuck.entry((bank, row)).or_default();
+        match cells.iter_mut().find(|c| c.bit == bit) {
+            Some(c) => c.value = value,
+            None => cells.push(StuckBit { bit, value }),
+        }
+        let generation = self.bump_generation();
+        let slot = self.slot_mut(bank, row, generation);
+        slot.generation = generation;
+        set_bit(&mut slot.data, bit, value);
+        Ok(())
+    }
+
+    /// Number of declared stuck-at cells.
+    #[must_use]
+    pub fn stuck_cells(&self) -> usize {
+        self.stuck.values().map(Vec::len).sum()
+    }
+
+    /// Checks and corrects an entire row against its check bytes (the
+    /// row-buffer-fill scrub performed on activation). Returns the number
+    /// of corrected single-bit errors; corrections that change data bits
+    /// bump the row generation so derived caches re-decode.
+    ///
+    /// No-op (`Ok(0)`) when ECC is off or the row was never allocated (an
+    /// all-zero row is a valid codeword).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad indices;
+    /// [`DramError::Uncorrectable`] when any word has a detected
+    /// multi-bit error.
+    pub fn scrub_row(&mut self, bank: usize, row: usize) -> Result<u32, DramError> {
+        let words = self.row_bytes / WORD_BYTES;
+        self.scrub_words(bank, row, 0, words)
+    }
+
+    /// Checks and corrects the words backing one column (the per-fetch
+    /// check on reads and COMP operand fetches). Semantics match
+    /// [`scrub_row`](Storage::scrub_row) restricted to the column.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] for bad indices;
+    /// [`DramError::Uncorrectable`] on a detected multi-bit error.
+    pub fn check_column(&mut self, bank: usize, row: usize, col: usize) -> Result<u32, DramError> {
+        if col >= self.cols_per_row {
+            return Err(DramError::AddressOutOfRange {
+                kind: "column",
+                index: col,
+                limit: self.cols_per_row,
+            });
+        }
+        let start = col * self.col_bytes / WORD_BYTES;
+        let end = (col + 1) * self.col_bytes / WORD_BYTES;
+        self.scrub_words(bank, row, start, end)
+    }
+
+    fn scrub_words(
+        &mut self,
+        bank: usize,
+        row: usize,
+        word_start: usize,
+        word_end: usize,
+    ) -> Result<u32, DramError> {
+        self.check_bank_row(bank, row)?;
+        if !self.ecc {
+            return Ok(0);
+        }
+        // Reserve a generation up front (disjoint-field borrow of the slot
+        // below); unused reservations just leave a gap in the sequence.
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        let Some(slot) = self.banks[bank][row].as_mut() else {
+            return Ok(0);
+        };
+        let check = slot
+            .check
+            .as_mut()
+            .expect("ECC-enabled rows always carry check bytes");
+        let mut corrected = 0u32;
+        let mut data_fixed = false;
+        for w in word_start..word_end {
+            let word = word_at(&slot.data, w);
+            match ecc::decode(word, check[w]) {
+                Secded::Clean => {}
+                Secded::CorrectedData { data, .. } => {
+                    slot.data[w * WORD_BYTES..(w + 1) * WORD_BYTES]
+                        .copy_from_slice(&data.to_le_bytes());
+                    corrected += 1;
+                    data_fixed = true;
+                }
+                Secded::CorrectedCheck { check: fixed } => {
+                    check[w] = fixed;
+                    corrected += 1;
+                }
+                Secded::Uncorrectable => {
+                    return Err(DramError::Uncorrectable { bank, row });
+                }
+            }
+        }
+        if data_fixed {
+            slot.generation = generation;
+        }
+        Ok(corrected)
     }
 
     /// Number of rows that have been materialized (allocated) so far.
@@ -217,6 +423,77 @@ impl Storage {
             .map(|b| b.iter().filter(|r| r.is_some()).count())
             .sum()
     }
+
+    /// Every materialized `(bank, row)` pair, in (bank, row) order — the
+    /// deterministic target universe for fault campaigns.
+    #[must_use]
+    pub fn allocated_row_indices(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (b, bank) in self.banks.iter().enumerate() {
+            for (r, slot) in bank.iter().enumerate() {
+                if slot.is_some() {
+                    out.push((b, r));
+                }
+            }
+        }
+        out
+    }
+
+    /// The row slot, materialized with zeros (a valid codeword: ECC check
+    /// bytes of a zero word are zero) if it was never written.
+    fn slot_mut(&mut self, bank: usize, row: usize, generation: u64) -> &mut RowSlot {
+        let row_bytes = self.row_bytes;
+        let ecc = self.ecc;
+        self.banks[bank][row].get_or_insert_with(|| RowSlot {
+            data: vec![0u8; row_bytes].into_boxed_slice(),
+            generation,
+            check: ecc.then(|| vec![0u8; row_bytes / WORD_BYTES].into_boxed_slice()),
+        })
+    }
+
+    /// Forces every stuck cell of `(bank, row)` whose bit lies in byte
+    /// range `[byte_start, byte_end)` back to its stuck value, without
+    /// touching check bytes.
+    fn reassert_stuck(&mut self, bank: usize, row: usize, byte_start: usize, byte_end: usize) {
+        let Some(cells) = self.stuck.get(&(bank, row)) else {
+            return;
+        };
+        // `stuck` and `banks` are disjoint fields; clone the short defect
+        // list to keep the borrows simple.
+        let cells = cells.clone();
+        let Some(slot) = self.banks[bank][row].as_mut() else {
+            return;
+        };
+        for c in &cells {
+            if (byte_start * 8..byte_end * 8).contains(&c.bit) {
+                set_bit(&mut slot.data, c.bit, c.value);
+            }
+        }
+    }
+}
+
+#[inline]
+fn word_at(data: &[u8], w: usize) -> u64 {
+    u64::from_le_bytes(
+        data[w * WORD_BYTES..(w + 1) * WORD_BYTES]
+            .try_into()
+            .expect("word-aligned row"),
+    )
+}
+
+#[inline]
+fn set_bit(data: &mut [u8], bit: usize, value: bool) {
+    if value {
+        data[bit / 8] |= 1 << (bit % 8);
+    } else {
+        data[bit / 8] &= !(1 << (bit % 8));
+    }
+}
+
+fn encode_checks(data: &[u8]) -> Box<[u8]> {
+    (0..data.len() / WORD_BYTES)
+        .map(|w| ecc::encode(word_at(data, w)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -343,5 +620,139 @@ mod tests {
                 actual: 31
             })
         ));
+    }
+
+    #[test]
+    fn ecc_scrub_is_a_noop_without_faults_or_when_disabled() {
+        let mut s = storage();
+        let data: Vec<u8> = (0..1024).map(|i| (i * 13 % 256) as u8).collect();
+        s.write_row(0, 1, &data).unwrap();
+        // ECC off: scrub never touches anything.
+        assert_eq!(s.scrub_row(0, 1).unwrap(), 0);
+        s.enable_ecc();
+        assert!(s.ecc_enabled());
+        // Clean rows (encoded on enable) scrub clean, generation unchanged.
+        let g = s.row_generation(0, 1).unwrap();
+        assert_eq!(s.scrub_row(0, 1).unwrap(), 0);
+        assert_eq!(s.row_generation(0, 1).unwrap(), g);
+        // Unallocated rows are implicitly valid zero codewords.
+        assert_eq!(s.scrub_row(5, 99).unwrap(), 0);
+        assert_eq!(s.check_column(5, 99, 0).unwrap(), 0);
+        // enable_ecc is idempotent.
+        s.enable_ecc();
+        assert_eq!(s.scrub_row(0, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn ecc_corrects_single_bit_and_bumps_generation() {
+        let mut s = storage();
+        s.enable_ecc();
+        let data: Vec<u8> = (0..1024).map(|i| (i * 7 % 256) as u8).collect();
+        s.write_row(2, 9, &data).unwrap();
+        s.flip_bit(2, 9, 1234).unwrap();
+        let g_faulty = s.row_generation(2, 9).unwrap();
+        assert_ne!(s.row(2, 9).unwrap(), &data[..]);
+        assert_eq!(s.scrub_row(2, 9).unwrap(), 1);
+        assert_eq!(s.row(2, 9).unwrap(), &data[..], "scrub restored the row");
+        assert!(
+            s.row_generation(2, 9).unwrap() > g_faulty,
+            "correction must invalidate derived caches"
+        );
+        // Second scrub: clean.
+        assert_eq!(s.scrub_row(2, 9).unwrap(), 0);
+    }
+
+    #[test]
+    fn ecc_check_column_corrects_only_the_covered_words() {
+        let mut s = storage();
+        s.enable_ecc();
+        s.write_row(0, 0, &vec![0x5Au8; 1024]).unwrap();
+        // Column 3 covers bytes 96..128 = bits 768..1024.
+        s.flip_bit(0, 0, 800).unwrap();
+        s.flip_bit(0, 0, 8).unwrap(); // outside column 3
+        assert_eq!(s.check_column(0, 0, 3).unwrap(), 1);
+        assert_eq!(s.column(0, 0, 3).unwrap(), &[0x5Au8; 32][..]);
+        // The out-of-column fault is still there for the row scrub.
+        assert_eq!(s.scrub_row(0, 0).unwrap(), 1);
+        assert_eq!(s.row(0, 0).unwrap(), &vec![0x5Au8; 1024][..]);
+    }
+
+    #[test]
+    fn ecc_detects_double_bit_as_uncorrectable() {
+        let mut s = storage();
+        s.enable_ecc();
+        s.write_row(1, 4, &vec![0xC3u8; 1024]).unwrap();
+        // Two flips in the same 64-bit word (word 0 = bits 0..64).
+        s.flip_bit(1, 4, 3).unwrap();
+        s.flip_bit(1, 4, 40).unwrap();
+        assert_eq!(
+            s.scrub_row(1, 4),
+            Err(DramError::Uncorrectable { bank: 1, row: 4 })
+        );
+        assert_eq!(
+            s.check_column(1, 4, 0),
+            Err(DramError::Uncorrectable { bank: 1, row: 4 })
+        );
+        // Flips in *different* words are each corrected.
+        let mut s = storage();
+        s.enable_ecc();
+        s.write_row(1, 4, &vec![0xC3u8; 1024]).unwrap();
+        s.flip_bit(1, 4, 3).unwrap();
+        s.flip_bit(1, 4, 100).unwrap();
+        assert_eq!(s.scrub_row(1, 4).unwrap(), 2);
+    }
+
+    #[test]
+    fn legitimate_writes_reencode_faulty_rows() {
+        let mut s = storage();
+        s.enable_ecc();
+        let data = vec![0x11u8; 1024];
+        s.write_row(0, 7, &data).unwrap();
+        s.flip_bit(0, 7, 64).unwrap();
+        s.flip_bit(0, 7, 65).unwrap(); // double-bit in word 1
+        assert!(s.scrub_row(0, 7).is_err());
+        // Host rewrite (the scrub-rewrite path): row is healthy again.
+        s.write_row(0, 7, &data).unwrap();
+        assert_eq!(s.scrub_row(0, 7).unwrap(), 0);
+        // Column writes re-encode their words too.
+        s.flip_bit(0, 7, 0).unwrap();
+        s.write_column(0, 7, 0, &[0x22u8; 32]).unwrap();
+        assert_eq!(s.scrub_row(0, 7).unwrap(), 0);
+    }
+
+    #[test]
+    fn stuck_cells_survive_rewrites_and_stay_visible_to_ecc() {
+        let mut s = storage();
+        s.enable_ecc();
+        let data = vec![0xFFu8; 1024];
+        s.write_row(3, 2, &data).unwrap();
+        s.set_stuck(3, 2, 8, false).unwrap();
+        assert_eq!(s.stuck_cells(), 1);
+        assert_eq!(s.row(3, 2).unwrap()[1], 0xFE, "cell forced low");
+        // The scrub sees (and corrects the read value of) the defect...
+        assert_eq!(s.scrub_row(3, 2).unwrap(), 1);
+        // ...but a rewrite brings it right back.
+        s.write_row(3, 2, &data).unwrap();
+        assert_eq!(s.row(3, 2).unwrap()[1], 0xFE, "rewrite cannot heal it");
+        assert_eq!(s.scrub_row(3, 2).unwrap(), 1);
+        // Two stuck cells in one word: permanently uncorrectable.
+        s.set_stuck(3, 2, 9, false).unwrap();
+        s.write_row(3, 2, &data).unwrap();
+        assert_eq!(
+            s.scrub_row(3, 2),
+            Err(DramError::Uncorrectable { bank: 3, row: 2 })
+        );
+        // Redeclaring a cell updates it in place.
+        s.set_stuck(3, 2, 9, true).unwrap();
+        assert_eq!(s.stuck_cells(), 2);
+    }
+
+    #[test]
+    fn allocated_row_indices_are_ordered() {
+        let mut s = storage();
+        s.write_column(2, 5, 0, &[0u8; 32]).unwrap();
+        s.write_column(0, 9, 0, &[0u8; 32]).unwrap();
+        s.write_column(2, 1, 0, &[0u8; 32]).unwrap();
+        assert_eq!(s.allocated_row_indices(), vec![(0, 9), (2, 1), (2, 5)]);
     }
 }

@@ -71,6 +71,26 @@ pub enum TraceEvent {
         /// Cycles between arrival and issue.
         waited: u64,
     },
+    /// The SECDED scrub corrected single-bit errors in a row.
+    EccCorrected {
+        /// Cycle of the access that triggered the scrub.
+        cycle: u64,
+        /// Bank holding the row.
+        bank: u32,
+        /// The corrected row.
+        row: u32,
+        /// Number of corrected 64-bit words.
+        bits: u32,
+    },
+    /// The SECDED scrub detected an uncorrectable multi-bit error.
+    EccUncorrectable {
+        /// Cycle of the access that detected the error.
+        cycle: u64,
+        /// Bank holding the row.
+        bank: u32,
+        /// The damaged row.
+        row: u32,
+    },
 }
 
 impl TraceEvent {
@@ -81,7 +101,9 @@ impl TraceEvent {
             TraceEvent::Command { cycle, .. }
             | TraceEvent::BankState { cycle, .. }
             | TraceEvent::DataBurst { cycle, .. }
-            | TraceEvent::QueueLatency { cycle, .. } => cycle,
+            | TraceEvent::QueueLatency { cycle, .. }
+            | TraceEvent::EccCorrected { cycle, .. }
+            | TraceEvent::EccUncorrectable { cycle, .. } => cycle,
         }
     }
 
@@ -118,6 +140,24 @@ impl TraceEvent {
                 obj.push(("type".into(), JsonValue::from("queue_latency")));
                 obj.push(("cycle".into(), JsonValue::from(cycle)));
                 obj.push(("waited".into(), JsonValue::from(waited)));
+            }
+            TraceEvent::EccCorrected {
+                cycle,
+                bank,
+                row,
+                bits,
+            } => {
+                obj.push(("type".into(), JsonValue::from("ecc_corrected")));
+                obj.push(("cycle".into(), JsonValue::from(cycle)));
+                obj.push(("bank".into(), JsonValue::from(u64::from(bank))));
+                obj.push(("row".into(), JsonValue::from(u64::from(row))));
+                obj.push(("bits".into(), JsonValue::from(u64::from(bits))));
+            }
+            TraceEvent::EccUncorrectable { cycle, bank, row } => {
+                obj.push(("type".into(), JsonValue::from("ecc_uncorrectable")));
+                obj.push(("cycle".into(), JsonValue::from(cycle)));
+                obj.push(("bank".into(), JsonValue::from(u64::from(bank))));
+                obj.push(("row".into(), JsonValue::from(u64::from(row))));
             }
         }
         JsonValue::Object(obj)

@@ -278,9 +278,22 @@ fn main() {
     // ------------------------------------------------------------------
     // Section 2: thread scaling on the channel-parallel data plane
     // (8 channels so the pool has work; ParallelPolicy::exact pins the
-    // width and ignores NEWTON_THREADS).
+    // width and ignores NEWTON_THREADS). Requested widths are capped at
+    // the host's cores: oversubscribing scoped workers only adds context
+    // switches (a 1-core host ran `--threads 8` 2.4x slower than serial
+    // before this cap), and the determinism suite already proves
+    // oversubscribed widths stay bit-exact.
     // ------------------------------------------------------------------
-    let threads_list = args.threads.clone();
+    let mut threads_list: Vec<usize> = Vec::new();
+    for &t in &args.threads {
+        let capped = t.min(host_cores);
+        if !threads_list.contains(&capped) {
+            threads_list.push(capped);
+        }
+    }
+    if threads_list.len() < args.threads.len() {
+        println!("note: thread widths capped at {host_cores} host core(s)");
+    }
     let list_text = threads_list
         .iter()
         .map(ToString::to_string)
@@ -364,6 +377,7 @@ fn main() {
             filter: experiments.clone(),
             threads: Some(t),
             audit: false,
+            telemetry: false,
         };
         let start = Instant::now();
         let reports = run_experiments(&opts).expect("harness run");
@@ -397,6 +411,72 @@ fn main() {
         );
     }
     println!("  reports byte-identical across widths: ok");
+
+    // ------------------------------------------------------------------
+    // Section 4: streaming telemetry + host-phase self-profiling. One
+    // telemetry-enabled run of the workload records the windowed series,
+    // the streamed energy (validated against the postprocessed model),
+    // and the host-time breakdown by simulation phase.
+    // ------------------------------------------------------------------
+    println!("telemetry: windowed series + host-phase breakdown");
+    let mut tel_cfg = NewtonConfig::paper_default();
+    tel_cfg.channels = 8;
+    tel_cfg.parallel = ParallelPolicy::serial();
+    tel_cfg.telemetry = Some(newton_core::TelemetryConfig::default());
+    let mut system = NewtonSystem::new(tel_cfg).expect("config accepted");
+    system.set_functional_mode(FunctionalMode::Cached);
+    let runs = system
+        .run_mv_batch(&matrix, m, n, &vectors)
+        .expect("telemetry run");
+    let series = runs
+        .last()
+        .and_then(newton_core::system::SystemRun::merged_telemetry)
+        .expect("telemetry enabled");
+    let energy_model = newton_trace::EnergyModel::new();
+    let streamed_pj = series.totals().energy_milli_pj as f64 / 1000.0;
+    let model_pj = series.dynamic_energy_pj(&energy_model);
+    let divergence = if model_pj == 0.0 {
+        0.0
+    } else {
+        (streamed_pj - model_pj).abs() / model_pj
+    };
+    assert!(
+        divergence <= 1e-3,
+        "streamed energy {streamed_pj} pJ diverges from model {model_pj} pJ"
+    );
+    println!(
+        "  {} windows of {} cycles; streamed {:.0} pJ vs model {:.0} pJ (divergence {:.2e})",
+        series.windows().len(),
+        series.window_cycles(),
+        streamed_pj,
+        model_pj,
+        divergence,
+    );
+    snap.count("telemetry/window_cycles", series.window_cycles())
+        .count("telemetry/windows", series.windows().len() as u64)
+        .scalar("telemetry/streamed_energy_pj", streamed_pj)
+        .scalar("telemetry/model_energy_pj", model_pj)
+        .scalar("telemetry/energy_divergence", divergence)
+        .count(
+            "telemetry/refresh_energy_milli_pj",
+            series.totals().refresh_milli_pj,
+        );
+    let phases = system.host_phases();
+    let total = phases.total_nanos().max(1) as f64;
+    for p in phases.phases() {
+        println!(
+            "  phase {:<8} {:>6} call(s) {:>9.3} s  {:>5.1}%",
+            p.name,
+            p.calls,
+            p.nanos as f64 / 1e9,
+            p.nanos as f64 / total * 100.0,
+        );
+        snap.count(&format!("telemetry/phase/{}/calls", p.name), p.calls)
+            .scalar(
+                &format!("telemetry/phase/{}/seconds", p.name),
+                p.nanos as f64 / 1e9,
+            );
+    }
 
     let rendered = snap.render();
     if let Err(e) = std::fs::write(&args.out, &rendered) {

@@ -12,7 +12,14 @@
 //! reproduce --snapshot-dir DIR    # where metrics snapshots go (default target/snapshots)
 //! reproduce --no-snapshots        # skip snapshot files
 //! reproduce --audit               # timing-audit every channel's command stream
+//! reproduce --telemetry           # windowed time-series + energy attribution
 //! ```
+//!
+//! With `--telemetry`, every channel collects a windowed time series
+//! (bandwidth, bank utilization, queue depth, ganged-ACT width, ECC
+//! corrections) with per-command energy attribution, and the Fig. 13
+//! experiment validates the streamed energy against the postprocessed
+//! power model: event counts bit-for-bit, picojoules within 0.1%.
 //!
 //! With `--audit`, every channel records its full command stream and
 //! re-validates it against the raw timing constraints (tRCD, tRP, tRAS,
@@ -49,6 +56,7 @@ impl Args {
         let mut only = Vec::new();
         let mut threads = None;
         let mut audit = false;
+        let mut telemetry = false;
         let mut snapshot_dir = Some(PathBuf::from("target/snapshots"));
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -76,6 +84,7 @@ impl Args {
                 },
                 "--no-snapshots" => snapshot_dir = None,
                 "--audit" => audit = true,
+                "--telemetry" => telemetry = true,
                 _ => {}
             }
         }
@@ -92,6 +101,7 @@ impl Args {
                 filter: only,
                 threads,
                 audit,
+                telemetry,
             },
             snapshot_dir,
         }

@@ -609,6 +609,67 @@ pub fn fig13_power(layers: &[LayerMeasurement]) -> Vec<PowerRow> {
     rows
 }
 
+/// One row of the streamed-vs-postprocessed energy validation: the
+/// windowed per-command energy accumulated at issue time against the same
+/// quantity recomputed from the end-of-run counters through the Fig. 13
+/// model.
+#[derive(Debug, Clone)]
+pub struct EnergyValidationRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Streamed dynamic energy (sum of per-command milli-pJ attributions
+    /// over every window and channel), pJ.
+    pub streamed_pj: f64,
+    /// The same dynamic energy recomputed from the postprocessed activity
+    /// counts with the Fig. 13 coefficients, pJ.
+    pub model_pj: f64,
+    /// `|streamed - model| / model` (0 when the model energy is 0).
+    pub divergence: f64,
+    /// Whether the streamed event *counts* equal the postprocessed
+    /// counters bit-for-bit (the stronger guarantee behind the pJ
+    /// comparison; the pJ themselves differ only by per-command
+    /// milli-pJ rounding).
+    pub counts_bit_exact: bool,
+}
+
+/// Validates the streamed per-command energy attribution against the
+/// postprocessed Fig. 13 model for every measured layer. Returns `None`
+/// when the measurements carry no telemetry (the harness ran without
+/// `--telemetry`).
+#[must_use]
+pub fn fig13_energy_validation(layers: &[LayerMeasurement]) -> Option<Vec<EnergyValidationRow>> {
+    let model = newton_trace::EnergyModel::new();
+    let mut rows = Vec::new();
+    for m in layers {
+        let streamed_counts = ActivityCounts::from_aim_telemetry(&m.newton_summaries)?;
+        let post_counts = ActivityCounts::from_aim_summaries(&m.newton_summaries);
+        let streamed_pj = m
+            .newton_summaries
+            .iter()
+            .filter_map(|s| s.telemetry.as_ref())
+            .map(|t| t.totals().energy_milli_pj)
+            .sum::<u64>() as f64
+            / 1000.0;
+        let model_pj = model.e_act * post_counts.activates
+            + model.e_array * post_counts.array_accesses
+            + model.e_mac * post_counts.mac_ops
+            + model.e_phy * post_counts.phy_bytes / model.col_bytes;
+        let divergence = if model_pj == 0.0 {
+            0.0
+        } else {
+            (streamed_pj - model_pj).abs() / model_pj
+        };
+        rows.push(EnergyValidationRow {
+            name: m.benchmark.name().to_string(),
+            streamed_pj,
+            model_pj,
+            divergence,
+            counts_bit_exact: streamed_counts == post_counts,
+        });
+    }
+    Some(rows)
+}
+
 // ----------------------------------------------------------------------
 // Sec. III-F model validation (Table III configuration)
 // ----------------------------------------------------------------------

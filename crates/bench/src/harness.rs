@@ -25,8 +25,8 @@ use newton_workloads::Benchmark;
 use crate::experiments::{
     ablation_latches_with, ablation_layout_with, ext_channel_sweep_with, ext_dram_families_with,
     fig07_command_trace, fig08_end_to_end_with, fig08_layers_with, fig09_ladder_with,
-    fig10_bank_sweep_with, fig11_batch_vs_ideal, fig12_batch_vs_gpu, fig13_power,
-    measure_all_layers_with, model_validation, LayerMeasurement, BATCH_SIZES,
+    fig10_bank_sweep_with, fig11_batch_vs_ideal, fig12_batch_vs_gpu, fig13_energy_validation,
+    fig13_power, measure_all_layers_with, model_validation, LayerMeasurement, BATCH_SIZES,
 };
 use crate::report::{fns, fx, geomean, Table};
 use crate::snapshot::add_table;
@@ -73,6 +73,12 @@ pub struct HarnessOptions {
     /// the end of every run; any violation aborts the experiment with
     /// [`AimError::AuditFailed`](newton_core::AimError::AuditFailed).
     pub audit: bool,
+    /// Run every experiment with streaming telemetry enabled
+    /// (`reproduce --telemetry`): each channel collects a windowed
+    /// time series with per-command energy attribution, and Fig. 13
+    /// additionally validates the streamed energy against the
+    /// postprocessed model (counts bit-for-bit, pJ within 0.1%).
+    pub telemetry: bool,
 }
 
 impl HarnessOptions {
@@ -93,11 +99,19 @@ impl HarnessOptions {
             .collect()
     }
 
-    /// The resolved worker-pool width.
+    /// The resolved worker-pool width. Explicit `--threads` requests are
+    /// capped at the host's available parallelism — oversubscribing the
+    /// job pool cannot help and measurably hurts on small hosts (the
+    /// determinism suite, which *wants* oversubscription, pins widths
+    /// through [`ParallelPolicy::exact`] instead).
     #[must_use]
     pub fn threads(&self) -> usize {
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
         self.threads
             .unwrap_or_else(|| ParallelPolicy::default().threads())
+            .min(host)
             .max(1)
     }
 }
@@ -119,6 +133,7 @@ impl HarnessOptions {
 /// reference (the same gate the serial harness applied).
 pub fn run_experiments(opts: &HarnessOptions) -> Result<Vec<ExperimentReport>, AimError> {
     newton_core::set_audit_mode(opts.audit);
+    newton_core::set_telemetry_mode(opts.telemetry);
     let names = opts.selected();
     let threads = opts.threads();
 
@@ -450,12 +465,65 @@ fn report_fig13(layers: &[LayerMeasurement]) -> Result<ExperimentReport, AimErro
     }
     let _ = writeln!(text, "{}", t.render());
     let _ = writeln!(text, "paper: ~2.8x mean\n");
+    // Fig. 13 is an asserted validation target, not just a printout: the
+    // measured mean must stay in a band around the paper's ~2.8x (the
+    // calibration anchors pin the synthetic steady state to 2.4..3.1;
+    // real Table II layers include readout/turnaround slack, so the band
+    // here is a little wider).
+    let mean = rows
+        .iter()
+        .find(|r| r.name == "mean")
+        .map_or(0.0, |r| r.normalized_power);
+    assert!(
+        (2.0..=3.4).contains(&mean),
+        "Fig. 13 mean normalized power {mean:.3} left the validated 2.0..=3.4 band"
+    );
     let mut snap = MetricsSnapshot::new("fig13");
     snap.scalar(
         "mean_normalized_power",
         rows.iter().map(|r| r.normalized_power).sum::<f64>() / rows.len().max(1) as f64,
     );
     add_table(&mut snap, "Fig. 13: normalized power", &t);
+
+    // With --telemetry the layers carry windowed series: validate the
+    // streamed per-command energy against the postprocessed model. The
+    // event *counts* must agree bit-for-bit; the pJ totals differ only by
+    // per-command milli-pJ rounding, bounded at 0.1%.
+    if let Some(validation) = fig13_energy_validation(layers) {
+        let _ = writeln!(
+            text,
+            "Energy validation: streamed per-command attribution vs postprocessed model"
+        );
+        let mut vt = Table::new(&["workload", "streamed pJ", "model pJ", "divergence"]);
+        let mut worst = 0.0f64;
+        for r in &validation {
+            assert!(
+                r.counts_bit_exact,
+                "{}: streamed activity counts diverge from the run counters",
+                r.name
+            );
+            worst = worst.max(r.divergence);
+            vt.row(&[
+                r.name.clone(),
+                format!("{:.1}", r.streamed_pj),
+                format!("{:.1}", r.model_pj),
+                format!("{:.2e}", r.divergence),
+            ]);
+        }
+        assert!(
+            worst <= 1e-3,
+            "streamed energy diverges from the postprocessed model by {worst:.2e} (> 0.1%)"
+        );
+        let _ = writeln!(text, "{}", vt.render());
+        let _ = writeln!(text, "counts bit-exact; worst divergence {worst:.2e}\n");
+        snap.scalar("max_energy_divergence", worst)
+            .count("energy_validated_workloads", validation.len() as u64);
+        add_table(
+            &mut snap,
+            "Energy validation: streamed vs postprocessed",
+            &vt,
+        );
+    }
     Ok(ExperimentReport {
         name: "fig13",
         text,
@@ -586,6 +654,7 @@ mod tests {
                 filter: vec!["table2".into(), "fig07".into()],
                 threads: Some(threads),
                 audit: false,
+                telemetry: false,
             };
             run_experiments(&opts).expect("harness run")
         };

@@ -12,9 +12,10 @@ use newton_bf16::Bf16;
 use newton_core::config::NewtonConfig;
 use newton_core::parallel::{env_threads, ParallelPolicy, THREADS_ENV};
 use newton_core::system::{NewtonSystem, SystemRun};
-use newton_core::RecoveryReport;
+use newton_core::{RecoveryReport, TelemetryConfig};
 use newton_dram::faults::{self, CampaignSpec, InjectedFault};
-use newton_trace::MetricsSnapshot;
+use newton_model::power::ActivityCounts;
+use newton_trace::{EnergyModel, MetricsSnapshot};
 use newton_workloads::{generator, Benchmark, MvShape};
 use proptest::prelude::*;
 
@@ -123,12 +124,18 @@ fn idle_channels_stay_bit_exact_across_thread_counts() {
 /// process-global, so it is not spread across parallel test threads).
 #[test]
 fn newton_threads_env_controls_default_policy_only() {
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let old = std::env::var(THREADS_ENV).ok();
     std::env::set_var(THREADS_ENV, "3");
     assert_eq!(env_threads(), Some(3));
-    assert_eq!(ParallelPolicy::default().threads(), 3);
-    // exact() pins the width regardless of the environment.
+    // Environment requests are capped at the host's cores; only exact()
+    // may oversubscribe.
+    assert_eq!(ParallelPolicy::default().threads(), 3.min(host));
+    // exact() pins the width regardless of the environment or the host.
     assert_eq!(ParallelPolicy::exact(2).threads(), 2);
+    assert_eq!(ParallelPolicy::exact(host * 4).threads(), host * 4);
     std::env::set_var(THREADS_ENV, "1");
     assert_eq!(env_threads(), Some(1));
     assert_eq!(ParallelPolicy::default().threads(), 1);
@@ -140,6 +147,60 @@ fn newton_threads_env_controls_default_policy_only() {
     match old {
         Some(v) => std::env::set_var(THREADS_ENV, v),
         None => std::env::remove_var(THREADS_ENV),
+    }
+}
+
+/// An 8-channel system with streaming telemetry enabled and the pool
+/// width pinned to `threads`.
+fn telemetry_system(threads: usize) -> NewtonSystem {
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 8;
+    cfg.parallel = ParallelPolicy::exact(threads);
+    cfg.telemetry = Some(TelemetryConfig::default());
+    NewtonSystem::new(cfg).expect("system")
+}
+
+/// Everything simulation-deterministic about one telemetry-enabled run:
+/// the merged time series (windows, counts, energy), its rendered JSON
+/// export, and the host-phase digest (phase names and call counts; wall
+/// nanoseconds are host-dependent and excluded by design).
+fn telemetry_observation(threads: usize) -> (newton_trace::TimeSeries, String, u64, u64, String) {
+    let b = Benchmark::DlrmS1;
+    let shape = b.shape();
+    let matrix = generator::matrix(shape, b.seed());
+    let vector = generator::vector(shape.n, b.seed());
+    let mut sys = telemetry_system(threads);
+    let run = sys
+        .run_mv(&matrix, shape.m, shape.n, &vector)
+        .expect("telemetry run");
+    let merged = run.merged_telemetry().expect("telemetry enabled");
+    let model = EnergyModel::new();
+    let json = merged
+        .to_json(run.channel_summaries[0].tck_ns, &model)
+        .render();
+    let totals = merged.totals();
+    let digest = sys.host_phases().digest();
+    (
+        merged,
+        json,
+        totals.energy_milli_pj,
+        totals.refresh_milli_pj,
+        digest,
+    )
+}
+
+#[test]
+fn telemetry_is_bit_exact_across_thread_counts() {
+    let serial = telemetry_observation(1);
+    assert!(!serial.0.windows().is_empty(), "series must have windows");
+    assert!(serial.2 > 0, "a COMP workload must attribute energy");
+    for threads in [2, 8] {
+        let par = telemetry_observation(threads);
+        assert_eq!(par.0, serial.0, "merged time series, threads={threads}");
+        assert_eq!(par.1, serial.1, "telemetry JSON, threads={threads}");
+        assert_eq!(par.2, serial.2, "energy totals, threads={threads}");
+        assert_eq!(par.3, serial.3, "refresh energy, threads={threads}");
+        assert_eq!(par.4, serial.4, "host-phase digest, threads={threads}");
     }
 }
 
@@ -252,6 +313,41 @@ fn mutation() -> impl Strategy<Value = Mutation> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The streamed (windowed) energy attribution must agree with the
+    /// postprocessed Fig. 13 power model on arbitrary layer shapes: the
+    /// underlying activity counts bit-for-bit, and the picojoule totals
+    /// within the per-command milli-pJ rounding budget (0.1%).
+    #[test]
+    fn streamed_energy_matches_postprocessed_model(
+        m in 1usize..24,
+        n_pow in 6u32..10,
+        seed in 0u64..1024,
+    ) {
+        let n = 1usize << n_pow;
+        let matrix = generator::matrix(MvShape::new(m, n), seed);
+        let vector = generator::vector(n, seed);
+        let mut sys = telemetry_system(1);
+        let run = sys.run_mv(&matrix, m, n, &vector).expect("telemetry run");
+
+        let streamed = ActivityCounts::from_aim_telemetry(&run.channel_summaries)
+            .expect("telemetry enabled on every channel");
+        let post = ActivityCounts::from_aim_summaries(&run.channel_summaries);
+        prop_assert_eq!(streamed, post, "streamed counts must equal postprocessed counts");
+
+        let model = EnergyModel::new();
+        let merged = run.merged_telemetry().expect("telemetry enabled");
+        let streamed_pj = merged.totals().energy_milli_pj as f64 / 1000.0;
+        let model_pj = merged.dynamic_energy_pj(&model);
+        if model_pj > 0.0 {
+            let divergence = (streamed_pj - model_pj).abs() / model_pj;
+            prop_assert!(
+                divergence <= 1e-3,
+                "streamed {} pJ vs model {} pJ (divergence {})",
+                streamed_pj, model_pj, divergence
+            );
+        }
+    }
 
     /// Random interleavings of storage writes and COMPs against a
     /// resident matrix: systems at 1, 2 and 8 workers stay bit-identical

@@ -44,6 +44,42 @@ pub fn audit_mode() -> bool {
     AUDIT_MODE.load(Ordering::Relaxed)
 }
 
+/// Process-wide switch for streaming telemetry, mirroring `AUDIT_MODE`:
+/// the bench harness constructs `NewtonConfig`s internally per
+/// experiment, so the `--telemetry` flag sets this global and every
+/// subsequently constructed `NewtonChannel` collects a windowed
+/// [`TimeSeries`](newton_trace::TimeSeries) with the default window
+/// width. A per-config [`TelemetryConfig`] takes precedence.
+static TELEMETRY_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Turns the process-wide streaming-telemetry mode on or off.
+pub fn set_telemetry_mode(enabled: bool) {
+    TELEMETRY_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the process-wide streaming-telemetry mode is on.
+#[must_use]
+pub fn telemetry_mode() -> bool {
+    TELEMETRY_MODE.load(Ordering::Relaxed)
+}
+
+/// Streaming-telemetry configuration for a Newton system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TelemetryConfig {
+    /// Telemetry window width in command-clock cycles (0 is promoted to
+    /// 1 by the collector).
+    pub window_cycles: u64,
+}
+
+impl Default for TelemetryConfig {
+    /// The default window of [`newton_trace::DEFAULT_WINDOW_CYCLES`].
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            window_cycles: newton_trace::DEFAULT_WINDOW_CYCLES,
+        }
+    }
+}
+
 /// The five independently switchable Newton optimizations (Sec. V-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptFlags {
@@ -202,6 +238,11 @@ pub struct NewtonConfig {
     /// checked. Off by default — the paper's evaluation assumes perfect
     /// cells, and fault campaigns opt in explicitly.
     pub ecc: bool,
+    /// Streaming telemetry: `Some` makes every channel collect a windowed
+    /// time series (and per-command energy attributions) with the given
+    /// window width. `None` (the default) falls back to the process-wide
+    /// [`telemetry_mode`] switch with the default window.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl NewtonConfig {
@@ -220,6 +261,7 @@ impl NewtonConfig {
             batch_norm_first_tile_ns: 100.0,
             parallel: ParallelPolicy::default(),
             ecc: false,
+            telemetry: None,
         }
     }
 

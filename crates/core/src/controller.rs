@@ -163,6 +163,13 @@ pub struct NewtonChannel {
     /// so the steady state issues no per-row-set allocations.
     scratch_pairs: Vec<(usize, usize)>,
     scratch_banks: Vec<usize>,
+    /// Host-side self-profiling of the COMP phase: calls to and wall-clock
+    /// nanoseconds spent inside `compute_row_set` (the MAC hot path).
+    /// Drained by the system layer via
+    /// [`NewtonChannel::take_comp_profile`]; purely observational, never
+    /// part of simulated results.
+    comp_calls: u64,
+    comp_nanos: u64,
 }
 
 impl NewtonChannel {
@@ -183,6 +190,12 @@ impl NewtonChannel {
         }
         if crate::config::audit_mode() {
             channel.enable_audit();
+        }
+        let telemetry = config.telemetry.or_else(|| {
+            crate::config::telemetry_mode().then(crate::config::TelemetryConfig::default)
+        });
+        if let Some(t) = telemetry {
+            channel.enable_telemetry(t.window_cycles);
         }
         let device = NewtonDevice::new(
             config.dram.banks,
@@ -209,7 +222,20 @@ impl NewtonChannel {
             weight_cache,
             scratch_pairs: Vec::new(),
             scratch_banks: Vec::new(),
+            comp_calls: 0,
+            comp_nanos: 0,
         })
+    }
+
+    /// Drains the accumulated COMP-phase host-time counters:
+    /// `(calls, wall_nanos)` spent inside the MAC hot path since the last
+    /// call. Wall time is host-side observability only — it never feeds
+    /// back into simulated state.
+    pub fn take_comp_profile(&mut self) -> (u64, u64) {
+        let out = (self.comp_calls, self.comp_nanos);
+        self.comp_calls = 0;
+        self.comp_nanos = 0;
+        out
     }
 
     /// Selects how the functional half of COMP is computed (timing is
@@ -427,7 +453,10 @@ impl NewtonChannel {
             }
 
             stats.activate_commands += self.activate_row_set(rs, row_cursor)?;
+            let comp_started = std::time::Instant::now();
             let (comp_cmds, last_comp) = self.compute_row_set(mapping, rs)?;
+            self.comp_calls += 1;
+            self.comp_nanos += comp_started.elapsed().as_nanos() as u64;
             stats.compute_commands += comp_cmds;
 
             if !rs.read_after.is_empty() {

@@ -89,20 +89,29 @@ impl ParallelPolicy {
 
     /// The resolved thread budget: `NEWTON_THREADS` when respected and
     /// set, else `max_threads`, else the host's available parallelism.
+    ///
+    /// A policy *pinned* to an explicit width — `respect_env == false`
+    /// with `max_threads` set, i.e. [`ParallelPolicy::exact`] — returns
+    /// that width untouched; the determinism suite deliberately
+    /// oversubscribes to prove scheduling cannot leak into results. Every
+    /// other source (`NEWTON_THREADS`, a `max_threads` hint,
+    /// auto-detection) is capped at the host's available parallelism:
+    /// oversubscribing scoped workers cannot help cycle-granular
+    /// simulation and measurably hurts (a 1-core host ran `--threads 8`
+    /// 2.4x slower than serial before this cap).
     #[must_use]
     pub fn threads(&self) -> usize {
-        if self.respect_env {
-            if let Some(n) = env_threads() {
-                return n;
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if !self.respect_env {
+            if let Some(n) = self.max_threads {
+                return n.max(1);
             }
+        } else if let Some(n) = env_threads() {
+            return n.min(host);
         }
-        self.max_threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-            .max(1)
+        self.max_threads.unwrap_or(host).min(host).max(1)
     }
 
     /// Worker threads for `items` independent tasks whose largest member
@@ -249,6 +258,31 @@ mod tests {
         assert_eq!(p.min_channel_macs, DEFAULT_MIN_CHANNEL_MACS);
         assert!(p.respect_env);
         assert!(p.threads() >= 1);
+    }
+
+    #[test]
+    fn non_pinned_widths_are_capped_at_host_parallelism() {
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // Auto-detection resolves to the host width exactly.
+        let auto = ParallelPolicy {
+            max_threads: None,
+            min_channel_macs: 0,
+            respect_env: false,
+        };
+        assert_eq!(auto.threads(), host);
+        // An oversubscribed hint is capped (whether or not NEWTON_THREADS
+        // is set in the test environment, the result never exceeds host).
+        let hinted = ParallelPolicy {
+            max_threads: Some(host * 4),
+            min_channel_macs: 0,
+            respect_env: true,
+        };
+        assert!(hinted.threads() <= host);
+        assert!(ParallelPolicy::default().threads() <= host);
+        // Pinned exact() still oversubscribes on purpose.
+        assert_eq!(ParallelPolicy::exact(host * 4).threads(), host * 4);
     }
 
     #[test]

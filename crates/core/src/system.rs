@@ -15,6 +15,7 @@ use newton_bf16::{slice, Bf16};
 use newton_dram::stats::RunSummary;
 use newton_dram::timing::Cycle;
 use newton_dram::DramError;
+use newton_trace::{HostProfiler, TimeSeries};
 
 use crate::config::NewtonConfig;
 use crate::controller::{AimStats, NewtonChannel};
@@ -58,6 +59,30 @@ pub struct SystemRun {
     pub stats: AimStats,
     /// Per-channel DRAM summaries (for bandwidth/power accounting).
     pub channel_summaries: Vec<RunSummary>,
+}
+
+impl SystemRun {
+    /// The system-wide telemetry series: every channel's windowed series
+    /// merged elementwise, in channel order (deterministic for any thread
+    /// count). `None` when telemetry was not enabled.
+    ///
+    /// # Panics
+    ///
+    /// If channels ran with different window widths (impossible through
+    /// [`NewtonSystem`], which configures every channel identically).
+    #[must_use]
+    pub fn merged_telemetry(&self) -> Option<TimeSeries> {
+        let mut merged: Option<TimeSeries> = None;
+        for s in &self.channel_summaries {
+            if let Some(t) = &s.telemetry {
+                match &mut merged {
+                    Some(m) => m.merge(t),
+                    None => merged = Some(t.clone()),
+                }
+            }
+        }
+        merged
+    }
 }
 
 /// A matrix made resident in channel DRAM by
@@ -118,7 +143,18 @@ pub struct NewtonSystem {
     /// built by [`channel_mapping`](NewtonSystem::channel_mapping) route
     /// around them.
     retired: Vec<BTreeSet<usize>>,
+    /// Host-phase self-profiling: wall-clock time this process spent in
+    /// each simulation phase (encode / drain / comp / merge / snapshot).
+    /// Accumulates across runs; purely observational. Call counts are
+    /// simulation-deterministic, nanoseconds are host wall-clock.
+    profiler: HostProfiler,
 }
+
+/// Host-phase names registered by every [`NewtonSystem`], in reporting
+/// order: matrix encode (load/scatter into DRAM), command-stream drain
+/// (channel simulation), the COMP MAC hot path (a sub-span of drain),
+/// index-ordered result merge, and end-of-run summary snapshotting.
+pub const HOST_PHASES: [&str; 5] = ["encode", "drain", "comp", "merge", "snapshot"];
 
 impl NewtonSystem {
     /// Creates the system with identity activation in the channel LUTs.
@@ -150,7 +186,22 @@ impl NewtonSystem {
             channels,
             activation,
             retired,
+            profiler: HostProfiler::new(&HOST_PHASES),
         })
+    }
+
+    /// The accumulated host-phase profile (encode / drain / comp / merge
+    /// / snapshot wall-clock time since construction or the last
+    /// [`NewtonSystem::reset_host_phases`]).
+    #[must_use]
+    pub fn host_phases(&self) -> &HostProfiler {
+        &self.profiler
+    }
+
+    /// Clears the host-phase profile (e.g. between warmup and measured
+    /// iterations of a benchmark).
+    pub fn reset_host_phases(&mut self) {
+        self.profiler = HostProfiler::new(&HOST_PHASES);
     }
 
     /// The system configuration.
@@ -260,6 +311,7 @@ impl NewtonSystem {
             .map(MatrixMapping::rows_per_bank)
             .max()
             .unwrap_or(0);
+        let encode_started = std::time::Instant::now();
         let results = {
             let mut active: Vec<(usize, &mut NewtonChannel, &MatrixMapping)> = self
                 .channels
@@ -283,6 +335,8 @@ impl NewtonSystem {
                 channel.load_matrix_strided(map, matrix, *ch, c)
             })
         };
+        self.profiler
+            .add("encode", 1, encode_started.elapsed().as_nanos() as u64);
         // Index-ordered merge: the first failing channel's error wins,
         // exactly as the old serial loop reported it.
         for r in results {
@@ -319,6 +373,7 @@ impl NewtonSystem {
             .max()
             .unwrap_or(0);
 
+        let drain_started = std::time::Instant::now();
         let runs: Vec<(usize, Result<crate::controller::MvRun, AimError>)> = {
             let mut active: Vec<(usize, &mut NewtonChannel, &MatrixMapping)> = self
                 .channels
@@ -346,7 +401,17 @@ impl NewtonSystem {
                 (*ch, channel.run_mv(map, &schedule, vector, lut_readout))
             })
         };
+        self.profiler
+            .add("drain", 1, drain_started.elapsed().as_nanos() as u64);
+        // The COMP hot path is a sub-span of drain, measured inside each
+        // channel and drained here in channel order (deterministic call
+        // counts: one per row-set).
+        for ch in &mut self.channels {
+            let (calls, nanos) = ch.take_comp_profile();
+            self.profiler.add("comp", calls, nanos);
+        }
 
+        let merge_started = std::time::Instant::now();
         let mut output = vec![0.0f32; m];
         let mut stats = AimStats::default();
         let mut end = start;
@@ -379,12 +444,17 @@ impl NewtonSystem {
             stats.merge(&run.stats);
             end = end.max(run.end_cycle);
         }
+        self.profiler
+            .add("merge", 1, merge_started.elapsed().as_nanos() as u64);
         // Barrier: the layer is done when the slowest channel is done.
+        let snapshot_started = std::time::Instant::now();
         let mut summaries = Vec::with_capacity(c);
         for ch in &mut self.channels {
             ch.advance_to(end);
             summaries.push(ch.channel().summary(end));
         }
+        self.profiler
+            .add("snapshot", 1, snapshot_started.elapsed().as_nanos() as u64);
         let tck = self.config.dram.timing.tck_ns;
         Ok(SystemRun {
             output,
@@ -787,11 +857,14 @@ impl NewtonSystem {
             .map(NewtonChannel::now)
             .max()
             .unwrap_or(0);
+        let snapshot_started = std::time::Instant::now();
         let summaries = self
             .channels
             .iter()
             .map(|c| c.channel().summary(end))
             .collect();
+        self.profiler
+            .add("snapshot", 1, snapshot_started.elapsed().as_nanos() as u64);
         Ok(SystemRun {
             output: final_output,
             cycles: end - start,
@@ -1209,6 +1282,58 @@ mod tests {
                 row: 0
             }
         );
+    }
+
+    #[test]
+    fn telemetry_flows_from_channels_to_merged_system_series() {
+        let (m, n) = (48, 300);
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 23) as f32 - 11.0) / 8.0))
+            .collect();
+        let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 9) as f32 - 4.0) / 4.0)).collect();
+        let mut cfg = small_cfg(4);
+        cfg.telemetry = Some(crate::config::TelemetryConfig { window_cycles: 256 });
+        let mut sys = NewtonSystem::new(cfg).unwrap();
+        let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
+
+        // Every channel carries a sampled series; the merged series sums
+        // their event counts exactly.
+        let merged = run.merged_telemetry().expect("telemetry enabled");
+        assert_eq!(merged.window_cycles(), 256);
+        let mut activates = 0;
+        for s in &run.channel_summaries {
+            let t = s.telemetry.as_ref().expect("per-channel series");
+            assert_eq!(t.totals().commands, s.commands);
+            activates += t.totals().activates;
+        }
+        assert_eq!(merged.totals().activates, activates);
+        assert_eq!(
+            merged.totals().activates,
+            run.channel_summaries
+                .iter()
+                .map(|s| s.stats.activates)
+                .sum::<u64>()
+        );
+        assert!(merged.totals().energy_milli_pj > 0);
+
+        // Host phases registered and exercised; COMP call counts are
+        // simulation-deterministic (one per row-set per channel).
+        let phases = sys.host_phases();
+        let by_name: Vec<_> = phases.phases().iter().map(|p| p.name).collect();
+        assert_eq!(by_name, HOST_PHASES);
+        let comp = phases.phases().iter().find(|p| p.name == "comp").unwrap();
+        assert_eq!(comp.calls, run.stats.row_sets);
+        assert!(phases
+            .phases()
+            .iter()
+            .all(|p| p.name == "comp" || p.calls == 1));
+
+        // Telemetry off by default: no series, and host phases reset.
+        let mut plain = NewtonSystem::new(small_cfg(4)).unwrap();
+        let run = plain.run_mv(&matrix, m, n, &vector).unwrap();
+        assert!(run.merged_telemetry().is_none());
+        plain.reset_host_phases();
+        assert_eq!(plain.host_phases().total_nanos(), 0);
     }
 
     #[test]

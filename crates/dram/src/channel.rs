@@ -27,7 +27,10 @@ use crate::faw::FawTracker;
 use crate::stats::{ChannelStats, RunSummary};
 use crate::storage::Storage;
 use crate::timing::{Cycle, Timing};
-use newton_trace::{BankClass, Log2Histogram, TraceBus, TraceEvent, TraceSink};
+use newton_trace::energy::to_milli_pj;
+use newton_trace::{
+    BankClass, EnergyModel, Log2Histogram, TimeSeries, TraceBus, TraceEvent, TraceSink,
+};
 
 /// Holder for the optional trace sink; manual `Debug` because trait
 /// objects have none.
@@ -42,6 +45,15 @@ impl std::fmt::Debug for SinkSlot {
             "SinkSlot(none)"
         })
     }
+}
+
+/// Streaming-telemetry state: the windowed series plus the energy model
+/// consulted at command-issue time. Boxed in the channel so the disabled
+/// path costs one pointer and one branch per event site.
+#[derive(Debug)]
+struct TelemetryState {
+    series: TimeSeries,
+    energy: EnergyModel,
 }
 
 /// One DRAM (pseudo-)channel with full timing and functional state.
@@ -70,6 +82,8 @@ pub struct Channel {
     /// Optional structured-trace consumer; `None` (the default) keeps the
     /// instrumented issue paths to one branch per site.
     sink: SinkSlot,
+    /// Optional windowed telemetry collector + per-command energy model.
+    telemetry: Option<Box<TelemetryState>>,
     /// Cycle of the first command issued, if any (drives the summary's
     /// activity span).
     first_activity: Option<Cycle>,
@@ -105,6 +119,7 @@ impl Channel {
             ecc: EccCounters::new(config.banks),
             audit: None,
             sink: SinkSlot::default(),
+            telemetry: None,
             first_activity: None,
             last_act: None,
             act_gaps: Log2Histogram::new(),
@@ -308,10 +323,59 @@ impl Channel {
         sink
     }
 
+    /// Enables streaming telemetry: every subsequent event also folds
+    /// into a windowed [`TimeSeries`], and energy-bearing commands emit
+    /// [`TraceEvent::CommandEnergy`] attributions priced by the Fig. 13
+    /// [`EnergyModel`]. `window_cycles` of 0 is promoted to 1.
+    pub fn enable_telemetry(&mut self, window_cycles: u64) {
+        self.telemetry = Some(Box::new(TelemetryState {
+            series: TimeSeries::new(window_cycles, self.config.banks),
+            energy: EnergyModel::new(),
+        }));
+    }
+
+    /// The telemetry series accumulated so far, if enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&TimeSeries> {
+        self.telemetry.as_deref().map(|t| &t.series)
+    }
+
+    /// Whether any event consumer (trace sink or telemetry collector) is
+    /// attached — the gate the per-command instrumentation sites check.
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.sink.0.is_some() || self.telemetry.is_some()
+    }
+
     #[inline]
     fn emit(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.telemetry {
+            t.series.record(&event);
+        }
         if let Some(s) = &mut self.sink.0 {
             s.record(&event);
+        }
+    }
+
+    /// Prices one issued command with the energy model and emits the
+    /// attribution (telemetry only; commands with zero attributed energy
+    /// — PRE, CTRL — stay silent). `label` must match the command's
+    /// traced mnemonic so windowed energy lands beside its counts.
+    #[inline]
+    fn emit_energy(&mut self, cycle: Cycle, label: &'static str, bank_ops: u32, data_bytes: u64) {
+        let Some(t) = &self.telemetry else { return };
+        let pj = if label == "REF" {
+            t.energy.refresh_pj(bank_ops)
+        } else {
+            t.energy.command_pj(label, bank_ops, data_bytes)
+        };
+        let milli_pj = to_milli_pj(pj);
+        if milli_pj > 0 {
+            self.emit(TraceEvent::CommandEnergy {
+                cycle,
+                label,
+                milli_pj,
+            });
         }
     }
 
@@ -448,7 +512,7 @@ impl Channel {
             self.act_gaps.record(cycle - last);
         }
         self.last_act = Some(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             self.emit(TraceEvent::Command {
                 cycle,
                 bus: TraceBus::Row,
@@ -462,6 +526,12 @@ impl Channel {
                     class: BankClass::RowOpen,
                 });
             }
+            self.emit_energy(
+                cycle,
+                if pairs.len() > 1 { "G_ACT" } else { "ACT" },
+                pairs.len() as u32,
+                0,
+            );
         }
         // Row-buffer-fill scrub: with ECC on, the whole activated row is
         // checked/corrected as it enters the row buffer.
@@ -530,7 +600,7 @@ impl Channel {
         });
         self.stats.col_reads_external += 1;
         self.note_activity(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             self.emit(TraceEvent::Command {
                 cycle,
                 bus: TraceBus::Column,
@@ -541,6 +611,7 @@ impl Channel {
                 cycle: cycle + self.timing.t_aa,
                 bytes: self.config.col_bytes() as u64,
             });
+            self.emit_energy(cycle, "RD", 1, self.config.col_bytes() as u64);
         }
         self.ecc_check_column(cycle, bank, row, col)?;
         let data = self.storage.column(bank, row, col)?.to_vec();
@@ -572,7 +643,7 @@ impl Channel {
         self.record(AuditEvent::ColWr { bank, cycle });
         self.stats.col_writes_external += 1;
         self.note_activity(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             self.emit(TraceEvent::Command {
                 cycle,
                 bus: TraceBus::Column,
@@ -583,6 +654,7 @@ impl Channel {
                 cycle: cycle + self.timing.t_aa,
                 bytes: data.len() as u64,
             });
+            self.emit_energy(cycle, "WR", 1, data.len() as u64);
         }
         self.storage.write_column(bank, row, col, data)?;
         Ok(cycle)
@@ -647,7 +719,7 @@ impl Channel {
             self.stats.ganged_commands += 1;
         }
         self.note_activity(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             self.emit(TraceEvent::Command {
                 cycle,
                 bus: TraceBus::Column,
@@ -661,6 +733,7 @@ impl Channel {
                     class: BankClass::Computing,
                 });
             }
+            self.emit_energy(cycle, "COMP", pairs.len() as u32, 0);
         }
         Ok(cycle)
     }
@@ -686,7 +759,7 @@ impl Channel {
             .transfer(cycle + self.timing.t_aa, bytes, &self.timing)?;
         self.stats.broadcast_bytes += bytes as u64;
         self.note_activity(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             self.emit(TraceEvent::Command {
                 cycle,
                 bus: TraceBus::Column,
@@ -697,6 +770,7 @@ impl Channel {
                 cycle: cycle + self.timing.t_aa,
                 bytes: bytes as u64,
             });
+            self.emit_energy(cycle, "GWRITE", 0, bytes as u64);
         }
         Ok(cycle)
     }
@@ -725,7 +799,7 @@ impl Channel {
         self.data_bus
             .transfer(cycle + self.timing.t_aa, bytes, &self.timing)?;
         self.note_activity(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             self.emit(TraceEvent::Command {
                 cycle,
                 bus: TraceBus::Column,
@@ -736,6 +810,7 @@ impl Channel {
                 cycle: cycle + self.timing.t_aa,
                 bytes: bytes as u64,
             });
+            self.emit_energy(cycle, "READRES", 0, bytes as u64);
         }
         Ok(cycle)
     }
@@ -815,7 +890,7 @@ impl Channel {
         self.record(AuditEvent::Pre { bank, cycle });
         self.stats.precharges += 1;
         self.note_activity(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             self.emit(TraceEvent::Command {
                 cycle,
                 bus: TraceBus::Row,
@@ -858,7 +933,7 @@ impl Channel {
             if self.banks[bank].state().open_row().is_some() {
                 self.banks[bank].precharge(cycle, &self.timing)?;
                 self.record(AuditEvent::Pre { bank, cycle });
-                if self.sink.0.is_some() {
+                if self.tracing() {
                     self.emit(TraceEvent::BankState {
                         cycle,
                         bank: bank as u32,
@@ -928,7 +1003,7 @@ impl Channel {
         self.next_refresh_due = cycle + self.timing.t_refi;
         self.last_refresh = cycle;
         self.note_activity(cycle);
-        if self.sink.0.is_some() {
+        if self.tracing() {
             let banks = self.banks.len();
             self.emit(TraceEvent::Command {
                 cycle,
@@ -943,6 +1018,7 @@ impl Channel {
                     class: BankClass::Refreshing,
                 });
             }
+            self.emit_energy(cycle, "REF", banks as u32, 0);
         }
         Ok(cycle)
     }
@@ -969,6 +1045,7 @@ impl Channel {
             col_slot_gaps: self.col_bus.slot_gaps().clone(),
             act_gaps: self.act_gaps.clone(),
             ecc: self.ecc.clone(),
+            telemetry: self.telemetry.as_ref().map(|t| t.series.sampled(end_cycle)),
         }
     }
 }
@@ -1240,6 +1317,58 @@ mod tests {
         ch.issue_column_read_external(t.t_rcd + 2 * t.t_ccd, 1, 1)
             .unwrap();
         assert_eq!(handle.len(), before);
+    }
+
+    #[test]
+    fn telemetry_series_mirrors_the_stat_counters() {
+        use newton_trace::EnergyModel;
+        let mut ch = channel();
+        let t = timing();
+        ch.enable_telemetry(64);
+        assert!(ch.telemetry().is_some());
+        for bank in 0..4 {
+            ch.storage_mut()
+                .write_row(bank, 0, &vec![1u8; 1024])
+                .unwrap();
+        }
+        let a = ch
+            .issue_ganged_activate(0, &[(0, 0), (1, 0), (2, 0), (3, 0)])
+            .unwrap();
+        ch.issue_ganged_column_read_internal(
+            a + t.t_rcd,
+            &[(0, 0), (1, 0), (2, 0), (3, 0)],
+            |_, _| {},
+        )
+        .unwrap();
+        ch.issue_result_read(a + t.t_rcd + t.t_ccd, 32).unwrap();
+        let p = ch.earliest_precharge_all();
+        ch.issue_precharge_all(p).unwrap();
+        let end = p + t.t_rp;
+        let s = ch.summary(end);
+        let series = s.telemetry.as_ref().expect("telemetry in summary");
+        let totals = series.totals();
+        // Event counts must equal the postprocessed stat counters —
+        // this is what makes streamed energy match the Fig. 13 model.
+        assert_eq!(totals.activates, s.stats.activates);
+        assert_eq!(totals.comp_ops, s.stats.col_reads_internal);
+        assert_eq!(
+            totals.array_accesses,
+            s.stats.col_reads_internal + s.stats.col_reads_external + s.stats.col_writes_external
+        );
+        assert_eq!(totals.bus_bytes, s.external_bytes);
+        assert_eq!(totals.bank_open_cycles, s.bank_open_cycles);
+        assert_eq!(totals.ganged_act_banks, 4);
+        // Streamed fixed-point energy agrees with the coefficients.
+        let m = EnergyModel::new();
+        let expect_pj = m.act_pj(4) + m.comp_pj(4) + m.phy_pj(32);
+        assert_eq!(totals.energy_milli_pj, (expect_pj * 1000.0).round() as u64);
+        assert_eq!(series.dynamic_energy_pj(&m), m.window_pj(&totals));
+        // Per-bank attribution saw the four activates and COMPs.
+        assert_eq!(series.per_bank()[0].activates, 1);
+        assert_eq!(series.per_bank()[0].comp_ops, 1);
+        assert_eq!(series.per_bank()[8].activates, 0);
+        // Windows pad to the end cycle.
+        assert_eq!(series.windows().len(), (end as usize).div_ceil(64));
     }
 
     #[test]

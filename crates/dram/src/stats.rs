@@ -2,7 +2,7 @@
 
 use crate::ecc::EccCounters;
 use crate::timing::Cycle;
-use newton_trace::{Log2Histogram, Residency};
+use newton_trace::{Log2Histogram, Residency, TimeSeries};
 
 /// Raw event counts accumulated by a [`crate::Channel`].
 ///
@@ -79,6 +79,9 @@ pub struct RunSummary {
     /// Per-bank ECC correction/detection counters (empty vectors in a
     /// default summary; one entry per bank when produced by a channel).
     pub ecc: EccCounters,
+    /// Windowed telemetry series sampled through `end_cycle`; present
+    /// only when the channel ran with streaming telemetry enabled.
+    pub telemetry: Option<TimeSeries>,
 }
 
 impl RunSummary {

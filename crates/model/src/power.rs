@@ -83,6 +83,36 @@ impl ActivityCounts {
         }
         c
     }
+
+    /// Builds AiM counts from the *streamed telemetry* of per-channel
+    /// summaries instead of the end-of-run counters. Returns `None` if
+    /// any summary lacks a telemetry series.
+    ///
+    /// Each per-summary accumulation mirrors [`from_aim_summaries`]
+    /// term-for-term in the same order, and every telemetry total is an
+    /// exact `u64` event count equal to its `ChannelStats` counterpart —
+    /// so the result is **bit-for-bit identical** to the postprocessed
+    /// counts (identical f64 sums of identical terms), which the property
+    /// suite asserts across the Table II workloads.
+    ///
+    /// [`from_aim_summaries`]: ActivityCounts::from_aim_summaries
+    #[must_use]
+    pub fn from_aim_telemetry(summaries: &[RunSummary]) -> Option<ActivityCounts> {
+        let mut c = ActivityCounts {
+            channels: summaries.len() as f64,
+            ..ActivityCounts::default()
+        };
+        for s in summaries {
+            let t = s.telemetry.as_ref()?.totals();
+            c.elapsed_ns = c.elapsed_ns.max(s.elapsed_ns());
+            c.activates += t.activates as f64;
+            c.array_accesses += t.array_accesses as f64;
+            c.mac_ops += t.comp_ops as f64;
+            c.phy_bytes += t.bus_bytes as f64;
+            c.bank_open_ns += t.bank_open_cycles as f64 * s.tck_ns;
+        }
+        Some(c)
+    }
 }
 
 /// Average power decomposed by component, in units of the conventional
@@ -133,15 +163,21 @@ pub struct PowerModel {
 impl Default for PowerModel {
     /// Constants solved from the two calibration equations in the module
     /// docs (conventional peak streaming = 1.0; COMP streaming = 4.0).
+    ///
+    /// The per-event coefficients are shared with the streaming
+    /// [`newton_trace::EnergyModel`] consulted at command-issue time, so
+    /// the windowed energy series and this postprocessed model can never
+    /// drift apart (an equality test pins them).
     fn default() -> PowerModel {
+        let e = newton_trace::EnergyModel::default();
         PowerModel {
-            p_background: 0.25,
-            p_open_per_bank: 0.01,
-            e_act: 4.0,
-            e_array: 0.7,
-            e_phy: 2.095,
-            e_mac: 0.197,
-            col_bytes: 32.0,
+            p_background: e.p_background,
+            p_open_per_bank: e.p_open_per_bank,
+            e_act: e.e_act,
+            e_array: e.e_array,
+            e_phy: e.e_phy,
+            e_mac: e.e_mac,
+            col_bytes: e.col_bytes,
         }
     }
 }
@@ -232,6 +268,72 @@ mod tests {
             bank_open_ns: 16.0 * 232.0 * row_sets,
             channels: 1.0,
         }
+    }
+
+    #[test]
+    fn power_model_and_streaming_energy_model_share_coefficients() {
+        // The postprocessed Fig. 13 model and the command-issue-time
+        // energy model must be the same numbers, or the streamed series
+        // would drift from the validated averages.
+        let p = PowerModel::default();
+        let e = newton_trace::EnergyModel::default();
+        assert_eq!(p.p_background, e.p_background);
+        assert_eq!(p.p_open_per_bank, e.p_open_per_bank);
+        assert_eq!(p.e_act, e.e_act);
+        assert_eq!(p.e_array, e.e_array);
+        assert_eq!(p.e_phy, e.e_phy);
+        assert_eq!(p.e_mac, e.e_mac);
+        assert_eq!(p.col_bytes, e.col_bytes);
+    }
+
+    #[test]
+    fn telemetry_counts_match_postprocessed_counts_bit_for_bit() {
+        use newton_trace::{TimeSeries, TraceBus, TraceEvent};
+        // Build a summary whose telemetry series streamed exactly the
+        // events the end-of-run counters describe.
+        let mut series = TimeSeries::new(64, 4);
+        for (cycle, bus, label, bank_ops) in [
+            (0, TraceBus::Row, "G_ACT", 4u32),
+            (20, TraceBus::Column, "COMP", 4),
+            (40, TraceBus::Column, "COMP", 4),
+        ] {
+            series.record(&TraceEvent::Command {
+                cycle,
+                bus,
+                label,
+                bank_ops,
+            });
+        }
+        series.record(&TraceEvent::DataBurst {
+            cycle: 60,
+            bytes: 64,
+        });
+        series.record(&TraceEvent::Command {
+            cycle: 60,
+            bus: TraceBus::Column,
+            label: "RD",
+            bank_ops: 1,
+        });
+        let summary = RunSummary {
+            stats: newton_dram::stats::ChannelStats {
+                activates: 4,
+                col_reads_internal: 8,
+                col_reads_external: 1,
+                ..Default::default()
+            },
+            external_bytes: 64,
+            bank_open_cycles: 0,
+            end_cycle: 100,
+            tck_ns: 1.25,
+            telemetry: Some(series.sampled(100)),
+            ..RunSummary::default()
+        };
+        let summaries = vec![summary.clone(), summary];
+        let streamed = ActivityCounts::from_aim_telemetry(&summaries).unwrap();
+        let post = ActivityCounts::from_aim_summaries(&summaries);
+        assert_eq!(streamed, post, "same counts, same order, same f64s");
+        // A summary without telemetry yields None, never a partial count.
+        assert!(ActivityCounts::from_aim_telemetry(&[RunSummary::default()]).is_none());
     }
 
     #[test]

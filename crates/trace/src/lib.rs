@@ -16,6 +16,15 @@
 //!   and occupancy distributions.
 //! * [`chrome`] — Chrome trace-event JSON export, loadable in Perfetto or
 //!   `chrome://tracing` (one track per bank, one per command bus).
+//! * [`timeseries`] — fixed-width simulated-time windows of integer event
+//!   counters (bandwidth, bank occupancy, queue depth, ganged-ACT width,
+//!   ECC corrections, energy), deterministic under any thread width and
+//!   mergeable across channels.
+//! * [`energy`] — the Fig. 13 coefficients as per-command energies,
+//!   consulted at command-issue time by the DRAM channel.
+//! * [`hostprof`] — a host wall-clock phase registry (encode / drain /
+//!   comp / merge / snapshot), so benchmark snapshots record where the
+//!   *host* time went alongside simulated throughput.
 //! * [`snapshot`] — versioned metrics-snapshot JSON written by the
 //!   `reproduce` harness alongside every figure/table.
 //! * [`json`] — the minimal JSON document model (writer + parser) backing
@@ -30,17 +39,25 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod chrome;
+pub mod energy;
 pub mod histogram;
+pub mod hostprof;
 pub mod json;
 pub mod residency;
 pub mod sink;
 pub mod snapshot;
+pub mod timeseries;
 
 pub use chrome::ChromeTraceBuilder;
+pub use energy::EnergyModel;
 pub use histogram::Log2Histogram;
+pub use hostprof::{HostPhase, HostProfiler};
 pub use json::{JsonError, JsonValue};
 pub use residency::{BankClass, Residency, ResidencyTracker};
 pub use sink::{
     NullSink, RecordingSink, SharedRecordingSink, StreamingSink, TraceBus, TraceEvent, TraceSink,
 };
 pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use timeseries::{
+    BankEnergyCounts, TimeSeries, WindowMetrics, DEFAULT_WINDOW_CYCLES, TELEMETRY_SCHEMA_VERSION,
+};

@@ -91,6 +91,17 @@ pub enum TraceEvent {
         /// The damaged row.
         row: u32,
     },
+    /// Energy attributed to a command at issue time (emitted only when
+    /// telemetry is enabled; fixed-point so the stream stays integral).
+    CommandEnergy {
+        /// Issue cycle of the command the energy belongs to.
+        cycle: u64,
+        /// The command's mnemonic (`"ACT"`, `"COMP"`, `"READRES"`,
+        /// `"REF"`, ...).
+        label: &'static str,
+        /// Attributed energy in milli-picojoules.
+        milli_pj: u64,
+    },
 }
 
 impl TraceEvent {
@@ -103,7 +114,8 @@ impl TraceEvent {
             | TraceEvent::DataBurst { cycle, .. }
             | TraceEvent::QueueLatency { cycle, .. }
             | TraceEvent::EccCorrected { cycle, .. }
-            | TraceEvent::EccUncorrectable { cycle, .. } => cycle,
+            | TraceEvent::EccUncorrectable { cycle, .. }
+            | TraceEvent::CommandEnergy { cycle, .. } => cycle,
         }
     }
 
@@ -158,6 +170,16 @@ impl TraceEvent {
                 obj.push(("cycle".into(), JsonValue::from(cycle)));
                 obj.push(("bank".into(), JsonValue::from(u64::from(bank))));
                 obj.push(("row".into(), JsonValue::from(u64::from(row))));
+            }
+            TraceEvent::CommandEnergy {
+                cycle,
+                label,
+                milli_pj,
+            } => {
+                obj.push(("type".into(), JsonValue::from("command_energy")));
+                obj.push(("cycle".into(), JsonValue::from(cycle)));
+                obj.push(("label".into(), JsonValue::from(label)));
+                obj.push(("milli_pj".into(), JsonValue::from(milli_pj)));
             }
         }
         JsonValue::Object(obj)

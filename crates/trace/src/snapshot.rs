@@ -11,6 +11,7 @@
 //! ```json
 //! {
 //!   "schema_version": 1,
+//!   "telemetry_schema_version": 1,
 //!   "experiment": "fig07",
 //!   "generator": "newton-bench",
 //!   "scalars": {"geomean_speedup": 9.8},
@@ -25,6 +26,7 @@
 //! without bumping `schema_version`.
 
 use crate::json::JsonValue;
+use crate::timeseries::TELEMETRY_SCHEMA_VERSION;
 
 /// Current snapshot schema version. Bump only for breaking shape changes.
 pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
@@ -97,6 +99,13 @@ impl MetricsSnapshot {
             (
                 "schema_version".into(),
                 JsonValue::from(SNAPSHOT_SCHEMA_VERSION),
+            ),
+            // Additive (consumers ignore unknown keys): which telemetry
+            // document shape this generator emits, so downstream
+            // validators can dispatch without sniffing.
+            (
+                "telemetry_schema_version".into(),
+                JsonValue::from(TELEMETRY_SCHEMA_VERSION),
             ),
             (
                 "experiment".into(),
@@ -172,6 +181,10 @@ mod tests {
         assert_eq!(
             doc.get("schema_version").unwrap().as_f64(),
             Some(SNAPSHOT_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            doc.get("telemetry_schema_version").unwrap().as_f64(),
+            Some(TELEMETRY_SCHEMA_VERSION as f64)
         );
         assert_eq!(doc.get("experiment").unwrap().as_str(), Some("fig07"));
         let scalars = doc.get("scalars").unwrap();

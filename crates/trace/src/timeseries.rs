@@ -1,0 +1,669 @@
+//! Windowed time-series telemetry over the trace-event stream.
+//!
+//! A [`TimeSeries`] folds the same [`TraceEvent`]s a
+//! [`TraceSink`](crate::sink::TraceSink) would see into fixed-width
+//! simulated-time windows (default [`DEFAULT_WINDOW_CYCLES`]) of pure
+//! integer counters, answering "what was the bandwidth, bank occupancy,
+//! queue depth, ganged-ACT width, ECC correction rate, and energy at
+//! simulated time *t*". Because every accumulated field is a `u64` event
+//! count (derived rates and picojoules are computed only at export), a
+//! series is bit-identical for any host thread count and merges across
+//! channels by plain element-wise addition — the same determinism
+//! contract the rest of the simulator keeps.
+//!
+//! Window semantics: an event at `cycle` lands in window
+//! `cycle / window_cycles`. Bank-open time follows the DRAM bank's own
+//! accounting — a span is attributed (split across the windows it covers)
+//! when the *precharge* closes the row, and a row still open at the end
+//! of a run contributes nothing, exactly like
+//! `Bank::open_cycles`. Totals therefore match run-summary counters
+//! field-for-field, which the energy property tests rely on.
+
+use crate::energy::EnergyModel;
+use crate::json::JsonValue;
+use crate::residency::BankClass;
+use crate::sink::TraceEvent;
+
+/// Version of the telemetry JSON documents ([`TimeSeries::to_json`] and
+/// the `telemetry_schema_version` key snapshots carry). Bump only for
+/// breaking shape changes; consumers must ignore unknown keys.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+
+/// Default telemetry window width, in command-clock cycles.
+pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;
+
+/// Integer event counters for one telemetry window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowMetrics {
+    /// Commands issued (any bus, any mnemonic).
+    pub commands: u64,
+    /// Bytes that crossed the external data bus.
+    pub bus_bytes: u64,
+    /// Bank-open cycles attributed to this window (closed spans only).
+    pub bank_open_cycles: u64,
+    /// Row activations (each bank counted, even when ganged).
+    pub activates: u64,
+    /// Activation commands that ganged more than one bank.
+    pub ganged_acts: u64,
+    /// Banks covered by those ganged activation commands.
+    pub ganged_act_banks: u64,
+    /// Per-bank COMP operations (internal array reads into MACs).
+    pub comp_ops: u64,
+    /// Bank-array column accesses (internal + external).
+    pub array_accesses: u64,
+    /// Banks touched by all-bank refresh commands.
+    pub refresh_banks: u64,
+    /// Requests drained from a scheduling queue.
+    pub queue_samples: u64,
+    /// Total cycles those requests waited before issue.
+    pub queue_wait_cycles: u64,
+    /// SECDED-corrected words.
+    pub ecc_corrected: u64,
+    /// Detected-uncorrectable ECC errors.
+    pub ecc_uncorrectable: u64,
+    /// Streamed dynamic energy (fixed-point milli-pJ) from
+    /// [`TraceEvent::CommandEnergy`], refresh excluded.
+    pub energy_milli_pj: u64,
+    /// Streamed refresh energy (milli-pJ), kept separable because the
+    /// postprocessed Fig. 13 model has no refresh component.
+    pub refresh_milli_pj: u64,
+}
+
+impl WindowMetrics {
+    /// Element-wise accumulate.
+    fn add(&mut self, o: &WindowMetrics) {
+        self.commands += o.commands;
+        self.bus_bytes += o.bus_bytes;
+        self.bank_open_cycles += o.bank_open_cycles;
+        self.activates += o.activates;
+        self.ganged_acts += o.ganged_acts;
+        self.ganged_act_banks += o.ganged_act_banks;
+        self.comp_ops += o.comp_ops;
+        self.array_accesses += o.array_accesses;
+        self.refresh_banks += o.refresh_banks;
+        self.queue_samples += o.queue_samples;
+        self.queue_wait_cycles += o.queue_wait_cycles;
+        self.ecc_corrected += o.ecc_corrected;
+        self.ecc_uncorrectable += o.ecc_uncorrectable;
+        self.energy_milli_pj += o.energy_milli_pj;
+        self.refresh_milli_pj += o.refresh_milli_pj;
+    }
+}
+
+/// Per-bank event counts for residency-style energy attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankEnergyCounts {
+    /// Row activations of this bank.
+    pub activates: u64,
+    /// COMP operations this bank performed.
+    pub comp_ops: u64,
+    /// Refresh operations this bank took part in.
+    pub refreshes: u64,
+}
+
+impl BankEnergyCounts {
+    /// Dynamic energy this bank's counted events represent, pJ
+    /// (refresh included, reported per bank only).
+    #[must_use]
+    pub fn energy_pj(&self, model: &EnergyModel) -> f64 {
+        model.e_act * self.activates as f64
+            + (model.e_array + model.e_mac) * self.comp_ops as f64
+            + model.e_act * self.refreshes as f64
+    }
+}
+
+/// A windowed telemetry series for one channel (or, after
+/// [`TimeSeries::merge`], a whole system).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    window_cycles: u64,
+    windows: Vec<WindowMetrics>,
+    per_bank: Vec<BankEnergyCounts>,
+    /// Open-row start cycle per bank (span attributed at precharge).
+    open_since: Vec<Option<u64>>,
+}
+
+impl TimeSeries {
+    /// An empty series with `banks` banks and the given window width
+    /// (`0` is promoted to 1 so indexing never divides by zero).
+    #[must_use]
+    pub fn new(window_cycles: u64, banks: usize) -> TimeSeries {
+        TimeSeries {
+            window_cycles: window_cycles.max(1),
+            windows: Vec::new(),
+            per_bank: vec![BankEnergyCounts::default(); banks],
+            open_since: vec![None; banks],
+        }
+    }
+
+    /// The configured window width in cycles.
+    #[must_use]
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// The windows accumulated so far (index `i` covers cycles
+    /// `i*W .. (i+1)*W`).
+    #[must_use]
+    pub fn windows(&self) -> &[WindowMetrics] {
+        &self.windows
+    }
+
+    /// Per-bank event counts.
+    #[must_use]
+    pub fn per_bank(&self) -> &[BankEnergyCounts] {
+        &self.per_bank
+    }
+
+    fn window_mut(&mut self, cycle: u64) -> &mut WindowMetrics {
+        let idx = (cycle / self.window_cycles) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, WindowMetrics::default());
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Attributes a closed bank-open span, split across the windows it
+    /// covers.
+    fn add_open_span(&mut self, from: u64, to: u64) {
+        let w = self.window_cycles;
+        let mut a = from;
+        while a < to {
+            let b = ((a / w + 1) * w).min(to);
+            self.window_mut(a).bank_open_cycles += b - a;
+            a = b;
+        }
+    }
+
+    /// Folds one trace event into the series. The mnemonic contract
+    /// matches `newton-dram`'s command labels (`ACT`/`G_ACT`, `COMP`,
+    /// `RD`/`WR`, `REF`); unknown labels still count as commands.
+    pub fn record(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Command {
+                cycle,
+                label,
+                bank_ops,
+                ..
+            } => {
+                let w = self.window_mut(cycle);
+                w.commands += 1;
+                match label {
+                    "ACT" | "G_ACT" => {
+                        w.activates += u64::from(bank_ops);
+                        if bank_ops > 1 {
+                            w.ganged_acts += 1;
+                            w.ganged_act_banks += u64::from(bank_ops);
+                        }
+                    }
+                    "COMP" => {
+                        w.comp_ops += u64::from(bank_ops);
+                        w.array_accesses += u64::from(bank_ops);
+                    }
+                    "RD" | "WR" => w.array_accesses += 1,
+                    "REF" => w.refresh_banks += u64::from(bank_ops),
+                    _ => {}
+                }
+            }
+            TraceEvent::BankState { cycle, bank, class } => {
+                let b = bank as usize;
+                match class {
+                    BankClass::RowOpen => {
+                        if let Some(slot) = self.per_bank.get_mut(b) {
+                            slot.activates += 1;
+                        }
+                        if let Some(s) = self.open_since.get_mut(b) {
+                            s.get_or_insert(cycle);
+                        }
+                    }
+                    BankClass::Computing => {
+                        if let Some(slot) = self.per_bank.get_mut(b) {
+                            slot.comp_ops += 1;
+                        }
+                    }
+                    BankClass::Precharging | BankClass::Idle => {
+                        if let Some(from) = self.open_since.get_mut(b).and_then(Option::take) {
+                            self.add_open_span(from, cycle);
+                        }
+                    }
+                    BankClass::Refreshing => {
+                        if let Some(slot) = self.per_bank.get_mut(b) {
+                            slot.refreshes += 1;
+                        }
+                    }
+                }
+            }
+            TraceEvent::DataBurst { cycle, bytes } => self.window_mut(cycle).bus_bytes += bytes,
+            TraceEvent::QueueLatency { cycle, waited } => {
+                let w = self.window_mut(cycle);
+                w.queue_samples += 1;
+                w.queue_wait_cycles += waited;
+            }
+            TraceEvent::EccCorrected { cycle, bits, .. } => {
+                self.window_mut(cycle).ecc_corrected += u64::from(bits);
+            }
+            TraceEvent::EccUncorrectable { cycle, .. } => {
+                self.window_mut(cycle).ecc_uncorrectable += 1;
+            }
+            TraceEvent::CommandEnergy {
+                cycle,
+                label,
+                milli_pj,
+            } => {
+                let w = self.window_mut(cycle);
+                if label == "REF" {
+                    w.refresh_milli_pj += milli_pj;
+                } else {
+                    w.energy_milli_pj += milli_pj;
+                }
+            }
+        }
+    }
+
+    /// A snapshot of the series covering `0..end_cycle`: windows padded
+    /// with zeros up to the window containing the last cycle, so two runs
+    /// ending at the same cycle render byte-identically regardless of
+    /// where their final events fell. Open rows stay unattributed,
+    /// mirroring the bank counters.
+    #[must_use]
+    pub fn sampled(&self, end_cycle: u64) -> TimeSeries {
+        let mut s = self.clone();
+        let n = (end_cycle.div_ceil(s.window_cycles)).max(1) as usize;
+        if n > s.windows.len() {
+            s.windows.resize(n, WindowMetrics::default());
+        }
+        s
+    }
+
+    /// Element-wise merge of another series (windows, per-bank counts).
+    /// Merging is commutative and associative on the counters, so
+    /// cross-channel aggregation is order-independent in value (the
+    /// system merges in channel order anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ — merged series must share a
+    /// time base.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.window_cycles, other.window_cycles,
+            "telemetry merge requires equal window widths"
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows
+                .resize(other.windows.len(), WindowMetrics::default());
+        }
+        for (dst, src) in self.windows.iter_mut().zip(&other.windows) {
+            dst.add(src);
+        }
+        if other.per_bank.len() > self.per_bank.len() {
+            self.per_bank
+                .resize(other.per_bank.len(), BankEnergyCounts::default());
+        }
+        for (dst, src) in self.per_bank.iter_mut().zip(&other.per_bank) {
+            dst.activates += src.activates;
+            dst.comp_ops += src.comp_ops;
+            dst.refreshes += src.refreshes;
+        }
+    }
+
+    /// Sum of every window (grand totals for the run).
+    #[must_use]
+    pub fn totals(&self) -> WindowMetrics {
+        let mut t = WindowMetrics::default();
+        for w in &self.windows {
+            t.add(w);
+        }
+        t
+    }
+
+    /// Streamed model-comparable dynamic energy in pJ, computed from the
+    /// accumulated event counts and the coefficients (refresh excluded);
+    /// this is the quantity asserted against the postprocessed Fig. 13
+    /// model.
+    #[must_use]
+    pub fn dynamic_energy_pj(&self, model: &EnergyModel) -> f64 {
+        model.window_pj(&self.totals())
+    }
+
+    /// The versioned JSON telemetry document.
+    #[must_use]
+    pub fn to_json(&self, tck_ns: f64, model: &EnergyModel) -> JsonValue {
+        let w = self.window_cycles;
+        let window_ns = w as f64 * tck_ns;
+        let banks = self.per_bank.len().max(1) as f64;
+        let windows = self
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let depth = m.queue_wait_cycles as f64 / w as f64;
+                let ganged_width = if m.ganged_acts == 0 {
+                    0.0
+                } else {
+                    m.ganged_act_banks as f64 / m.ganged_acts as f64
+                };
+                JsonValue::Object(vec![
+                    ("window".into(), JsonValue::from(i as u64)),
+                    ("start_cycle".into(), JsonValue::from(i as u64 * w)),
+                    ("commands".into(), JsonValue::from(m.commands)),
+                    ("bus_bytes".into(), JsonValue::from(m.bus_bytes)),
+                    (
+                        "bandwidth_bytes_per_ns".into(),
+                        JsonValue::from(m.bus_bytes as f64 / window_ns),
+                    ),
+                    (
+                        "bank_open_cycles".into(),
+                        JsonValue::from(m.bank_open_cycles),
+                    ),
+                    (
+                        "bank_utilization".into(),
+                        JsonValue::from(m.bank_open_cycles as f64 / (banks * w as f64)),
+                    ),
+                    ("activates".into(), JsonValue::from(m.activates)),
+                    ("ganged_acts".into(), JsonValue::from(m.ganged_acts)),
+                    ("mean_ganged_width".into(), JsonValue::from(ganged_width)),
+                    ("comp_ops".into(), JsonValue::from(m.comp_ops)),
+                    ("array_accesses".into(), JsonValue::from(m.array_accesses)),
+                    ("refresh_banks".into(), JsonValue::from(m.refresh_banks)),
+                    ("queue_samples".into(), JsonValue::from(m.queue_samples)),
+                    ("mean_queue_depth".into(), JsonValue::from(depth)),
+                    ("ecc_corrected".into(), JsonValue::from(m.ecc_corrected)),
+                    (
+                        "ecc_uncorrectable".into(),
+                        JsonValue::from(m.ecc_uncorrectable),
+                    ),
+                    ("energy_pj".into(), JsonValue::from(model.window_pj(m))),
+                    (
+                        "streamed_energy_milli_pj".into(),
+                        JsonValue::from(m.energy_milli_pj),
+                    ),
+                    (
+                        "refresh_energy_milli_pj".into(),
+                        JsonValue::from(m.refresh_milli_pj),
+                    ),
+                ])
+            })
+            .collect();
+        let totals = self.totals();
+        let per_bank = self
+            .per_bank
+            .iter()
+            .enumerate()
+            .map(|(b, c)| {
+                JsonValue::Object(vec![
+                    ("bank".into(), JsonValue::from(b as u64)),
+                    ("activates".into(), JsonValue::from(c.activates)),
+                    ("comp_ops".into(), JsonValue::from(c.comp_ops)),
+                    ("refreshes".into(), JsonValue::from(c.refreshes)),
+                    ("energy_pj".into(), JsonValue::from(c.energy_pj(model))),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "telemetry_schema_version".into(),
+                JsonValue::from(TELEMETRY_SCHEMA_VERSION),
+            ),
+            ("window_cycles".into(), JsonValue::from(w)),
+            ("tck_ns".into(), JsonValue::from(tck_ns)),
+            ("banks".into(), JsonValue::from(self.per_bank.len() as u64)),
+            ("windows".into(), JsonValue::Array(windows)),
+            (
+                "totals".into(),
+                JsonValue::Object(vec![
+                    ("commands".into(), JsonValue::from(totals.commands)),
+                    ("bus_bytes".into(), JsonValue::from(totals.bus_bytes)),
+                    ("activates".into(), JsonValue::from(totals.activates)),
+                    ("comp_ops".into(), JsonValue::from(totals.comp_ops)),
+                    (
+                        "array_accesses".into(),
+                        JsonValue::from(totals.array_accesses),
+                    ),
+                    (
+                        "bank_open_cycles".into(),
+                        JsonValue::from(totals.bank_open_cycles),
+                    ),
+                    (
+                        "dynamic_energy_pj".into(),
+                        JsonValue::from(self.dynamic_energy_pj(model)),
+                    ),
+                    (
+                        "streamed_energy_milli_pj".into(),
+                        JsonValue::from(totals.energy_milli_pj),
+                    ),
+                    (
+                        "refresh_energy_milli_pj".into(),
+                        JsonValue::from(totals.refresh_milli_pj),
+                    ),
+                ]),
+            ),
+            ("per_bank".into(), JsonValue::Array(per_bank)),
+        ])
+    }
+
+    /// Exports the series as Chrome/Perfetto counter tracks on process
+    /// `pid` (one sample per window at the window's start cycle).
+    pub fn to_chrome(
+        &self,
+        builder: &mut crate::chrome::ChromeTraceBuilder,
+        pid: u64,
+        model: &EnergyModel,
+    ) {
+        let w = self.window_cycles;
+        let banks = self.per_bank.len().max(1) as f64;
+        for (i, m) in self.windows.iter().enumerate() {
+            let cycle = i as u64 * w;
+            builder.counter(
+                pid,
+                "telemetry: bandwidth",
+                cycle,
+                &[("bytes_per_cycle", m.bus_bytes as f64 / w as f64)],
+            );
+            builder.counter(
+                pid,
+                "telemetry: bank utilization",
+                cycle,
+                &[(
+                    "open_fraction",
+                    m.bank_open_cycles as f64 / (banks * w as f64),
+                )],
+            );
+            builder.counter(
+                pid,
+                "telemetry: queue depth",
+                cycle,
+                &[("mean_depth", m.queue_wait_cycles as f64 / w as f64)],
+            );
+            builder.counter(
+                pid,
+                "telemetry: ganged width",
+                cycle,
+                &[(
+                    "banks_per_ganged_act",
+                    if m.ganged_acts == 0 {
+                        0.0
+                    } else {
+                        m.ganged_act_banks as f64 / m.ganged_acts as f64
+                    },
+                )],
+            );
+            builder.counter(
+                pid,
+                "telemetry: energy",
+                cycle,
+                &[
+                    ("dynamic_pj", model.window_pj(m)),
+                    ("refresh_pj", m.refresh_milli_pj as f64 / 1000.0),
+                ],
+            );
+            builder.counter(
+                pid,
+                "telemetry: ecc",
+                cycle,
+                &[("corrected", m.ecc_corrected as f64)],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceBus;
+
+    fn act(cycle: u64, bank_ops: u32) -> TraceEvent {
+        TraceEvent::Command {
+            cycle,
+            bus: TraceBus::Row,
+            label: if bank_ops > 1 { "G_ACT" } else { "ACT" },
+            bank_ops,
+        }
+    }
+
+    #[test]
+    fn events_land_in_their_windows() {
+        let mut ts = TimeSeries::new(100, 2);
+        ts.record(&act(5, 4));
+        ts.record(&TraceEvent::Command {
+            cycle: 250,
+            bus: TraceBus::Column,
+            label: "COMP",
+            bank_ops: 2,
+        });
+        ts.record(&TraceEvent::DataBurst {
+            cycle: 250,
+            bytes: 32,
+        });
+        ts.record(&TraceEvent::QueueLatency {
+            cycle: 251,
+            waited: 10,
+        });
+        assert_eq!(ts.windows().len(), 3);
+        assert_eq!(ts.windows()[0].activates, 4);
+        assert_eq!(ts.windows()[0].ganged_acts, 1);
+        assert_eq!(ts.windows()[0].ganged_act_banks, 4);
+        assert_eq!(ts.windows()[1], WindowMetrics::default());
+        assert_eq!(ts.windows()[2].comp_ops, 2);
+        assert_eq!(ts.windows()[2].array_accesses, 2);
+        assert_eq!(ts.windows()[2].bus_bytes, 32);
+        assert_eq!(ts.windows()[2].queue_samples, 1);
+        assert_eq!(ts.windows()[2].queue_wait_cycles, 10);
+        let t = ts.totals();
+        assert_eq!(t.commands, 2);
+        assert_eq!(t.activates, 4);
+    }
+
+    #[test]
+    fn bank_open_spans_split_across_windows_at_precharge() {
+        let mut ts = TimeSeries::new(100, 1);
+        ts.record(&TraceEvent::BankState {
+            cycle: 50,
+            bank: 0,
+            class: BankClass::RowOpen,
+        });
+        // Still open: nothing attributed yet (mirrors Bank::open_cycles).
+        assert_eq!(ts.totals().bank_open_cycles, 0);
+        ts.record(&TraceEvent::BankState {
+            cycle: 250,
+            bank: 0,
+            class: BankClass::Precharging,
+        });
+        assert_eq!(ts.windows()[0].bank_open_cycles, 50);
+        assert_eq!(ts.windows()[1].bank_open_cycles, 100);
+        assert_eq!(ts.windows()[2].bank_open_cycles, 50);
+        assert_eq!(ts.totals().bank_open_cycles, 200);
+        assert_eq!(ts.per_bank()[0].activates, 1);
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_requires_same_window() {
+        let mut a = TimeSeries::new(100, 1);
+        let mut b = TimeSeries::new(100, 1);
+        a.record(&act(0, 1));
+        b.record(&act(150, 2));
+        b.record(&act(10, 1));
+        a.merge(&b);
+        assert_eq!(a.windows().len(), 2);
+        assert_eq!(a.windows()[0].activates, 2);
+        assert_eq!(a.windows()[1].activates, 2);
+        let mut order = TimeSeries::new(100, 1);
+        order.record(&act(10, 1));
+        order.record(&act(150, 2));
+        order.merge(&{
+            let mut x = TimeSeries::new(100, 1);
+            x.record(&act(0, 1));
+            x
+        });
+        assert_eq!(a, order, "merge is order-independent in value");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal window widths")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = TimeSeries::new(100, 1);
+        a.merge(&TimeSeries::new(200, 1));
+    }
+
+    #[test]
+    fn sampled_pads_to_the_end_cycle() {
+        let mut ts = TimeSeries::new(100, 1);
+        ts.record(&act(5, 1));
+        let s = ts.sampled(950);
+        assert_eq!(s.windows().len(), 10);
+        assert_eq!(s.totals(), ts.totals());
+        // Sampling an empty series still yields one window.
+        assert_eq!(TimeSeries::new(100, 1).sampled(0).windows().len(), 1);
+    }
+
+    #[test]
+    fn json_document_is_versioned_and_parseable() {
+        let mut ts = TimeSeries::new(100, 2);
+        ts.record(&act(5, 2));
+        ts.record(&TraceEvent::DataBurst {
+            cycle: 20,
+            bytes: 64,
+        });
+        let doc = ts.to_json(1.0, &EnergyModel::new());
+        let text = doc.render_pretty();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            back.get("telemetry_schema_version").unwrap().as_f64(),
+            Some(TELEMETRY_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(back.get("window_cycles").unwrap().as_f64(), Some(100.0));
+        let windows = back.get("windows").unwrap().as_array().unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].get("activates").unwrap().as_f64(), Some(2.0));
+        let totals = back.get("totals").unwrap();
+        assert_eq!(totals.get("bus_bytes").unwrap().as_f64(), Some(64.0));
+    }
+
+    #[test]
+    fn chrome_export_emits_counter_tracks_per_window() {
+        let mut ts = TimeSeries::new(100, 1);
+        ts.record(&act(5, 1));
+        ts.record(&act(150, 1));
+        let mut b = crate::chrome::ChromeTraceBuilder::new(1.0);
+        ts.to_chrome(&mut b, 7, &EnergyModel::new());
+        // Six counter tracks per window, two windows.
+        assert_eq!(b.len(), 12);
+    }
+
+    #[test]
+    fn command_energy_events_accumulate_with_refresh_separated() {
+        let mut ts = TimeSeries::new(100, 1);
+        ts.record(&TraceEvent::CommandEnergy {
+            cycle: 10,
+            label: "ACT",
+            milli_pj: 4000,
+        });
+        ts.record(&TraceEvent::CommandEnergy {
+            cycle: 10,
+            label: "REF",
+            milli_pj: 64000,
+        });
+        assert_eq!(ts.windows()[0].energy_milli_pj, 4000);
+        assert_eq!(ts.windows()[0].refresh_milli_pj, 64000);
+    }
+}

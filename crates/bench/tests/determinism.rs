@@ -11,9 +11,10 @@
 use newton_bf16::Bf16;
 use newton_core::config::NewtonConfig;
 use newton_core::parallel::{env_threads, ParallelPolicy, THREADS_ENV};
-use newton_core::system::{NewtonSystem, SystemRun};
+use newton_core::system::{LoadedMatrix, NewtonSystem, SystemRun};
 use newton_core::{RecoveryReport, TelemetryConfig};
 use newton_dram::faults::{self, CampaignSpec, InjectedFault};
+use newton_dram::TimingEngine;
 use newton_model::power::ActivityCounts;
 use newton_trace::{EnergyModel, MetricsSnapshot};
 use newton_workloads::{generator, Benchmark, MvShape};
@@ -298,6 +299,12 @@ enum Mutation {
         bank: usize,
         bit: usize,
     },
+    /// Host-side storage readback of one row — must agree byte-for-byte
+    /// across every system under comparison.
+    Read {
+        channel: usize,
+        bank: usize,
+    },
     Comp,
 }
 
@@ -307,6 +314,8 @@ fn mutation() -> impl Strategy<Value = Mutation> {
             .prop_map(|(channel, bank, seed)| Mutation::WriteRow { channel, bank, seed }),
         1 => (0usize..8, 0usize..16, 0usize..4096)
             .prop_map(|(channel, bank, bit)| Mutation::FlipBit { channel, bank, bit }),
+        1 => (0usize..8, 0usize..16)
+            .prop_map(|(channel, bank)| Mutation::Read { channel, bank }),
         3 => Just(Mutation::Comp),
     ]
 }
@@ -392,6 +401,20 @@ proptest! {
 
         for op in &ops {
             match op {
+                Mutation::Read { channel, bank } => {
+                    let rows: Vec<Option<Vec<u8>>> = systems
+                        .iter()
+                        .map(|s| {
+                            s.channels()[*channel]
+                                .channel()
+                                .storage()
+                                .row(*bank, 0)
+                                .ok()
+                                .map(<[u8]>::to_vec)
+                        })
+                        .collect();
+                    prop_assert!(rows.windows(2).all(|w| w[0] == w[1]));
+                }
                 Mutation::WriteRow { channel, bank, seed } => {
                     let data: Vec<u8> =
                         (0..row_bytes).map(|i| (i as u8).wrapping_mul(*seed)).collect();
@@ -427,5 +450,180 @@ proptest! {
         }
         // Always end on a COMP so trailing writes are exercised.
         compare(&mut systems, &loaded, &vector);
+    }
+
+    /// PR 7 tentpole gate: the event-skipping timing engine must be
+    /// byte-identical to the reference (full-rescan) oracle on random
+    /// write/COMP/read interleavings — with ECC enabled, refresh
+    /// interposition in flight, streaming telemetry and command traces on,
+    /// at pool widths 1, 2 and 8 — across *every* observable surface:
+    /// output bits, cycle counts, AiM stats, rendered traces, telemetry
+    /// windows, and energy totals. A second engine pair runs bare (no
+    /// ECC/trace/telemetry) so the batched COMP-burst fast path is
+    /// compared too, not just the fully-observed slow path.
+    #[test]
+    fn timing_engines_byte_identical_under_random_interleavings(
+        ops in prop::collection::vec(mutation(), 1..10)
+    ) {
+        // 64x8192 makes each resident run ~4.8k cycles — past the tREFI
+        // window, so refresh interposition is live in every comparison.
+        let (m, n) = (64, 8192);
+        let matrix = generator::matrix(MvShape::new(m, n), 29);
+        let vector = generator::vector(n, 29);
+
+        let engines = [TimingEngine::EventSkipping, TimingEngine::Reference];
+        // Fully-observed systems: engines x widths, ECC + telemetry + traces.
+        let mut observed: Vec<NewtonSystem> = Vec::new();
+        for &engine in &engines {
+            for &threads in &[1usize, 2, 8] {
+                let mut cfg = NewtonConfig::paper_default();
+                cfg.channels = 8;
+                cfg.ecc = true;
+                cfg.parallel = ParallelPolicy::exact(threads);
+                cfg.telemetry = Some(TelemetryConfig::default());
+                let mut sys = NewtonSystem::new(cfg).expect("system");
+                sys.set_timing_engine(engine);
+                for ch in sys.channels_mut() {
+                    ch.enable_trace();
+                }
+                observed.push(sys);
+            }
+        }
+        // Bare systems: engine pair with the COMP-burst fast path armed.
+        let mut bare: Vec<NewtonSystem> = engines
+            .iter()
+            .map(|&engine| {
+                let mut sys = system(1);
+                sys.set_timing_engine(engine);
+                sys
+            })
+            .collect();
+
+        let loaded_obs: Vec<LoadedMatrix> = observed
+            .iter_mut()
+            .map(|s| s.load_matrix(&matrix, m, n).expect("load"))
+            .collect();
+        let loaded_bare: Vec<LoadedMatrix> = bare
+            .iter_mut()
+            .map(|s| s.load_matrix(&matrix, m, n).expect("load"))
+            .collect();
+        let row_bytes = observed[0].config().row_elems() * 2;
+
+        let compare_all = |observed: &mut Vec<NewtonSystem>,
+                           bare: &mut Vec<NewtonSystem>,
+                           loaded_obs: &[LoadedMatrix],
+                           loaded_bare: &[LoadedMatrix],
+                           vector: &[Bf16]| {
+            type Surface = (Vec<u32>, u64, newton_core::controller::AimStats,
+                            Vec<String>, newton_trace::TimeSeries, u64, u64);
+            let surfaces: Vec<Surface> = observed
+                .iter_mut()
+                .zip(loaded_obs)
+                .map(|(s, l)| {
+                    let run = s.run_resident(l, vector).expect("observed run");
+                    let traces: Vec<String> = s
+                        .channels_mut()
+                        .iter()
+                        .map(|ch| ch.trace().render())
+                        .collect();
+                    let merged = run.merged_telemetry().expect("telemetry enabled");
+                    let totals = merged.totals();
+                    assert!(run.stats.refreshes >= 1, "run must cross a tREFI window");
+                    (
+                        run.output.iter().map(|v| v.to_bits()).collect(),
+                        run.cycles,
+                        run.stats,
+                        traces,
+                        merged,
+                        totals.energy_milli_pj,
+                        totals.refresh_milli_pj,
+                    )
+                })
+                .collect();
+            for (i, s) in surfaces.iter().enumerate().skip(1) {
+                assert_eq!(s.0, surfaces[0].0, "output bits, system {i}");
+                assert_eq!(s.1, surfaces[0].1, "cycles, system {i}");
+                assert_eq!(s.2, surfaces[0].2, "AiM stats, system {i}");
+                assert_eq!(s.3, surfaces[0].3, "command traces, system {i}");
+                assert_eq!(s.4, surfaces[0].4, "telemetry windows, system {i}");
+                assert_eq!(s.5, surfaces[0].5, "energy totals, system {i}");
+                assert_eq!(s.6, surfaces[0].6, "refresh energy, system {i}");
+            }
+            let bare_runs: Vec<SystemRun> = bare
+                .iter_mut()
+                .zip(loaded_bare)
+                .map(|(s, l)| s.run_resident(l, vector).expect("bare run"))
+                .collect();
+            let (fast, oracle) = (&bare_runs[0], &bare_runs[1]);
+            assert_eq!(
+                fast.output.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                oracle.output.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                "fast-path output bits"
+            );
+            assert_eq!(fast.cycles, oracle.cycles, "fast-path cycles");
+            assert_eq!(fast.stats, oracle.stats, "fast-path stats");
+            assert_eq!(
+                fast.channel_summaries, oracle.channel_summaries,
+                "fast-path channel summaries"
+            );
+        };
+
+        for op in &ops {
+            match op {
+                Mutation::Read { channel, bank } => {
+                    let rows: Vec<Option<Vec<u8>>> = observed
+                        .iter()
+                        .chain(bare.iter())
+                        .map(|s| {
+                            s.channels()[*channel]
+                                .channel()
+                                .storage()
+                                .row(*bank, 0)
+                                .ok()
+                                .map(<[u8]>::to_vec)
+                        })
+                        .collect();
+                    prop_assert!(rows.windows(2).all(|w| w[0] == w[1]));
+                }
+                Mutation::WriteRow { channel, bank, seed } => {
+                    let data: Vec<u8> =
+                        (0..row_bytes).map(|i| (i as u8).wrapping_mul(*seed)).collect();
+                    let outcomes: Vec<bool> = observed
+                        .iter_mut()
+                        .chain(bare.iter_mut())
+                        .map(|s| {
+                            s.channels_mut()[*channel]
+                                .channel_mut()
+                                .storage_mut()
+                                .write_row(*bank, 0, &data)
+                                .is_ok()
+                        })
+                        .collect();
+                    prop_assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+                }
+                Mutation::FlipBit { channel, bank, bit } => {
+                    let outcomes: Vec<bool> = observed
+                        .iter_mut()
+                        .chain(bare.iter_mut())
+                        .map(|s| {
+                            s.channels_mut()[*channel]
+                                .channel_mut()
+                                .storage_mut()
+                                .flip_bit(*bank, 0, *bit)
+                                .is_ok()
+                        })
+                        .collect();
+                    prop_assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+                }
+                Mutation::Comp => compare_all(
+                    &mut observed,
+                    &mut bare,
+                    &loaded_obs,
+                    &loaded_bare,
+                    &vector,
+                ),
+            }
+        }
+        compare_all(&mut observed, &mut bare, &loaded_obs, &loaded_bare, &vector);
     }
 }

@@ -15,6 +15,9 @@
 //! * [`reduce`]: 16-input adder-tree reduction in the two precisions a
 //!   hardware tree might use (wide `f32` carry within a round, or strict
 //!   per-stage bf16 rounding), plus the result-latch accumulation step.
+//! * [`simd`]: explicit-width, branch-free variants of the COMP kernels
+//!   over fixed lane arrays the autovectorizer can lower to SIMD, proven
+//!   bit-exact against the scalar oracles above.
 //! * [`mod@slice`]: bulk conversions and the little-endian byte packing used by
 //!   the DRAM row storage in `newton-dram`.
 //!
@@ -36,6 +39,7 @@
 mod scalar;
 
 pub mod reduce;
+pub mod simd;
 pub mod slice;
 
 pub use scalar::{Bf16, ParseBf16Error};

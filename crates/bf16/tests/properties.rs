@@ -19,6 +19,18 @@ fn finite_bf16() -> impl Strategy<Value = Bf16> {
     finite_f32().prop_map(Bf16::from_f32)
 }
 
+/// Arbitrary non-NaN bf16 bit patterns — including infinities, subnormals,
+/// and both zeros. NaN *inputs* are excluded from cross-kernel
+/// bit-exactness properties: when both operands of an f32 addition are
+/// NaN, hardware keeps one operand's payload, and which one depends on
+/// codegen operand order, so two differently compiled kernels cannot
+/// promise matching NaN payloads (see the `newton_bf16::simd` module docs;
+/// NaNs *created* mid-tree from non-NaN inputs canonicalize identically
+/// and stay covered here via the infinity patterns).
+fn any_non_nan_bits() -> impl Strategy<Value = u16> {
+    any::<u16>().prop_map(|b| if Bf16::from_bits(b).is_nan() { 0 } else { b })
+}
+
 proptest! {
     /// from_f32 always returns the nearest representable bf16: the error is
     /// at most half the gap to either neighboring representable value.
@@ -142,11 +154,11 @@ proptest! {
 
     /// The in-place tree reducers are bit-exact with the Vec-per-level
     /// references for every length 0..=64 (covering every bypass-lane
-    /// pattern of the 16-to-1 tree and beyond) and arbitrary bit patterns
-    /// including NaNs and infinities.
+    /// pattern of the 16-to-1 tree and beyond) and arbitrary non-NaN bit
+    /// patterns including infinities.
     #[test]
     fn into_reducers_bit_exact_with_reference(
-        bits in prop::collection::vec(any::<u16>(), 0..=64)
+        bits in prop::collection::vec(any_non_nan_bits(), 0..=64)
     ) {
         let xs: Vec<Bf16> = bits.iter().copied().map(Bf16::from_bits).collect();
         let mut wide_buf: Vec<f32> = xs.iter().map(|x| x.to_f32()).collect();
@@ -166,7 +178,7 @@ proptest! {
     /// allocating chunk references for every length 0..=16.
     #[test]
     fn dot16_kernels_bit_exact_with_reference(
-        pairs in prop::collection::vec((any::<u16>(), any::<u16>()), 0..=16)
+        pairs in prop::collection::vec((any_non_nan_bits(), any_non_nan_bits()), 0..=16)
     ) {
         let w: Vec<Bf16> = pairs.iter().map(|(a, _)| Bf16::from_bits(*a)).collect();
         let v: Vec<Bf16> = pairs.iter().map(|(_, b)| Bf16::from_bits(*b)).collect();
@@ -189,8 +201,8 @@ proptest! {
     /// disciplines for every chunk width 0..=64 and arbitrary latch state.
     #[test]
     fn comp_step_noalloc_bit_exact_with_reference(
-        pairs in prop::collection::vec((any::<u16>(), any::<u16>()), 0..=64),
-        latch_bits in any::<u16>(),
+        pairs in prop::collection::vec((any_non_nan_bits(), any_non_nan_bits()), 0..=64),
+        latch_bits in any_non_nan_bits(),
         per_stage in any::<bool>(),
     ) {
         let w: Vec<Bf16> = pairs.iter().map(|(a, _)| Bf16::from_bits(*a)).collect();

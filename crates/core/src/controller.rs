@@ -25,10 +25,9 @@
 //! [`OptFlags::complex_comp`]: crate::config::OptFlags::complex_comp
 //! [`OptFlags::ganged_act`]: crate::config::OptFlags::ganged_act
 
-use newton_bf16::reduce::TreePrecision;
 use newton_bf16::Bf16;
 use newton_dram::timing::Cycle;
-use newton_dram::Channel;
+use newton_dram::{Channel, TimingEngine};
 
 use crate::cache::DecodedWeightCache;
 use crate::command::{AimCommand, CommandTrace};
@@ -53,9 +52,16 @@ pub enum FunctionalMode {
     Uncached,
     /// Allocation-free kernels over the decoded-weight row cache
     /// (decode-once per row generation; pre-widened `f32` weights in the
-    /// wide discipline). The default.
-    #[default]
+    /// wide discipline).
     Cached,
+    /// Explicit-width SIMD kernels (`newton_bf16::simd`) over the decoded
+    /// cache's `f32` plane and the global buffer's `f32` plane, with the
+    /// ganged COMP stream of a whole row-set folded per bank in one
+    /// batched pass. Bit-exact with every other mode (the timing half is
+    /// shared; the functional half is proven against the scalar oracles).
+    /// The default.
+    #[default]
+    Simd,
 }
 
 /// AiM-specific command counters for one channel run.
@@ -157,6 +163,7 @@ pub struct NewtonChannel {
     host_queue: Vec<HostRequest>,
     host_responses: Vec<HostResponse>,
     functional_mode: FunctionalMode,
+    timing_engine: TimingEngine,
     weight_cache: DecodedWeightCache,
     /// Reusable scratch for the per-row-set command loops (ganged
     /// activate clusters, the ganged COMP stream, READRES latch dedup),
@@ -205,11 +212,11 @@ impl NewtonChannel {
             config.tree_precision,
             activation,
         )?;
-        let weight_cache = DecodedWeightCache::new(
-            config.dram.banks,
-            config.row_elems(),
-            config.tree_precision == TreePrecision::Wide,
-        );
+        // The cache always maintains the wide `f32` plane: the wide
+        // discipline reads it directly, and the SIMD kernels consume it in
+        // both disciplines (widening is exact, so this is free precision-
+        // wise and costs 2 extra bytes per cached element).
+        let weight_cache = DecodedWeightCache::new(config.dram.banks, config.row_elems(), true);
         Ok(NewtonChannel {
             channel,
             device,
@@ -219,6 +226,7 @@ impl NewtonChannel {
             host_queue: Vec::new(),
             host_responses: Vec::new(),
             functional_mode: FunctionalMode::default(),
+            timing_engine: TimingEngine::default_engine(),
             weight_cache,
             scratch_pairs: Vec::new(),
             scratch_banks: Vec::new(),
@@ -248,6 +256,20 @@ impl NewtonChannel {
     #[must_use]
     pub fn functional_mode(&self) -> FunctionalMode {
         self.functional_mode
+    }
+
+    /// Selects the timing engine for this controller's own scheduling
+    /// (the event-skipping COMP cursor vs. full `earliest_*` rescans).
+    /// Both engines issue byte-identical command streams; the choice only
+    /// affects host-side work per command.
+    pub fn set_timing_engine(&mut self, engine: TimingEngine) {
+        self.timing_engine = engine;
+    }
+
+    /// The channel's current timing engine.
+    #[must_use]
+    pub fn timing_engine(&self) -> TimingEngine {
+        self.timing_engine
     }
 
     /// The decoded-weight cache (hit/decode counters for perf reporting).
@@ -594,7 +616,10 @@ impl NewtonChannel {
         let n_sub = mapping.chunk_elems(rs.chunk).div_ceil(sub_elems);
         self.scratch_banks.clear();
         self.scratch_banks.extend(rs.work.iter().map(|w| w.bank));
-        if self.functional_mode == FunctionalMode::Cached {
+        if matches!(
+            self.functional_mode,
+            FunctionalMode::Cached | FunctionalMode::Simd
+        ) {
             // Decode-once: pin every active (bank, row) before the COMP
             // stream. Nothing writes storage inside a row-set, so the
             // pinned generations stay current until the next boundary.
@@ -610,6 +635,99 @@ impl NewtonChannel {
         let mut cmds = 0u64;
         let mut last_col = self.now;
 
+        // Batched SIMD fast path: under ganged complex COMP with the
+        // paper's 16-wide sub-chunks, the command stream of a row-set is
+        // n_sub ganged column reads whose *functional* work factors into
+        // one independent fold per bank. Issue the identical command
+        // stream first (same cycles, stats, audit records, ECC checks, and
+        // trace events — the sink is the only thing removed), then fold
+        // each bank's whole row against the global buffer's f32 plane in
+        // one batched kernel pass. Bit-exact because nothing inside a
+        // row-set observes device latch state, per-bank sub-chunk order is
+        // preserved, and the batched kernel equals the per-sub steps
+        // (`newton_bf16::simd::comp_subchunks16`).
+        if mode == FunctionalMode::Simd
+            && self.config.opts.ganged_comp
+            && self.config.opts.complex_comp
+            && sub_elems == newton_bf16::reduce::TREE_ARITY
+        {
+            // Event-skipping cursor: inside a ganged complex COMP stream
+            // no other command touches the column bus or these banks, so
+            // after the first scanned slot every successive COMP lands
+            // exactly one `col_step` (max(tCCD, tCMD)) later. Under the
+            // event-skipping engine the whole train therefore collapses
+            // into one batched channel call; the reference engine keeps
+            // the per-command scan as the oracle.
+            let col_step = self.channel.timing().col_step();
+            if self.timing_engine == TimingEngine::EventSkipping {
+                let t0 = self
+                    .channel
+                    .earliest_ganged_column_read(self.now, &self.scratch_banks);
+                let last =
+                    self.channel
+                        .issue_comp_burst(t0, col_step, n_sub, &self.scratch_banks)?;
+                if self.trace.is_enabled() {
+                    for sub in 0..n_sub {
+                        self.trace.record(
+                            t0 + sub as Cycle * col_step,
+                            AimCommand::Comp { subchunk: sub },
+                        );
+                    }
+                }
+                self.now = last;
+                last_col = last;
+                cmds += n_sub as u64;
+            } else {
+                for sub in 0..n_sub {
+                    self.scratch_pairs.clear();
+                    self.scratch_pairs
+                        .extend(self.scratch_banks.iter().map(|&b| (b, sub)));
+                    let t = self
+                        .channel
+                        .earliest_ganged_column_read(self.now, &self.scratch_banks);
+                    self.channel.issue_ganged_column_read_internal(
+                        t,
+                        &self.scratch_pairs,
+                        |_, _| {},
+                    )?;
+                    self.trace.record(t, AimCommand::Comp { subchunk: sub });
+                    self.now = t;
+                    last_col = t;
+                    cmds += 1;
+                }
+            }
+            let device = &mut self.device;
+            let cache = &self.weight_cache;
+            const GANG_MAX: usize = newton_bf16::simd::MULTI_MAX_BANKS;
+            if self.scratch_banks.len() <= GANG_MAX {
+                // Whole-gang fold: hand all banks' planes to the device at
+                // once so their (independent) serial latch chains
+                // interleave instead of running back to back.
+                let mut planes: [&[f32]; GANG_MAX] = [&[]; GANG_MAX];
+                for (slot, &bank) in planes.iter_mut().zip(&self.scratch_banks) {
+                    *slot = cache.subchunk_wide(bank, row, 0, n_sub * sub_elems);
+                }
+                device.comp_banks_row_simd(
+                    &self.scratch_banks,
+                    latch,
+                    n_sub,
+                    &planes[..self.scratch_banks.len()],
+                );
+            } else {
+                for &bank in &self.scratch_banks {
+                    let weights = cache.subchunk_wide(bank, row, 0, n_sub * sub_elems);
+                    device.comp_bank_row_simd(bank, latch, n_sub, weights);
+                }
+            }
+            return Ok((cmds, last_col));
+        }
+
+        // Event-skipping cursor for the ganged *complex* stream (see the
+        // batched fast path above); a control command between column
+        // reads (simple commands) invalidates it, so it is only armed
+        // when COMP is the sole command class in flight.
+        let col_step = self.channel.timing().col_step();
+        let mut next_t: Option<Cycle> = None;
         for sub in 0..n_sub {
             if self.config.opts.ganged_comp {
                 if !self.config.opts.complex_comp {
@@ -626,9 +744,20 @@ impl NewtonChannel {
                 self.scratch_pairs.clear();
                 self.scratch_pairs
                     .extend(self.scratch_banks.iter().map(|&b| (b, sub)));
-                let t = self
-                    .channel
-                    .earliest_ganged_column_read(self.now, &self.scratch_banks);
+                let t = match next_t {
+                    Some(t) => {
+                        debug_assert_eq!(
+                            t,
+                            self.channel
+                                .earliest_ganged_column_read(self.now, &self.scratch_banks),
+                            "COMP cursor must match the scanned earliest cycle"
+                        );
+                        t
+                    }
+                    None => self
+                        .channel
+                        .earliest_ganged_column_read(self.now, &self.scratch_banks),
+                };
                 let device = &mut self.device;
                 let cache = &self.weight_cache;
                 self.channel.issue_ganged_column_read_internal(
@@ -654,6 +783,11 @@ impl NewtonChannel {
                 self.now = t;
                 last_col = t;
                 cmds += 1;
+                if self.timing_engine == TimingEngine::EventSkipping
+                    && self.config.opts.complex_comp
+                {
+                    next_t = Some(t + col_step);
+                }
                 if !self.config.opts.complex_comp {
                     // Simple expansion step 3: the multiply-add trigger.
                     let t = self.channel.earliest_control_command(self.now);
@@ -916,6 +1050,18 @@ fn functional_comp(
                     sub,
                     cache.subchunk(bank, row, sub, sub_elems),
                 );
+            }
+        }
+        FunctionalMode::Simd => {
+            // Per-sub SIMD step (configurations the batched fast path in
+            // `compute_row_set` does not cover: non-ganged or simple
+            // commands). Falls back to the scalar prewidened kernel for
+            // sub-chunk widths other than the 16-wide MAC tree.
+            let weights = cache.subchunk_wide(bank, row, sub, sub_elems);
+            if sub_elems == newton_bf16::reduce::TREE_ARITY {
+                device.comp_bank_simd(bank, latch, sub, weights);
+            } else {
+                device.comp_bank_prewidened(bank, latch, sub, weights);
             }
         }
     }

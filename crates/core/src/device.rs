@@ -16,9 +16,15 @@ use crate::lut::{ActivationKind, ActivationLut};
 
 /// The channel-wide, DRAM-row-wide input vector buffer (512 bf16 elements
 /// for a 1 KB row), loaded one sub-chunk at a time by `GWRITE#`.
+///
+/// Alongside the bf16 elements the buffer maintains an exactly-widened
+/// `f32` plane (`elems[i].to_f32()`, which is exact) so the SIMD COMP
+/// kernels can read contiguous `f32` lanes without a per-COMP widening
+/// pass. The plane is updated on every write and can never go stale.
 #[derive(Debug, Clone)]
 pub struct GlobalBuffer {
     elems: Vec<Bf16>,
+    wide: Vec<f32>,
     subchunk: usize,
 }
 
@@ -37,6 +43,7 @@ impl GlobalBuffer {
         );
         GlobalBuffer {
             elems: vec![Bf16::ZERO; row_elems],
+            wide: vec![0.0; row_elems],
             subchunk,
         }
     }
@@ -90,6 +97,12 @@ impl GlobalBuffer {
         for e in &mut self.elems[start + data.len()..start + self.subchunk] {
             *e = Bf16::ZERO;
         }
+        for (w, e) in self.wide[start..start + self.subchunk]
+            .iter_mut()
+            .zip(&self.elems[start..start + self.subchunk])
+        {
+            *w = e.to_f32();
+        }
         Ok(())
     }
 
@@ -104,6 +117,25 @@ impl GlobalBuffer {
     pub fn subchunk(&self, index: usize) -> &[Bf16] {
         let start = index * self.subchunk;
         &self.elems[start..start + self.subchunk]
+    }
+
+    /// The exactly-widened `f32` view of sub-chunk `index` (the SIMD COMP
+    /// broadcast plane; `wide[i] == elems[i].to_f32()` always).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn subchunk_wide(&self, index: usize) -> &[f32] {
+        let start = index * self.subchunk;
+        &self.wide[start..start + self.subchunk]
+    }
+
+    /// The whole exactly-widened `f32` plane (for batched row COMPs that
+    /// fold sub-chunks `0..n` in one pass).
+    #[must_use]
+    pub fn wide_plane(&self) -> &[f32] {
+        &self.wide
     }
 }
 
@@ -193,6 +225,28 @@ impl MacUnit {
         let v = reduce::comp_step_prewidened(self.latches[latch], weights, inputs, self.precision);
         self.latches[latch] = v;
         self.comps += 1;
+    }
+
+    /// Executes one or more consecutive 16-wide COMP steps into latch
+    /// `latch` through the explicit-width SIMD kernels: `weights` and
+    /// `inputs` are exact `f32` planes covering whole 16-element
+    /// sub-chunks, folded in order — bit-exact with calling
+    /// [`MacUnit::comp`] once per sub-chunk (see `newton_bf16::simd`).
+    /// The COMP counter advances by the number of sub-chunks folded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is out of range, the plane lengths differ, or the
+    /// length is not a multiple of 16.
+    pub fn comp_simd_subchunks(&mut self, latch: usize, weights: &[f32], inputs: &[f32]) {
+        let n_sub = (weights.len() / reduce::TREE_ARITY) as u64;
+        self.latches[latch] = newton_bf16::simd::comp_subchunks16(
+            self.latches[latch],
+            weights,
+            inputs,
+            self.precision,
+        );
+        self.comps += n_sub;
     }
 
     /// Reads latch `latch` (the `READRES` data path).
@@ -373,6 +427,103 @@ impl NewtonDevice {
         self.macs[bank].comp_prewidened(latch, weights, inputs);
     }
 
+    /// [`comp_bank`](NewtonDevice::comp_bank) through the explicit-width
+    /// SIMD kernels: pre-widened weights against the global buffer's `f32`
+    /// plane, bit-exact with the scalar paths for non-NaN operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device sub-chunk width is not 16 (the SIMD kernels
+    /// are fixed at the paper's 16-wide MAC tree; the controller falls
+    /// back to the scalar paths for other widths) or if `weights.len()`
+    /// is not the sub-chunk width.
+    pub fn comp_bank_simd(&mut self, bank: usize, latch: usize, subchunk: usize, weights: &[f32]) {
+        assert_eq!(
+            self.subchunk,
+            reduce::TREE_ARITY,
+            "SIMD COMP path requires 16-wide sub-chunks"
+        );
+        debug_assert_eq!(weights.len(), self.subchunk);
+        let inputs = self.global.subchunk_wide(subchunk);
+        self.macs[bank].comp_simd_subchunks(latch, weights, inputs);
+    }
+
+    /// Batched row COMP on `bank`: folds global-buffer sub-chunks
+    /// `0..n_sub` against `weights` (the exact `f32` plane of the bank's
+    /// open row, `n_sub * 16` elements) into latch `latch` in one pass —
+    /// bit-exact with issuing [`comp_bank_simd`](NewtonDevice::comp_bank_simd)
+    /// once per sub-chunk in ascending order, and advances the COMP
+    /// counter by `n_sub`.
+    ///
+    /// # Panics
+    ///
+    /// As [`comp_bank_simd`](NewtonDevice::comp_bank_simd), plus a length
+    /// mismatch against `n_sub`.
+    pub fn comp_bank_row_simd(&mut self, bank: usize, latch: usize, n_sub: usize, weights: &[f32]) {
+        assert_eq!(
+            self.subchunk,
+            reduce::TREE_ARITY,
+            "SIMD COMP path requires 16-wide sub-chunks"
+        );
+        let elems = n_sub * self.subchunk;
+        debug_assert_eq!(weights.len(), elems);
+        let inputs = &self.global.wide[..elems];
+        self.macs[bank].comp_simd_subchunks(latch, weights, inputs);
+    }
+
+    /// Gang-batched row COMP: one
+    /// [`comp_bank_row_simd`](NewtonDevice::comp_bank_row_simd) per bank
+    /// in `banks`, computed together so the per-bank serial latch chains
+    /// interleave (see [`newton_bf16::simd::comp_subchunks16_multi`]).
+    /// `planes[k]` is bank `banks[k]`'s row plane. Bit-exact with the
+    /// per-bank calls in any bank order — banks never interact.
+    ///
+    /// # Panics
+    ///
+    /// As [`comp_bank_row_simd`](NewtonDevice::comp_bank_row_simd), plus
+    /// a `banks`/`planes` length mismatch.
+    pub fn comp_banks_row_simd(
+        &mut self,
+        banks: &[usize],
+        latch: usize,
+        n_sub: usize,
+        planes: &[&[f32]],
+    ) {
+        assert_eq!(
+            self.subchunk,
+            reduce::TREE_ARITY,
+            "SIMD COMP path requires 16-wide sub-chunks"
+        );
+        assert_eq!(banks.len(), planes.len(), "one weight plane per bank");
+        const GANG_MAX: usize = newton_bf16::simd::MULTI_MAX_BANKS;
+        if banks.is_empty() {
+            return;
+        }
+        if banks.len() > GANG_MAX {
+            for (&bank, plane) in banks.iter().zip(planes) {
+                self.comp_bank_row_simd(bank, latch, n_sub, plane);
+            }
+            return;
+        }
+        let elems = n_sub * self.subchunk;
+        let inputs = &self.global.wide[..elems];
+        let precision = self.macs[banks[0]].precision;
+        let mut latches = [Bf16::ZERO; GANG_MAX];
+        for (l, &bank) in latches.iter_mut().zip(banks) {
+            *l = self.macs[bank].latches[latch];
+        }
+        newton_bf16::simd::comp_subchunks16_multi(
+            &mut latches[..banks.len()],
+            planes,
+            inputs,
+            precision,
+        );
+        for (&bank, &l) in banks.iter().zip(latches.iter()) {
+            self.macs[bank].latches[latch] = l;
+            self.macs[bank].comps += n_sub as u64;
+        }
+    }
+
     /// Reads bank `bank`'s latch `latch`, optionally through the channel's
     /// activation LUT (the Newton-no-reuse readout path).
     #[must_use]
@@ -521,6 +672,69 @@ mod tests {
         assert_eq!(ref_dev.read_result(0, 0, false), expect);
         assert_eq!(dec_dev.read_result(0, 0, false), expect);
         assert_eq!(wide_dev.read_result(0, 0, false), expect);
+
+        let mut simd_dev = mk();
+        simd_dev
+            .global_buffer_mut()
+            .write_subchunk(0, &inputs)
+            .unwrap();
+        simd_dev.comp_bank_simd(0, 0, 0, &widened);
+        assert_eq!(simd_dev.read_result(0, 0, false), expect);
+        assert_eq!(simd_dev.total_comps(), 1);
+    }
+
+    #[test]
+    fn batched_row_simd_matches_per_subchunk_comps_in_both_disciplines() {
+        for precision in [TreePrecision::Wide, TreePrecision::PerStage] {
+            let mk =
+                || NewtonDevice::new(2, 512, 16, 1, precision, ActivationKind::Identity).unwrap();
+            let n_sub = 5;
+            let weights: Vec<Bf16> = (0..n_sub * 16)
+                .map(|i| bf((i as f32 * 0.17) - 6.5))
+                .collect();
+            let widened: Vec<f32> = weights.iter().map(|w| w.to_f32()).collect();
+
+            let mut step_dev = mk();
+            let mut batch_dev = mk();
+            for s in 0..n_sub {
+                let chunk: Vec<Bf16> = (0..16)
+                    .map(|i| bf((s * 16 + i) as f32 * 0.03 - 1.0))
+                    .collect();
+                step_dev
+                    .global_buffer_mut()
+                    .write_subchunk(s, &chunk)
+                    .unwrap();
+                batch_dev
+                    .global_buffer_mut()
+                    .write_subchunk(s, &chunk)
+                    .unwrap();
+            }
+            for s in 0..n_sub {
+                step_dev.comp_bank_decoded(1, 0, s, &weights[s * 16..(s + 1) * 16]);
+            }
+            batch_dev.comp_bank_row_simd(1, 0, n_sub, &widened);
+
+            assert_eq!(
+                batch_dev.read_result(1, 0, false).to_bits(),
+                step_dev.read_result(1, 0, false).to_bits(),
+                "precision {precision:?}"
+            );
+            assert_eq!(batch_dev.total_comps(), step_dev.total_comps());
+        }
+    }
+
+    #[test]
+    fn global_buffer_wide_plane_tracks_writes_exactly() {
+        let mut g = GlobalBuffer::new(64, 16);
+        g.write_subchunk(1, &[bf(-3.25); 10]).unwrap();
+        for i in 0..64 {
+            assert_eq!(
+                g.wide_plane()[i].to_bits(),
+                g.subchunk(i / 16)[i % 16].to_f32().to_bits()
+            );
+        }
+        assert_eq!(g.subchunk_wide(1)[0], -3.25);
+        assert_eq!(g.subchunk_wide(1)[10], 0.0);
     }
 
     #[test]

@@ -230,6 +230,15 @@ impl NewtonSystem {
         }
     }
 
+    /// Sets the timing engine on every channel (command streams, cycles,
+    /// and results are byte-identical across engines; see
+    /// [`TimingEngine`](newton_dram::TimingEngine)).
+    pub fn set_timing_engine(&mut self, engine: newton_dram::TimingEngine) {
+        for ch in &mut self.channels {
+            ch.set_timing_engine(engine);
+        }
+    }
+
     /// The schedule kind the configuration implies.
     #[must_use]
     pub fn schedule_kind(&self) -> ScheduleKind {

@@ -44,9 +44,30 @@ fn run_in_mode(
     matrix: &[Bf16],
     vectors: &[Vec<Bf16>],
 ) -> (Vec<MvRun>, NewtonChannel) {
+    run_in_mode_with_engine(
+        cfg,
+        mode,
+        newton_dram::TimingEngine::default_engine(),
+        m,
+        n,
+        matrix,
+        vectors,
+    )
+}
+
+fn run_in_mode_with_engine(
+    cfg: &NewtonConfig,
+    mode: FunctionalMode,
+    engine: newton_dram::TimingEngine,
+    m: usize,
+    n: usize,
+    matrix: &[Bf16],
+    vectors: &[Vec<Bf16>],
+) -> (Vec<MvRun>, NewtonChannel) {
     let (mapping, schedule) = mapping_and_schedule(cfg, m, n);
     let mut ch = NewtonChannel::new(cfg, ActivationKind::Identity).expect("channel");
     ch.set_functional_mode(mode);
+    ch.set_timing_engine(engine);
     ch.enable_trace();
     ch.load_matrix(&mapping, matrix).expect("load");
     let runs = vectors
@@ -100,12 +121,62 @@ fn all_modes_identical_across_opt_levels() {
         let reference = run_in_mode(&cfg, FunctionalMode::Reference, m, n, &matrix, &vectors);
         let uncached = run_in_mode(&cfg, FunctionalMode::Uncached, m, n, &matrix, &vectors);
         let cached = run_in_mode(&cfg, FunctionalMode::Cached, m, n, &matrix, &vectors);
+        let simd = run_in_mode(&cfg, FunctionalMode::Simd, m, n, &matrix, &vectors);
         assert_runs_identical(&reference, &uncached, "uncached");
         assert_runs_identical(&reference, &cached, "cached");
+        assert_runs_identical(&reference, &simd, "simd");
         // The cache actually engaged: decode once per (bank, row), hits on
         // the repeated row-sets of the second vector.
         assert!(cached.1.weight_cache().decode_count() > 0);
         assert!(cached.1.weight_cache().hit_count() > 0);
+    }
+}
+
+/// Tentpole byte-identity gate: the event-skipping timing engine must
+/// reproduce the reference engine's outputs, cycles, AiM stats, command
+/// traces, and substrate counters exactly — in every functional mode and
+/// at every opt level (ganged/complex on and off exercises both the
+/// cursor-armed and cursor-disarmed command streams).
+#[test]
+fn timing_engines_identical_across_modes_and_opt_levels() {
+    for level in [OptLevel::Full, OptLevel::NonOpt] {
+        let cfg = cfg1(level);
+        let (m, n) = (24, 700);
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 29) as f32 - 14.0) / 8.0))
+            .collect();
+        let vectors: Vec<Vec<Bf16>> = (0..2)
+            .map(|r| {
+                (0..n)
+                    .map(|k| bf(((k + r * 3) % 11) as f32 / 4.0 - 1.0))
+                    .collect()
+            })
+            .collect();
+        for mode in [
+            FunctionalMode::Reference,
+            FunctionalMode::Cached,
+            FunctionalMode::Simd,
+        ] {
+            let reference = run_in_mode_with_engine(
+                &cfg,
+                mode,
+                newton_dram::TimingEngine::Reference,
+                m,
+                n,
+                &matrix,
+                &vectors,
+            );
+            let skipping = run_in_mode_with_engine(
+                &cfg,
+                mode,
+                newton_dram::TimingEngine::EventSkipping,
+                m,
+                n,
+                &matrix,
+                &vectors,
+            );
+            assert_runs_identical(&reference, &skipping, &format!("{level:?}/{mode:?}"));
+        }
     }
 }
 
@@ -120,8 +191,12 @@ fn per_stage_precision_uses_decoded_plane_and_stays_identical() {
     let vectors = vec![(0..n).map(|k| bf(((k % 7) as f32 - 3.0) / 2.0)).collect()];
     let reference = run_in_mode(&cfg, FunctionalMode::Reference, m, n, &matrix, &vectors);
     let cached = run_in_mode(&cfg, FunctionalMode::Cached, m, n, &matrix, &vectors);
+    let simd = run_in_mode(&cfg, FunctionalMode::Simd, m, n, &matrix, &vectors);
     assert_runs_identical(&reference, &cached, "per-stage cached");
-    assert!(!cached.1.weight_cache().widens());
+    assert_runs_identical(&reference, &simd, "per-stage simd");
+    // The cache keeps its exact f32 plane in every discipline: the SIMD
+    // kernels consume it even under per-stage rounding.
+    assert!(cached.1.weight_cache().widens());
 }
 
 /// Satellite: write a row, COMP against it, overwrite via both

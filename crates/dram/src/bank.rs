@@ -269,6 +269,90 @@ impl Bank {
             BankClass::RowOpen,
         );
     }
+
+    /// Validates a [`comp_burst`](Bank::comp_burst) without applying it:
+    /// every error that call can raise, with no state change. Lets the
+    /// channel pre-flight a whole gang before committing any bank.
+    ///
+    /// # Errors
+    ///
+    /// As [`comp_burst`](Bank::comp_burst).
+    pub fn check_comp_burst(
+        &self,
+        start: Cycle,
+        step: Cycle,
+        count: usize,
+        t: &Timing,
+    ) -> Result<usize, DramError> {
+        let row = match self.state {
+            BankState::Active { row } => row,
+            BankState::Idle => {
+                return Err(DramError::BankState {
+                    bank: self.index,
+                    attempted: "column read",
+                    actual: "Idle".into(),
+                })
+            }
+        };
+        if count == 0 {
+            return Ok(row);
+        }
+        if start < self.earliest_col {
+            return Err(DramError::Timing {
+                constraint: "tRCD/tCCD (column)",
+                issued: start,
+                earliest: self.earliest_col,
+                bank: Some(self.index),
+            });
+        }
+        if count > 1 && step < t.t_ccd {
+            return Err(DramError::Timing {
+                constraint: "tRCD/tCCD (column)",
+                issued: start + step,
+                earliest: start + t.t_ccd,
+                bank: Some(self.index),
+            });
+        }
+        Ok(row)
+    }
+
+    /// Applies `count` internal column reads at `start, start + step, ...`
+    /// in one call. State-equivalent to `count` iterations of
+    /// `column_access(cycle, false, t)` + `note_internal_access(cycle, t)`,
+    /// but O(1) in `count`. Returns the open row index.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankState`] if no row is open; [`DramError::Timing`]
+    /// if the first access is before tRCD/tCCD allows or (for multi-access
+    /// trains) `step` is below tCCD. Unlike the loop, nothing is applied on
+    /// failure.
+    pub fn comp_burst(
+        &mut self,
+        start: Cycle,
+        step: Cycle,
+        count: usize,
+        t: &Timing,
+    ) -> Result<usize, DramError> {
+        let row = self.check_comp_burst(start, step, count, t)?;
+        if count == 0 {
+            return Ok(row);
+        }
+        let last = start + (count as Cycle - 1) * step;
+        self.earliest_col = last + t.t_ccd;
+        // tRTP gates run from each access; the last one dominates because
+        // the train is monotone.
+        self.earliest_pre = self.earliest_pre.max(last + t.t_rtp);
+        self.residency.pulse_train(
+            start,
+            step,
+            count as u64,
+            BankClass::Computing,
+            t.t_ccd,
+            BankClass::RowOpen,
+        );
+        Ok(row)
+    }
 }
 
 #[cfg(test)]

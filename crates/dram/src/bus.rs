@@ -36,9 +36,18 @@ impl CommandBus {
     /// Earliest cycle `>= hint` at which the next command may issue.
     #[must_use]
     pub fn earliest_slot(&self, hint: Cycle, t: &Timing) -> Cycle {
+        hint.max(self.slot_floor(t))
+    }
+
+    /// The hint-independent slot floor: the first cycle the bus itself
+    /// allows a command (0 when the bus has never issued). Schedulers
+    /// comparing many candidates fold this in once per round instead of
+    /// calling [`CommandBus::earliest_slot`] per candidate.
+    #[must_use]
+    pub fn slot_floor(&self, t: &Timing) -> Cycle {
         match self.last_issue {
-            Some(last) => hint.max(last + t.t_cmd),
-            None => hint,
+            Some(last) => last + t.t_cmd,
+            None => 0,
         }
     }
 
@@ -63,6 +72,52 @@ impl CommandBus {
         }
         self.last_issue = Some(cycle);
         self.issued += 1;
+        Ok(())
+    }
+
+    /// Claims `count` slots at `start, start + step, ...` in one call.
+    /// State-equivalent to `count` sequential [`CommandBus::issue`] calls
+    /// at those cycles, but O(1): the regular spacing folds into a single
+    /// histogram update.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Timing`] if the first slot is earlier than the bus
+    /// allows or (for multi-slot trains) `step` is below tCMD. Unlike the
+    /// sequential loop, nothing is recorded on failure.
+    pub fn issue_train(
+        &mut self,
+        start: Cycle,
+        step: Cycle,
+        count: usize,
+        t: &Timing,
+    ) -> Result<(), DramError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let earliest = self.earliest_slot(0, t);
+        if start < earliest {
+            return Err(DramError::Timing {
+                constraint: "tCMD (command bus slot)",
+                issued: start,
+                earliest,
+                bank: None,
+            });
+        }
+        if count > 1 && step < t.t_cmd {
+            return Err(DramError::Timing {
+                constraint: "tCMD (command bus slot)",
+                issued: start + step,
+                earliest: start + t.t_cmd,
+                bank: None,
+            });
+        }
+        if let Some(last) = self.last_issue {
+            self.gaps.record(start - last);
+        }
+        self.gaps.record_n(step, count as u64 - 1);
+        self.last_issue = Some(start + (count as Cycle - 1) * step);
+        self.issued += count as u64;
         Ok(())
     }
 
@@ -164,6 +219,18 @@ mod tests {
     }
 
     #[test]
+    fn slot_floor_is_the_hint_independent_gate() {
+        let t = timing();
+        let mut bus = CommandBus::new();
+        assert_eq!(bus.slot_floor(&t), 0);
+        bus.issue(100, &t).unwrap();
+        assert_eq!(bus.slot_floor(&t), 100 + t.t_cmd);
+        for hint in [0, 50, 100 + t.t_cmd, 10_000] {
+            assert_eq!(bus.earliest_slot(hint, &t), hint.max(bus.slot_floor(&t)));
+        }
+    }
+
+    #[test]
     fn command_slots_may_be_late_but_not_early() {
         let t = timing();
         let mut bus = CommandBus::new();
@@ -183,6 +250,39 @@ mod tests {
         assert_eq!(gaps.count(), 2); // first issue has no predecessor
         assert_eq!(gaps.sum(), t.t_cmd + 100);
         assert_eq!(gaps.max(), 100);
+    }
+
+    #[test]
+    fn issue_train_matches_sequential_issues() {
+        let t = timing();
+        for (start, step, count) in [
+            (100, t.t_cmd, 32usize),
+            (100, t.t_cmd + 3, 32),
+            (10 + t.t_cmd, t.t_cmd, 1),
+            (50, 1000, 2),
+        ] {
+            let mut looped = CommandBus::new();
+            looped.issue(10, &t).unwrap();
+            let mut batched = looped.clone();
+            for i in 0..count {
+                looped.issue(start + i as Cycle * step, &t).unwrap();
+            }
+            batched.issue_train(start, step, count, &t).unwrap();
+            assert_eq!(looped.issued(), batched.issued());
+            assert_eq!(looped.last_issue(), batched.last_issue());
+            assert_eq!(looped.slot_gaps(), batched.slot_gaps());
+        }
+        // Trains on a virgin bus record no leading gap, like the loop.
+        let mut looped = CommandBus::new();
+        let mut batched = CommandBus::new();
+        looped.issue(0, &t).unwrap();
+        looped.issue(t.t_cmd, &t).unwrap();
+        batched.issue_train(0, t.t_cmd, 2, &t).unwrap();
+        assert_eq!(looped.slot_gaps(), batched.slot_gaps());
+        // Under-spaced trains are rejected whole.
+        let mut bus = CommandBus::new();
+        assert!(bus.issue_train(0, t.t_cmd - 1, 2, &t).is_err());
+        assert_eq!(bus.issued(), 0);
     }
 
     #[test]

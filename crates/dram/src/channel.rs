@@ -23,7 +23,7 @@ use crate::bus::{CommandBus, DataBus};
 use crate::config::DramConfig;
 use crate::ecc::EccCounters;
 use crate::error::DramError;
-use crate::faw::FawTracker;
+use crate::faw::{FawTracker, FAW_LIMIT};
 use crate::stats::{ChannelStats, RunSummary};
 use crate::storage::Storage;
 use crate::timing::{Cycle, Timing};
@@ -31,6 +31,27 @@ use newton_trace::energy::to_milli_pj;
 use newton_trace::{
     BankClass, EnergyModel, Log2Histogram, TimeSeries, TraceBus, TraceEvent, TraceSink,
 };
+
+/// Request-independent scheduling floors shared by every candidate in one
+/// scheduler round, computed in a single pass by
+/// [`Channel::scheduling_floors`]. An event-skipping scheduler combines
+/// them with the per-bank gates from [`Channel::bank_gates`] instead of
+/// calling the full `earliest_*` queries once per queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulingFloors {
+    /// Next free row-command-bus slot (0 when the bus is untouched).
+    pub row_slot: Cycle,
+    /// Next free column-command-bus slot.
+    pub col_slot: Cycle,
+    /// Earliest cycle an *external* column read may issue as far as the
+    /// data bus is concerned: the bus busy-until minus tAA (data appears
+    /// tAA after the command), saturating at 0.
+    pub col_data: Cycle,
+    /// Rank-wide activation floors per gang size: `act[n - 1]` is the
+    /// earliest cycle `n` simultaneous activations clear tRRD and the
+    /// tFAW window.
+    pub act: [Cycle; FAW_LIMIT],
+}
 
 /// Holder for the optional trace sink; manual `Debug` because trait
 /// objects have none.
@@ -396,6 +417,41 @@ impl Channel {
     }
 
     // ------------------------------------------------------------------
+    // Batched scheduling floors (event-skipping scheduler hooks)
+    // ------------------------------------------------------------------
+
+    /// Computes the request-independent [`SchedulingFloors`] shared by
+    /// every candidate in one scheduler round: one pass over the buses
+    /// and the tFAW window instead of one `earliest_*` query per
+    /// candidate. The floors stay exact until the next `issue_*` call
+    /// (every issue can only move them forward, so a stale copy is a
+    /// valid lower bound but no longer the exact gate).
+    #[must_use]
+    pub fn scheduling_floors(&self) -> SchedulingFloors {
+        SchedulingFloors {
+            row_slot: self.row_bus.slot_floor(&self.timing),
+            col_slot: self.col_bus.slot_floor(&self.timing),
+            col_data: self.data_bus.busy_until().saturating_sub(self.timing.t_aa),
+            act: self.faw.activate_floors(&self.timing),
+        }
+    }
+
+    /// The per-bank earliest-legal gates `(activate, column, precharge)`
+    /// — the bank-local half of the `earliest_*` queries. Combining a
+    /// gate with the matching [`SchedulingFloors`] component reproduces
+    /// the full query: e.g. `max(gates.0, floors.act[0], floors.row_slot)`
+    /// equals [`Channel::earliest_activate`].
+    #[must_use]
+    pub fn bank_gates(&self, bank: usize) -> (Cycle, Cycle, Cycle) {
+        let b = &self.banks[bank];
+        (
+            b.earliest_activate(),
+            b.earliest_column(),
+            b.earliest_precharge(),
+        )
+    }
+
+    // ------------------------------------------------------------------
     // Activation (row bus)
     // ------------------------------------------------------------------
 
@@ -736,6 +792,75 @@ impl Channel {
             self.emit_energy(cycle, "COMP", pairs.len() as u32, 0);
         }
         Ok(cycle)
+    }
+
+    /// Issues a train of `count` ganged internal column reads in one call:
+    /// command `i` lands at `start + i * step` and reads column `i` of the
+    /// open row on every bank in `banks`. State-equivalent to `count`
+    /// sequential [`Channel::issue_ganged_column_read_internal`] calls with
+    /// a no-op sink, but O(1) in `count * banks` when no per-command
+    /// observer is attached. Data is *not* delivered — callers on this path
+    /// read the open rows from their own functional cache. Returns the
+    /// cycle of the last command.
+    ///
+    /// When an audit log, trace sink, telemetry collector, or ECC checker
+    /// is active, every command is observable, so the train transparently
+    /// falls back to the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Constraint violations, bank-state errors, or bad indices. On the
+    /// batched path everything is validated before any state mutates.
+    pub fn issue_comp_burst(
+        &mut self,
+        start: Cycle,
+        step: Cycle,
+        count: usize,
+        banks: &[usize],
+    ) -> Result<Cycle, DramError> {
+        if count == 0 {
+            return Ok(start);
+        }
+        let last = start + (count as Cycle - 1) * step;
+        if self.audit.is_some() || self.tracing() || self.storage.ecc_enabled() {
+            let mut pairs: Vec<(usize, usize)> = banks.iter().map(|&b| (b, 0)).collect();
+            for i in 0..count {
+                for p in &mut pairs {
+                    p.1 = i;
+                }
+                self.issue_ganged_column_read_internal(
+                    start + i as Cycle * step,
+                    &pairs,
+                    |_, _| {},
+                )?;
+            }
+            return Ok(last);
+        }
+        if count > self.config.cols_per_row {
+            return Err(DramError::AddressOutOfRange {
+                kind: "column",
+                index: self.config.cols_per_row,
+                limit: self.config.cols_per_row,
+            });
+        }
+        for &bank in banks {
+            self.check_bank(bank)?;
+            // Pre-flight the whole train on this bank (state, first-access
+            // timing, spacing) so a failure leaves the channel untouched.
+            self.banks[bank].check_comp_burst(start, step, count, &self.timing)?;
+        }
+        self.col_bus.issue_train(start, step, count, &self.timing)?;
+        for &bank in banks {
+            self.banks[bank]
+                .comp_burst(start, step, count, &self.timing)
+                .expect("pre-flighted comp burst");
+        }
+        self.stats.col_reads_internal += (count * banks.len()) as u64;
+        if banks.len() > 1 {
+            self.stats.ganged_commands += count as u64;
+        }
+        self.note_activity(start);
+        Ok(last)
     }
 
     /// Issues a broadcast-class command (e.g. Newton GWRITE): consumes one
@@ -1138,6 +1263,99 @@ mod tests {
         assert_eq!(s.external_bytes, 0, "internal reads never touch the PHY");
         assert_eq!(s.commands, 2);
         assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+    }
+
+    #[test]
+    fn comp_burst_matches_sequential_ganged_reads() {
+        let t = timing();
+        let banks = [0usize, 1, 2, 3];
+        let setup = || {
+            // No audit: the burst channel must take the batched path.
+            let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+            for &bank in &banks {
+                ch.storage_mut()
+                    .write_row(bank, 3, &vec![bank as u8; 1024])
+                    .unwrap();
+            }
+            ch.issue_ganged_activate(0, &[(0, 3), (1, 3), (2, 3), (3, 3)])
+                .unwrap();
+            ch
+        };
+        for count in [1usize, 2, 32] {
+            let mut looped = setup();
+            let mut burst = setup();
+            let t0 = looped.earliest_ganged_column_read(0, &banks);
+            let step = t.t_ccd.max(t.t_cmd);
+            let mut last = t0;
+            for i in 0..count {
+                let c = looped.earliest_ganged_column_read(last, &banks);
+                assert_eq!(c, t0 + i as Cycle * step, "cursor invariant");
+                looped
+                    .issue_ganged_column_read_internal(
+                        c,
+                        &[(0, i), (1, i), (2, i), (3, i)],
+                        |_, _| {},
+                    )
+                    .unwrap();
+                last = c;
+            }
+            let burst_last = burst.issue_comp_burst(t0, step, count, &banks).unwrap();
+            assert_eq!(burst_last, last, "count={count}");
+            let end = last + 100;
+            assert_eq!(looped.summary(end), burst.summary(end), "count={count}");
+            for &bank in &banks {
+                assert_eq!(
+                    looped.earliest_ganged_column_read(0, &[bank]),
+                    burst.earliest_ganged_column_read(0, &[bank])
+                );
+                assert_eq!(
+                    looped.earliest_precharge(bank),
+                    burst.earliest_precharge(bank)
+                );
+            }
+            // Future behavior matches: close the row set on both.
+            let p = looped.earliest_precharge(0);
+            looped.issue_precharge_all(p).unwrap();
+            burst.issue_precharge_all(p).unwrap();
+            assert_eq!(looped.summary(p + 50), burst.summary(p + 50));
+        }
+    }
+
+    #[test]
+    fn comp_burst_with_audit_attached_records_every_command() {
+        // With an observer attached the burst must fall back to the
+        // sequential loop so per-command audit events still appear.
+        let t = timing();
+        let mut ch = channel();
+        for bank in 0..2 {
+            ch.storage_mut()
+                .write_row(bank, 0, &vec![7u8; 1024])
+                .unwrap();
+        }
+        ch.issue_ganged_activate(0, &[(0, 0), (1, 0)]).unwrap();
+        let t0 = ch.earliest_ganged_column_read(0, &[0, 1]);
+        let step = t.t_ccd.max(t.t_cmd);
+        ch.issue_comp_burst(t0, step, 8, &[0, 1]).unwrap();
+        let s = ch.summary(t0 + 8 * step);
+        assert_eq!(s.stats.col_reads_internal, 16);
+        assert_eq!(s.stats.ganged_commands, 1 + 8);
+        assert_eq!(ch.audit().unwrap().validate(&t), vec![]);
+        let col_reads = ch
+            .audit()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    AuditEvent::ColRd {
+                        external: false,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(col_reads, 16, "per-command audit records survive");
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod timing;
 
 pub use channel::Channel;
 pub use config::DramConfig;
+pub use controller::TimingEngine;
 pub use ecc::{EccCounters, Secded};
 pub use error::DramError;
 pub use faults::{CampaignSpec, FaultKind, InjectedFault, RetentionSpec};

@@ -39,9 +39,18 @@ struct StuckBit {
 }
 
 /// Per-channel functional storage, indexed by bank and row.
+///
+/// Each bank's row vector grows on first write past its current length
+/// (never beyond `rows_per_bank`), so constructing a channel costs O(banks)
+/// rather than O(banks x rows): an untouched HBM2E bank directory would
+/// otherwise be ~1.3 MB of `None`s per bank, paid on every system
+/// construction in benchmark loops.
 #[derive(Debug)]
 pub struct Storage {
     banks: Vec<Vec<Option<RowSlot>>>,
+    /// Addressable rows per bank (the bound for address validation; the
+    /// per-bank vectors materialize lazily up to this).
+    rows_per_bank: usize,
     row_bytes: usize,
     col_bytes: usize,
     cols_per_row: usize,
@@ -63,9 +72,8 @@ impl Storage {
     #[must_use]
     pub fn new(config: &DramConfig) -> Storage {
         Storage {
-            banks: (0..config.banks)
-                .map(|_| vec![None; config.rows_per_bank])
-                .collect(),
+            banks: (0..config.banks).map(|_| Vec::new()).collect(),
+            rows_per_bank: config.rows_per_bank,
             row_bytes: config.row_bytes(),
             col_bytes: config.col_bytes(),
             cols_per_row: config.cols_per_row,
@@ -125,14 +133,20 @@ impl Storage {
                 limit: self.banks.len(),
             });
         }
-        if row >= self.banks[bank].len() {
+        if row >= self.rows_per_bank {
             return Err(DramError::AddressOutOfRange {
                 kind: "row",
                 index: row,
-                limit: self.banks[bank].len(),
+                limit: self.rows_per_bank,
             });
         }
         Ok(())
+    }
+
+    /// The row slot if it has been materialized (in-bounds rows beyond the
+    /// lazily-grown vector read as never written).
+    fn slot(&self, bank: usize, row: usize) -> Option<&RowSlot> {
+        self.banks[bank].get(row).and_then(Option::as_ref)
     }
 
     /// Reads an entire row (zeros if never written).
@@ -142,8 +156,8 @@ impl Storage {
     /// [`DramError::AddressOutOfRange`] for bad indices.
     pub fn row(&self, bank: usize, row: usize) -> Result<&[u8], DramError> {
         self.check_bank_row(bank, row)?;
-        Ok(self.banks[bank][row]
-            .as_ref()
+        Ok(self
+            .slot(bank, row)
             .map_or(&self.zero_row, |slot| &slot.data))
     }
 
@@ -160,9 +174,7 @@ impl Storage {
     /// [`DramError::AddressOutOfRange`] for bad indices.
     pub fn row_generation(&self, bank: usize, row: usize) -> Result<u64, DramError> {
         self.check_bank_row(bank, row)?;
-        Ok(self.banks[bank][row]
-            .as_ref()
-            .map_or(0, |slot| slot.generation))
+        Ok(self.slot(bank, row).map_or(0, |slot| slot.generation))
     }
 
     /// Overwrites an entire row. With ECC on, the row is re-encoded;
@@ -188,6 +200,9 @@ impl Storage {
             generation,
             check,
         };
+        if self.banks[bank].len() <= row {
+            self.banks[bank].resize_with(row + 1, || None);
+        }
         self.banks[bank][row] = Some(slot);
         self.reassert_stuck(bank, row, 0, self.row_bytes);
         Ok(())
@@ -381,7 +396,7 @@ impl Storage {
         // below); unused reservations just leave a gap in the sequence.
         self.next_generation += 1;
         let generation = self.next_generation;
-        let Some(slot) = self.banks[bank][row].as_mut() else {
+        let Some(slot) = self.banks[bank].get_mut(row).and_then(Option::as_mut) else {
             return Ok(0);
         };
         let check = slot
@@ -444,6 +459,9 @@ impl Storage {
     fn slot_mut(&mut self, bank: usize, row: usize, generation: u64) -> &mut RowSlot {
         let row_bytes = self.row_bytes;
         let ecc = self.ecc;
+        if self.banks[bank].len() <= row {
+            self.banks[bank].resize_with(row + 1, || None);
+        }
         self.banks[bank][row].get_or_insert_with(|| RowSlot {
             data: vec![0u8; row_bytes].into_boxed_slice(),
             generation,
@@ -461,7 +479,7 @@ impl Storage {
         // `stuck` and `banks` are disjoint fields; clone the short defect
         // list to keep the borrows simple.
         let cells = cells.clone();
-        let Some(slot) = self.banks[bank][row].as_mut() else {
+        let Some(slot) = self.banks[bank].get_mut(row).and_then(Option::as_mut) else {
             return;
         };
         for c in &cells {

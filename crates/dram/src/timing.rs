@@ -270,6 +270,15 @@ impl Timing {
         self.t_ras + self.t_rp
     }
 
+    /// Cadence of a saturated internal column stream: successive ganged
+    /// COMP-style column commands are spaced by the larger of the bank
+    /// column cadence (tCCD) and the command-bus slot (tCMD). This is the
+    /// event-skipping cursor step for the AiM COMP fast path.
+    #[must_use]
+    pub fn col_step(&self) -> Cycle {
+        self.t_ccd.max(self.t_cmd)
+    }
+
     /// Converts a cycle count to nanoseconds.
     #[must_use]
     pub fn cycles_to_ns(&self, cycles: Cycle) -> f64 {

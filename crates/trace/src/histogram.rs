@@ -46,6 +46,18 @@ impl Log2Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records `n` identical samples in constant time. Equivalent to
+    /// calling [`Log2Histogram::record`] `n` times with `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.max = self.max.max(value);
+    }
+
     /// Number of samples recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -154,6 +166,24 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.sum(), 112);
         assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        for (value, n) in [(0u64, 3u64), (4, 31), (1023, 1), (7, 0)] {
+            let mut looped = Log2Histogram::new();
+            looped.record(2);
+            for _ in 0..n {
+                looped.record(value);
+            }
+            let mut batched = Log2Histogram::new();
+            batched.record(2);
+            batched.record_n(value, n);
+            assert_eq!(looped, batched, "value={value} n={n}");
+        }
+        let mut h = Log2Histogram::new();
+        h.record_n(u64::MAX, 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates under record_n");
     }
 
     #[test]

@@ -197,6 +197,50 @@ impl ResidencyTracker {
         }
     }
 
+    /// A regular train of `count` transient pulses: equivalent to calling
+    /// [`ResidencyTracker::transient`] at `start + i * step` for each
+    /// `i in 0..count`, with each pulse holding `class` for `hold` cycles
+    /// before reverting to `then`. The common case (`step > 0`, `hold > 0`,
+    /// pulses strictly ordered) is folded in constant time; degenerate
+    /// trains fall back to the literal loop.
+    pub fn pulse_train(
+        &mut self,
+        start: u64,
+        step: u64,
+        count: u64,
+        class: BankClass,
+        hold: u64,
+        then: BankClass,
+    ) {
+        if count == 0 {
+            return;
+        }
+        // First pulse goes through the ordinary path (it interacts with
+        // whatever state/revert was live before the train).
+        self.transient(start, class, start + hold, then);
+        let extra = count - 1;
+        if extra == 0 {
+            return;
+        }
+        if step == 0 || hold == 0 || start < self.since {
+            // Degenerate spacing (or a clamped first pulse): replay
+            // literally rather than reasoning about overlaps.
+            for i in 1..count {
+                let at = start + i * step;
+                self.transient(at, class, at + hold, then);
+            }
+            return;
+        }
+        // Steady state: each later pulse credits `min(hold, step)` cycles
+        // to `class` and any remainder of the period to `then`.
+        let in_class = hold.min(step);
+        self.totals.add(class, extra * in_class);
+        self.totals.add(then, extra * (step - in_class));
+        self.current = class;
+        self.since = start + extra * step;
+        self.revert = Some((self.since + hold, then));
+    }
+
     /// Attribution through `end` (resolves pending expiries; the tracker
     /// itself is unchanged). The returned totals sum to `end` when `end`
     /// is at or after the last transition.
@@ -275,6 +319,47 @@ mod tests {
         let r = t.snapshot(20);
         assert_eq!(r.precharging, 0);
         assert_eq!(r.idle, 20);
+    }
+
+    #[test]
+    fn pulse_train_matches_literal_transient_loop() {
+        // Cover gapless (hold == step), gapped (hold < step), overlapping
+        // (hold > step), single-pulse, and degenerate (step == 0) trains.
+        for (start, step, count, hold) in [
+            (10, 4, 32, 4),
+            (10, 6, 32, 4),
+            (10, 3, 32, 4),
+            (10, 4, 1, 4),
+            (10, 0, 5, 4),
+            (0, 4, 7, 4),
+        ] {
+            let mut seed = ResidencyTracker::new();
+            seed.transition(5.min(start), BankClass::RowOpen);
+            let mut looped = seed.clone();
+            for i in 0..count {
+                let at = start + i * step;
+                looped.transient(at, BankClass::Computing, at + hold, BankClass::RowOpen);
+            }
+            let mut batched = seed.clone();
+            batched.pulse_train(
+                start,
+                step,
+                count,
+                BankClass::Computing,
+                hold,
+                BankClass::RowOpen,
+            );
+            let end = start + count * step + hold + 100;
+            assert_eq!(
+                looped.snapshot(end),
+                batched.snapshot(end),
+                "start={start} step={step} count={count} hold={hold}"
+            );
+            // Future behavior must match too: drive both onward.
+            looped.transient(end, BankClass::Precharging, end + 14, BankClass::Idle);
+            batched.transient(end, BankClass::Precharging, end + 14, BankClass::Idle);
+            assert_eq!(looped.snapshot(end + 50), batched.snapshot(end + 50));
+        }
     }
 
     #[test]

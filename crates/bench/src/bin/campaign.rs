@@ -31,7 +31,7 @@
 
 use newton_bf16::Bf16;
 use newton_core::system::{LoadedMatrix, NewtonSystem};
-use newton_core::{config::NewtonConfig, AimError};
+use newton_core::{config::NewtonConfig, AimError, RecoveryReport};
 use newton_dram::faults::{self, mix64, CampaignSpec};
 use newton_trace::MetricsSnapshot;
 use std::path::PathBuf;
@@ -91,15 +91,15 @@ fn det_bf16(seed: u64, i: u64) -> Bf16 {
 /// The raw bit-error rates swept, as (label, rate) pairs.
 const RATES: &[(&str, f64)] = &[("0", 0.0), ("1e-6", 1e-6), ("1e-5", 1e-5), ("1e-4", 1e-4)];
 
-/// One campaign cell's measured outcome.
+/// One campaign cell's measured outcome. The recovery ladder's work is
+/// kept as a full [`RecoveryReport`] so the snapshot serialization is the
+/// shared `record_into` path (auditable keys identical across harnesses).
 struct Outcome {
     injected: u64,
     sdc: u64,
     corrected: u64,
     uncorrectable: u64,
-    attempts: u64,
-    scrub_rewrites: u64,
-    retired_banks: u64,
+    report: RecoveryReport,
 }
 
 /// Resident-matrix bits per channel (the fault universe the rate
@@ -167,16 +167,21 @@ fn run_cell(ecc: bool, rate: f64, cell_seed: u64, w: &Workload) -> Result<Outcom
         injected += faults.len() as u64;
     }
 
-    let (run, attempts, scrub_rewrites, retired_banks) = if ecc {
-        let (run, report) = sys.run_resident_resilient(&loaded, &w.matrix, &w.vector)?;
+    let (run, report) = if ecc {
+        sys.run_resident_resilient(&loaded, &w.matrix, &w.vector)?
+    } else {
+        // Without ECC nothing is detected, so the ladder never engages:
+        // one attempt, nothing scrubbed or retired.
+        let run = sys.run_resident(&loaded, &w.vector)?;
         (
             run,
-            report.attempts,
-            report.scrub_rewrites,
-            report.retired_banks.len() as u64,
+            RecoveryReport {
+                attempts: 1,
+                scrub_rewrites: 0,
+                retired_banks: Vec::new(),
+                capacity_fraction: 1.0,
+            },
         )
-    } else {
-        (sys.run_resident(&loaded, &w.vector)?, 1, 0, 0)
     };
 
     let sdc = run
@@ -195,9 +200,7 @@ fn run_cell(ecc: bool, rate: f64, cell_seed: u64, w: &Workload) -> Result<Outcom
         sdc,
         corrected,
         uncorrectable,
-        attempts,
-        scrub_rewrites,
-        retired_banks,
+        report,
     })
 }
 
@@ -269,9 +272,9 @@ fn main() {
                 out.sdc,
                 out.corrected,
                 out.uncorrectable,
-                out.attempts,
-                out.scrub_rewrites,
-                out.retired_banks,
+                out.report.attempts,
+                out.report.scrub_rewrites,
+                out.report.retired_banks.len(),
             );
 
             // The campaign's headline guarantees, enforced, not implied.
@@ -296,10 +299,8 @@ fn main() {
             snap.count(&format!("{p}/injected"), out.injected)
                 .count(&format!("{p}/sdc"), out.sdc)
                 .count(&format!("{p}/corrected"), out.corrected)
-                .count(&format!("{p}/uncorrectable"), out.uncorrectable)
-                .count(&format!("{p}/attempts"), out.attempts)
-                .count(&format!("{p}/scrub_rewrites"), out.scrub_rewrites)
-                .count(&format!("{p}/retired_banks"), out.retired_banks);
+                .count(&format!("{p}/uncorrectable"), out.uncorrectable);
+            out.report.record_into(&mut snap, &p);
             rows.push(vec![
                 label.to_string(),
                 ecc_key.to_string(),
@@ -307,9 +308,9 @@ fn main() {
                 out.sdc.to_string(),
                 out.corrected.to_string(),
                 out.uncorrectable.to_string(),
-                out.attempts.to_string(),
-                out.scrub_rewrites.to_string(),
-                out.retired_banks.to_string(),
+                out.report.attempts.to_string(),
+                out.report.scrub_rewrites.to_string(),
+                out.report.retired_banks.len().to_string(),
             ]);
         }
     }

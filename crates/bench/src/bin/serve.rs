@@ -1,0 +1,337 @@
+//! Online-serving chaos sweep (PR 8): open-loop traffic against a
+//! resident matrix, with live fault injection, deadline SLOs, admission
+//! control, and graceful degradation after bank retirement.
+//!
+//! The sweep runs five cells, all with SECDED ECC on and streaming
+//! telemetry enabled:
+//!
+//! | cell                    | arrivals        | chaos                          |
+//! |-------------------------|-----------------|--------------------------------|
+//! | `poisson/no_fault`      | steady Poisson  | none                           |
+//! | `poisson/ber_1e5_ecc`   | steady Poisson  | BER 1e-5 campaign mid-traffic  |
+//! | `bursty/no_fault`       | square bursts   | none                           |
+//! | `bursty/ber_1e5_ecc`    | square bursts   | BER 1e-5 campaign mid-traffic  |
+//! | `degraded/stuck_ecc`    | steady Poisson  | hard stuck word → retirement   |
+//!
+//! Each cell reports p50/p99/p99.9 completion latency, queries per
+//! simulated second, shed/expired/retry counters, silent-data-corruption
+//! counts against pristine goldens, and joules-per-query from the
+//! streamed energy telemetry. Headline guarantees are *asserted*, not
+//! implied: zero SDC in every cell (ECC is on everywhere), faults
+//! actually injected in the chaos cells, and — in the degraded cell — at
+//! least one bank retired mid-run with serving continuing to completion
+//! at reduced capacity.
+//!
+//! Everything is a pure function of `--seed`: reports and the JSON
+//! snapshot are byte-identical for every `NEWTON_THREADS` width and both
+//! timing engines (wall-clock is printed but never persisted).
+//!
+//! Usage:
+//!
+//! ```sh
+//! serve                 # full sweep (64x1024, 2 channels, 160 queries/cell)
+//! serve --quick         # small sweep for CI smoke (32x512, 40 queries/cell)
+//! serve --seed N        # arrival/fault stream seed (default 8)
+//! serve --out PATH      # snapshot path (default BENCH_pr8.json)
+//! ```
+
+use newton_bf16::Bf16;
+use newton_core::config::NewtonConfig;
+use newton_core::TelemetryConfig;
+use newton_dram::faults::{mix64, CampaignSpec};
+use newton_serve::{ChaosAction, ChaosEvent, ChaosPlan, ServeReport, Server, TrafficConfig};
+use newton_trace::MetricsSnapshot;
+use newton_workloads::arrivals::ArrivalPattern;
+use newton_workloads::{generator, MvShape};
+use std::path::PathBuf;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+}
+
+impl Args {
+    fn from_env() -> Args {
+        let mut quick = false;
+        let mut out = PathBuf::from("BENCH_pr8.json");
+        let mut seed = 8u64;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => match it.next() {
+                    Some(v) => out = PathBuf::from(v),
+                    None => {
+                        eprintln!("error: --out requires a path");
+                        std::process::exit(2);
+                    }
+                },
+                "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => seed = v,
+                    None => {
+                        eprintln!("error: --seed requires an integer");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!(
+                        "error: unknown argument {other:?} (try --quick / --seed N / --out PATH)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        Args { quick, out, seed }
+    }
+}
+
+/// One sweep cell: a named traffic shape plus a chaos plan.
+struct Cell {
+    name: &'static str,
+    traffic: TrafficConfig,
+    chaos: ChaosPlan,
+    /// Whether this cell must inject faults (asserted).
+    expects_faults: bool,
+    /// Whether this cell must retire at least one bank (asserted).
+    expects_retirement: bool,
+}
+
+/// The BER 1e-5 campaign sized to the resident matrix, with a floor of
+/// one double-bit word so the scrub/retry rung is exercised even in the
+/// quick geometry.
+fn ber_1e5_spec(seed: u64, m: usize, n: usize, channels: usize) -> CampaignSpec {
+    // Resident data bits per channel (matrix bf16 payload split evenly).
+    let bits_per_channel = (m * n * 16 / channels) as f64;
+    let singles = (1e-5 * bits_per_channel).round() as usize;
+    let doubles = (singles / 8).max(1);
+    CampaignSpec {
+        seed,
+        single_bit_flips: singles.saturating_sub(2 * doubles),
+        double_bit_words: doubles,
+        stuck_cells: 0,
+        retention: None,
+    }
+}
+
+fn run_cell(
+    cell: &Cell,
+    cfg: &NewtonConfig,
+    matrix: &[Bf16],
+    m: usize,
+    n: usize,
+    seed: u64,
+) -> ServeReport {
+    let mut server =
+        Server::new(cfg.clone(), matrix.to_vec(), m, n, 4, mix64(seed)).expect("server builds");
+    let report = server
+        .serve(&cell.traffic, &cell.chaos)
+        .expect("cell serves to completion");
+
+    // Headline guarantees, enforced per cell.
+    assert_eq!(
+        report.sdc, 0,
+        "{}: ECC on — silent data corruption must be zero",
+        cell.name
+    );
+    assert_eq!(
+        report.offered,
+        report.completed + report.shed + report.expired,
+        "{}: admission accounting must balance",
+        cell.name
+    );
+    if cell.expects_faults {
+        assert!(
+            report.injected_faults > 0,
+            "{}: chaos cell must inject faults",
+            cell.name
+        );
+    } else {
+        assert_eq!(report.injected_faults, 0, "{}: clean cell", cell.name);
+        assert_eq!(report.retries, 0, "{}: clean cell never retries", cell.name);
+    }
+    if cell.expects_retirement {
+        assert!(
+            !report.recovery.retired_banks.is_empty(),
+            "{}: hard fault must retire a bank",
+            cell.name
+        );
+        assert!(
+            report.recovery.capacity_fraction < 1.0,
+            "{}: retirement must shrink capacity",
+            cell.name
+        );
+        assert!(
+            report.completed > report.offered / 2,
+            "{}: the degraded system must keep serving (completed {} of {})",
+            cell.name,
+            report.completed,
+            report.offered
+        );
+    }
+    report
+}
+
+fn main() {
+    let args = Args::from_env();
+    let (m, n, channels, requests, desc) = if args.quick {
+        (32, 512, 2, 40usize, "quick 32x512, 2 channels, 40 q/cell")
+    } else {
+        (64, 1024, 2, 160usize, "64x1024, 2 channels, 160 q/cell")
+    };
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = channels;
+    cfg.ecc = true;
+    cfg.telemetry = Some(TelemetryConfig::default());
+    let matrix = generator::matrix(MvShape::new(m, n), mix64(args.seed ^ 0xA));
+
+    println!("newton serving sweep: {desc}, seed {}", args.seed);
+    let t0 = std::time::Instant::now();
+
+    // Shared scheduler knobs: 100 µs SLO, bounded queue, batched
+    // dispatch, exponential retry backoff from a 256-cycle base.
+    let base = |pattern: ArrivalPattern, seed: u64| TrafficConfig {
+        pattern,
+        requests,
+        seed,
+        deadline_ns: 100_000.0,
+        queue_capacity: 32,
+        max_batch: 8,
+        retry_backoff_cycles: 256,
+        conventional: None,
+    };
+    let poisson = ArrivalPattern::Poisson { rate_per_us: 0.05 };
+    let bursty = ArrivalPattern::Bursty {
+        base_rate_per_us: 0.01,
+        peak_rate_per_us: 1.0,
+        period_us: 200.0,
+        burst_fraction: 0.2,
+    };
+    let fault_after = (requests / 8) as u64;
+    let spec = ber_1e5_spec(mix64(args.seed ^ 0xB), m, n, channels);
+
+    let cells = [
+        Cell {
+            name: "poisson/no_fault",
+            traffic: base(poisson, args.seed ^ 1),
+            chaos: ChaosPlan::none(),
+            expects_faults: false,
+            expects_retirement: false,
+        },
+        Cell {
+            name: "poisson/ber_1e5_ecc",
+            traffic: base(poisson, args.seed ^ 1),
+            chaos: ChaosPlan::faults_after(fault_after, spec),
+            expects_faults: true,
+            expects_retirement: false,
+        },
+        Cell {
+            name: "bursty/no_fault",
+            traffic: base(bursty, args.seed ^ 2),
+            chaos: ChaosPlan::none(),
+            expects_faults: false,
+            expects_retirement: false,
+        },
+        Cell {
+            name: "bursty/ber_1e5_ecc",
+            traffic: base(bursty, args.seed ^ 2),
+            chaos: ChaosPlan::faults_after(fault_after, spec),
+            expects_faults: true,
+            expects_retirement: false,
+        },
+        Cell {
+            name: "degraded/stuck_ecc",
+            traffic: base(poisson, args.seed ^ 3),
+            chaos: ChaosPlan {
+                events: vec![ChaosEvent {
+                    after_completed: fault_after,
+                    action: ChaosAction::StuckWord {
+                        channel: 0,
+                        bank: 2,
+                    },
+                }],
+            },
+            expects_faults: true,
+            expects_retirement: true,
+        },
+    ];
+
+    let mut snap = MetricsSnapshot::new("bench_pr8");
+    snap.text("workload", desc)
+        .count("seed", args.seed)
+        .count("channels", channels as u64)
+        .count("matrix_rows", m as u64)
+        .count("matrix_cols", n as u64)
+        .count("requests_per_cell", requests as u64)
+        .scalar("slo_deadline_ns", 100_000.0);
+
+    let columns: Vec<String> = [
+        "cell",
+        "completed",
+        "shed",
+        "expired",
+        "retries",
+        "retired",
+        "sdc",
+        "p50_ns",
+        "p99_ns",
+        "p999_ns",
+        "qps",
+        "j_per_q",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for cell in &cells {
+        let r = run_cell(cell, &cfg, &matrix, m, n, args.seed);
+        println!(
+            "  {:<22} completed {:>4}/{:<4} shed {:>3}  expired {:>3}  retries {:>2}  \
+             retired {}  sdc {}  p50 {:>9.0} ns  p99 {:>9.0} ns  qps {:>8.0}  {:.3e} J/q",
+            cell.name,
+            r.completed,
+            r.offered,
+            r.shed,
+            r.expired,
+            r.retries,
+            r.recovery.retired_banks.len(),
+            r.sdc,
+            r.p50_ns,
+            r.p99_ns,
+            r.qps,
+            r.joules_per_query,
+        );
+        r.record_into(&mut snap, cell.name);
+        rows.push(vec![
+            cell.name.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            r.expired.to_string(),
+            r.retries.to_string(),
+            r.recovery.retired_banks.len().to_string(),
+            r.sdc.to_string(),
+            format!("{:.0}", r.p50_ns),
+            format!("{:.0}", r.p99_ns),
+            format!("{:.0}", r.p999_ns),
+            format!("{:.0}", r.qps),
+            format!("{:.3e}", r.joules_per_query),
+        ]);
+    }
+    snap.table(
+        "Serving sweep: arrivals x chaos, ECC on, 100 us SLO",
+        &columns,
+        &rows,
+    );
+
+    let rendered = snap.render();
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("error: cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({:.1} s)",
+        args.out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -627,3 +627,107 @@ proptest! {
         compare_all(&mut observed, &mut bare, &loaded_obs, &loaded_bare, &vector);
     }
 }
+
+// ---------------------------------------------------------------------
+// Serving path (PR 8): the deadline scheduler, admission control, chaos
+// injection, and the recovery ladder must produce byte-identical
+// BENCH_pr8-style snapshots across both timing engines and every thread
+// width — latency percentiles, shed/retry counters, energy, all of it.
+// ---------------------------------------------------------------------
+
+/// One serving cell under an explicit engine and pool width: mid-traffic
+/// BER faults plus a hard stuck word (so scrub, retry, backoff, AND the
+/// retirement/re-plan rungs all execute), rendered to the same snapshot
+/// form the `serve` bench bin writes.
+fn serving_observation(
+    engine: TimingEngine,
+    threads: usize,
+) -> (newton_serve::ServeReport, String) {
+    use newton_serve::{ChaosAction, ChaosEvent, ChaosPlan, Server, TrafficConfig};
+    use newton_workloads::arrivals::ArrivalPattern;
+
+    let (m, n) = (32, 512);
+    let matrix = generator::matrix(MvShape::new(m, n), 31);
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 4;
+    cfg.ecc = true;
+    cfg.parallel = ParallelPolicy::exact(threads);
+    cfg.telemetry = Some(TelemetryConfig::default());
+    let mut server = Server::new(cfg, matrix, m, n, 3, 33).expect("server");
+    server.system_mut().set_timing_engine(engine);
+
+    let traffic = TrafficConfig {
+        pattern: ArrivalPattern::Bursty {
+            base_rate_per_us: 0.01,
+            peak_rate_per_us: 2.0,
+            period_us: 100.0,
+            burst_fraction: 0.25,
+        },
+        requests: 25,
+        seed: 35,
+        deadline_ns: 100_000.0,
+        queue_capacity: 16,
+        max_batch: 4,
+        retry_backoff_cycles: 256,
+        conventional: None,
+    };
+    let chaos = ChaosPlan {
+        events: vec![
+            ChaosEvent {
+                after_completed: 4,
+                action: ChaosAction::Faults(CampaignSpec {
+                    seed: 37,
+                    single_bit_flips: 6,
+                    double_bit_words: 2,
+                    stuck_cells: 0,
+                    retention: None,
+                }),
+            },
+            ChaosEvent {
+                after_completed: 10,
+                action: ChaosAction::StuckWord {
+                    channel: 1,
+                    bank: 3,
+                },
+            },
+        ],
+    };
+    let report = server.serve(&traffic, &chaos).expect("serves");
+    let mut snap = MetricsSnapshot::new("serving_determinism");
+    report.record_into(&mut snap, "serve");
+    let rendered = snap.render();
+    (report, rendered)
+}
+
+#[test]
+fn serving_reports_byte_identical_across_engines_and_widths() {
+    let mut all: Vec<(newton_serve::ServeReport, String)> = Vec::new();
+    for engine in [TimingEngine::EventSkipping, TimingEngine::Reference] {
+        for threads in [1usize, 2, 8] {
+            all.push(serving_observation(engine, threads));
+        }
+    }
+    let (first_report, first_snap) = &all[0];
+    // The cell must actually exercise the interesting machinery, or the
+    // equality below proves nothing.
+    assert!(first_report.retries > 0, "chaos must force retries");
+    assert!(
+        !first_report.recovery.retired_banks.is_empty(),
+        "the stuck word must retire a bank"
+    );
+    assert_eq!(first_report.sdc, 0, "ECC on: zero silent corruption");
+    assert_eq!(
+        first_report.offered,
+        first_report.completed + first_report.shed + first_report.expired
+    );
+    for (i, (report, rendered)) in all.iter().enumerate().skip(1) {
+        assert_eq!(
+            report, first_report,
+            "serving report diverged at engine/width combo {i}"
+        );
+        assert_eq!(
+            rendered, first_snap,
+            "rendered snapshot diverged at combo {i}"
+        );
+    }
+}

@@ -133,6 +133,33 @@ pub struct RecoveryReport {
     pub capacity_fraction: f64,
 }
 
+impl RecoveryReport {
+    /// Serializes the report into `snap` under `prefix` so resilient runs
+    /// are auditable from the snapshot JSON alone: `<prefix>/attempts`,
+    /// `<prefix>/scrub_rewrites`, `<prefix>/retired_banks` (count),
+    /// `<prefix>/retired_bank_list` (text, `ch:bank` pairs in order) and
+    /// `<prefix>/capacity_fraction`.
+    pub fn record_into(&self, snap: &mut newton_trace::MetricsSnapshot, prefix: &str) {
+        let list = self
+            .retired_banks
+            .iter()
+            .map(|(ch, b)| format!("{ch}:{b}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        snap.count(&format!("{prefix}/attempts"), self.attempts)
+            .count(&format!("{prefix}/scrub_rewrites"), self.scrub_rewrites)
+            .count(
+                &format!("{prefix}/retired_banks"),
+                self.retired_banks.len() as u64,
+            )
+            .text(&format!("{prefix}/retired_bank_list"), &list)
+            .scalar(
+                &format!("{prefix}/capacity_fraction"),
+                self.capacity_fraction,
+            );
+    }
+}
+
 /// A multi-channel Newton system.
 #[derive(Debug)]
 pub struct NewtonSystem {
@@ -535,6 +562,75 @@ impl NewtonSystem {
         self.run_loaded(&mappings, m, vector, false)
     }
 
+    /// The system's current simulated time: the furthest channel clock
+    /// (channels re-synchronize at every run barrier). The serving
+    /// scheduler uses this as its wall clock.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.channels
+            .iter()
+            .map(NewtonChannel::now)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Advances every channel to `cycle` (no-op for channels already
+    /// past it). Models host-visible idle time — waiting for the next
+    /// request arrival, a retry backoff, or a serialized conventional
+    /// DRAM drain. Refresh obligations keep accruing across the gap and
+    /// are made up when the next command stream issues, so long idle
+    /// periods collide with tREFI exactly like live traffic does.
+    pub fn advance_all_to(&mut self, cycle: Cycle) {
+        for ch in &mut self.channels {
+            ch.advance_to(cycle);
+        }
+    }
+
+    /// Quiesces every channel after an aborted run (banks precharged,
+    /// decoded-weight caches dropped); see `NewtonChannel::recover`.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from the recovery precharge (none expected).
+    pub fn recover_all(&mut self) -> Result<(), AimError> {
+        for ch in &mut self.channels {
+            ch.recover()?;
+        }
+        Ok(())
+    }
+
+    /// Permanently retires `bank` on `channel`: mappings built afterwards
+    /// (any `load_matrix*` call) route around it, shrinking the channel's
+    /// usable capacity. Used by the resilience ladder when a fault
+    /// survives a scrub-rewrite (a hard fault), and exposed so external
+    /// schedulers (`newton-serve`) can drive the same escalation with
+    /// their own retry policy.
+    ///
+    /// # Errors
+    ///
+    /// [`AimError::InvalidConfig`] if the indices are out of range or the
+    /// retirement would leave the channel without any usable bank (the
+    /// system refuses to retire itself to death; callers surface the
+    /// original fault instead).
+    pub fn retire_bank(&mut self, channel: usize, bank: usize) -> Result<(), AimError> {
+        if channel >= self.config.channels || bank >= self.config.dram.banks {
+            return Err(AimError::InvalidConfig(format!(
+                "cannot retire bank {bank} on channel {channel}: out of range"
+            )));
+        }
+        let set = &mut self.retired[channel];
+        if set.contains(&bank) {
+            return Ok(());
+        }
+        if set.len() + 1 >= self.config.dram.banks {
+            return Err(AimError::InvalidConfig(format!(
+                "refusing to retire bank {bank}: channel {channel} would have no banks left"
+            )));
+        }
+        set.insert(bank);
+        Ok(())
+    }
+
     /// Banks retired so far, as `(channel, bank)` pairs in order.
     #[must_use]
     pub fn retired_banks(&self) -> Vec<(usize, usize)> {
@@ -638,19 +734,17 @@ impl NewtonSystem {
                     }
                     // Quiesce all channels: the failing one aborted
                     // mid-row-set with banks open.
-                    for ch in &mut self.channels {
-                        ch.recover()?;
-                    }
+                    self.recover_all()?;
                     if scrubbed.insert((channel, bank)) {
                         report.scrub_rewrites += 1;
                     } else {
-                        // Scrub already tried: hard fault. Retire the bank.
-                        self.retired[channel].insert(bank);
-                        report.retired_banks.push((channel, bank));
-                        if self.retired[channel].len() >= banks {
-                            // Nothing left to remap onto.
+                        // Scrub already tried: hard fault. Retire the bank;
+                        // if nothing would be left to remap onto, surface
+                        // the original fault.
+                        if self.retire_bank(channel, bank).is_err() {
                             return Err(err);
                         }
+                        report.retired_banks.push((channel, bank));
                     }
                     // The scrub-rewrite: reload the clean copy under the
                     // current (possibly reduced) bank mapping. Rewriting
@@ -1268,6 +1362,72 @@ mod tests {
         let run = sys.run_mv(&matrix, m, n, &vector).unwrap();
         assert!(run.output.iter().all(|&v| v == 512.0));
         assert_eq!(run.stats.ecc_uncorrectable, 0);
+    }
+
+    #[test]
+    fn scheduler_hooks_expose_clock_and_retirement() {
+        let mut sys = NewtonSystem::new(small_cfg(2)).unwrap();
+        assert_eq!(sys.now(), 0);
+        sys.advance_all_to(500);
+        assert_eq!(sys.now(), 500);
+        assert!(sys.channels().iter().all(|c| c.now() == 500));
+        // Advancing never rewinds a channel clock.
+        sys.advance_all_to(100);
+        assert_eq!(sys.now(), 500);
+        sys.recover_all().unwrap();
+
+        sys.retire_bank(0, 3).unwrap();
+        sys.retire_bank(0, 3).unwrap(); // idempotent
+        assert_eq!(sys.retired_banks(), vec![(0, 3)]);
+        assert!(sys.capacity_fraction() < 1.0);
+        assert!(sys.retire_bank(2, 0).is_err(), "channel out of range");
+        assert!(sys.retire_bank(0, 999).is_err(), "bank out of range");
+        // The last usable bank of a channel can never be retired.
+        let banks = sys.config().dram.banks;
+        for b in 0..banks - 1 {
+            sys.retire_bank(1, b).unwrap();
+        }
+        assert!(sys.retire_bank(1, banks - 1).is_err());
+        // Retirement is visible to mappings: a run still works on the
+        // reduced capacity of channel 0.
+        let (m, n) = (8, 64);
+        let matrix = vec![bf(1.0); m * n];
+        let run = sys.run_mv(&matrix, m, n, &vec![bf(1.0); n]).unwrap();
+        assert!(run.output.iter().all(|&v| v == 64.0));
+    }
+
+    #[test]
+    fn recovery_report_serializes_into_snapshots() {
+        let report = RecoveryReport {
+            attempts: 3,
+            scrub_rewrites: 1,
+            retired_banks: vec![(0, 2), (1, 7)],
+            capacity_fraction: 30.0 / 32.0,
+        };
+        let mut snap = newton_trace::MetricsSnapshot::new("probe");
+        report.record_into(&mut snap, "recovery");
+        let doc = newton_trace::JsonValue::parse(&snap.render()).unwrap();
+        let scalars = doc.get("scalars").unwrap();
+        assert_eq!(
+            scalars.get("recovery/attempts").unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(
+            scalars.get("recovery/scrub_rewrites").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            scalars.get("recovery/retired_banks").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            scalars.get("recovery/retired_bank_list").unwrap().as_str(),
+            Some("0:2,1:7")
+        );
+        assert_eq!(
+            scalars.get("recovery/capacity_fraction").unwrap().as_f64(),
+            Some(30.0 / 32.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Deterministic chaos schedules for serving runs.
+//!
+//! A chaos plan is a list of actions fired once each when the server's
+//! *completed-query* count crosses the action's threshold. Triggering on
+//! completion counts (not wall cycles) makes the schedule identical
+//! under both timing engines and every thread width — the whole serving
+//! path stays inside the repo's bit-exactness contract even while
+//! faults land mid-traffic.
+//!
+//! Two action kinds cover the campaign axes of the ISSUE:
+//!
+//! * [`ChaosAction::Faults`] — a [`CampaignSpec`] injected into every
+//!   channel (seed offset per channel via `for_channel`), against the
+//!   *live* resident matrix. Transient flips exercise in-line SECDED
+//!   correction and the scrub-rewrite rung; stuck cells survive rewrites
+//!   and force bank retirement, which the scheduler must absorb by
+//!   re-planning.
+//! * [`ChaosAction::IdleGap`] — a forced idle window. Refresh
+//!   obligations accrue across the gap (one per elapsed tREFI), so the
+//!   next batch collides with a refresh burst — the tREFI-collision case
+//!   of the serving SLO story.
+
+use newton_dram::faults::CampaignSpec;
+
+/// One chaos action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosAction {
+    /// Inject this campaign into every channel of the live system.
+    Faults(CampaignSpec),
+    /// Plant a guaranteed *hard* double-bit fault: two cells of the first
+    /// allocated row's first ECC word in `(channel, bank)` are stuck at
+    /// the complement of their stored data. SECDED detects but cannot
+    /// correct it, and scrub-rewrites cannot clear it — the deterministic
+    /// trigger for the bank-retirement rung (randomly placed
+    /// [`ChaosAction::Faults`] stuck cells usually land one-per-word,
+    /// which in-line correction absorbs silently).
+    StuckWord {
+        /// Target channel.
+        channel: usize,
+        /// Target bank within the channel.
+        bank: usize,
+    },
+    /// Advance simulated time by this many command-clock cycles with no
+    /// traffic, accruing refresh debt that collides with the next batch.
+    IdleGap {
+        /// Gap width in command-clock cycles.
+        cycles: u64,
+    },
+}
+
+/// A chaos action armed to fire once the completed-query count reaches
+/// `after_completed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEvent {
+    /// Completed-query threshold (fires before dispatching the batch
+    /// that follows the threshold crossing).
+    pub after_completed: u64,
+    /// What to do.
+    pub action: ChaosAction,
+}
+
+/// An ordered chaos schedule; each event fires exactly once.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// Events, fired in list order as their thresholds are crossed.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// The empty plan (fault-free serving).
+    #[must_use]
+    pub fn none() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// A plan with a single fault campaign fired after `after_completed`
+    /// queries.
+    #[must_use]
+    pub fn faults_after(after_completed: u64, spec: CampaignSpec) -> ChaosPlan {
+        ChaosPlan {
+            events: vec![ChaosEvent {
+                after_completed,
+                action: ChaosAction::Faults(spec),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_build_and_compare() {
+        assert!(ChaosPlan::none().events.is_empty());
+        let spec = CampaignSpec {
+            seed: 1,
+            single_bit_flips: 2,
+            double_bit_words: 0,
+            stuck_cells: 0,
+            retention: None,
+        };
+        let p = ChaosPlan::faults_after(5, spec);
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].after_completed, 5);
+        assert_eq!(p.events[0].action, ChaosAction::Faults(spec));
+    }
+}

@@ -1,0 +1,45 @@
+//! Online inference serving for the Newton AiM reproduction.
+//!
+//! The paper's headline claim is *interactive* ML inference served from
+//! memory (Sec. I), yet a batch harness never has to answer the serving
+//! questions: what happens when queries arrive faster than the array
+//! drains, when a refresh window lands mid-batch, or when a bank starts
+//! throwing uncorrectable ECC errors under live traffic? This crate is
+//! the open-loop serving layer that answers them, with one headline
+//! property: **stay correct and within SLO while things go wrong.**
+//!
+//! * [`request`] — the request lifecycle vocabulary: [`Request`],
+//!   typed [`ServeError`]s (deadline misses and load shedding are
+//!   reportable outcomes, never silent drops).
+//! * [`chaos`] — deterministic chaos schedules: fault campaigns
+//!   ([`newton_dram::faults`]) and forced idle gaps (tREFI collisions)
+//!   injected *between batches of live traffic*, triggered by completed
+//!   query counts so every timing engine and thread width sees the same
+//!   schedule.
+//! * [`server`] — the scheduler itself: open-loop arrivals
+//!   ([`newton_workloads::arrivals`]) feed an admission queue with
+//!   explicit load-shedding; admitted queries pack into Newton batches
+//!   against resident weights (`run_resident_resilient`, so
+//!   uncorrectable errors escalate through the PR 5
+//!   scrub → retry → bank-retirement ladder with exponential backoff);
+//!   after a retirement the scheduler re-plans the resident matrix onto
+//!   the surviving banks and keeps serving at reduced
+//!   `capacity_fraction` instead of failing the run.
+//!
+//! Everything is simulated-time deterministic: the same configuration
+//! produces byte-identical [`ServeReport`]s at any `NEWTON_THREADS`
+//! width and under both timing engines (Reference and EventSkipping),
+//! which the bench determinism suite pins.
+//!
+//! [`newton_dram::faults`]: https://docs.rs/newton-dram
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod chaos;
+pub mod request;
+pub mod server;
+
+pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
+pub use request::{Request, ServeError};
+pub use server::{ConventionalTraffic, ServeReport, Server, TrafficConfig};

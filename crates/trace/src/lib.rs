@@ -55,7 +55,8 @@ pub use hostprof::{HostPhase, HostProfiler};
 pub use json::{JsonError, JsonValue};
 pub use residency::{BankClass, Residency, ResidencyTracker};
 pub use sink::{
-    NullSink, RecordingSink, SharedRecordingSink, StreamingSink, TraceBus, TraceEvent, TraceSink,
+    NullSink, RecordingSink, RequestClass, SharedRecordingSink, StreamingSink, TraceBus,
+    TraceEvent, TraceSink,
 };
 pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use timeseries::{

@@ -102,6 +102,46 @@ pub enum TraceEvent {
         /// Attributed energy in milli-picojoules.
         milli_pj: u64,
     },
+    /// A serving-layer request event (arrival, admission, shed, deadline
+    /// miss, retry), emitted by the online scheduler in `newton-serve`.
+    Request {
+        /// Simulated cycle the event happened at.
+        cycle: u64,
+        /// What happened to the request.
+        class: RequestClass,
+    },
+}
+
+/// What happened to one serving-layer request (see
+/// [`TraceEvent::Request`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// The request arrived at the server.
+    Arrival,
+    /// Admission control accepted it into the queue.
+    Admission,
+    /// Admission control shed it (queue over capacity) — counted, never
+    /// silently dropped.
+    Shed,
+    /// The request's deadline passed (either expired in the queue or
+    /// completed late).
+    DeadlineMiss,
+    /// A run attempt failed on an uncorrectable fault and was retried.
+    Retry,
+}
+
+impl RequestClass {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Arrival => "arrival",
+            RequestClass::Admission => "admission",
+            RequestClass::Shed => "shed",
+            RequestClass::DeadlineMiss => "deadline_miss",
+            RequestClass::Retry => "retry",
+        }
+    }
 }
 
 impl TraceEvent {
@@ -115,7 +155,8 @@ impl TraceEvent {
             | TraceEvent::QueueLatency { cycle, .. }
             | TraceEvent::EccCorrected { cycle, .. }
             | TraceEvent::EccUncorrectable { cycle, .. }
-            | TraceEvent::CommandEnergy { cycle, .. } => cycle,
+            | TraceEvent::CommandEnergy { cycle, .. }
+            | TraceEvent::Request { cycle, .. } => cycle,
         }
     }
 
@@ -180,6 +221,11 @@ impl TraceEvent {
                 obj.push(("cycle".into(), JsonValue::from(cycle)));
                 obj.push(("label".into(), JsonValue::from(label)));
                 obj.push(("milli_pj".into(), JsonValue::from(milli_pj)));
+            }
+            TraceEvent::Request { cycle, class } => {
+                obj.push(("type".into(), JsonValue::from("request")));
+                obj.push(("cycle".into(), JsonValue::from(cycle)));
+                obj.push(("class".into(), JsonValue::from(class.name())));
             }
         }
         JsonValue::Object(obj)

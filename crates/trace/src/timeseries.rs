@@ -22,7 +22,7 @@
 use crate::energy::EnergyModel;
 use crate::json::JsonValue;
 use crate::residency::BankClass;
-use crate::sink::TraceEvent;
+use crate::sink::{RequestClass, TraceEvent};
 
 /// Version of the telemetry JSON documents ([`TimeSeries::to_json`] and
 /// the `telemetry_schema_version` key snapshots carry). Bump only for
@@ -67,6 +67,16 @@ pub struct WindowMetrics {
     /// Streamed refresh energy (milli-pJ), kept separable because the
     /// postprocessed Fig. 13 model has no refresh component.
     pub refresh_milli_pj: u64,
+    /// Serving-layer request arrivals ([`TraceEvent::Request`]).
+    pub arrivals: u64,
+    /// Requests admitted into the scheduler queue.
+    pub admissions: u64,
+    /// Requests shed by admission control (explicit, never silent).
+    pub sheds: u64,
+    /// Deadline misses (expired in queue or completed late).
+    pub deadline_misses: u64,
+    /// Run attempts retried after uncorrectable faults.
+    pub retries: u64,
 }
 
 impl WindowMetrics {
@@ -87,6 +97,11 @@ impl WindowMetrics {
         self.ecc_uncorrectable += o.ecc_uncorrectable;
         self.energy_milli_pj += o.energy_milli_pj;
         self.refresh_milli_pj += o.refresh_milli_pj;
+        self.arrivals += o.arrivals;
+        self.admissions += o.admissions;
+        self.sheds += o.sheds;
+        self.deadline_misses += o.deadline_misses;
+        self.retries += o.retries;
     }
 }
 
@@ -257,6 +272,16 @@ impl TimeSeries {
                     w.energy_milli_pj += milli_pj;
                 }
             }
+            TraceEvent::Request { cycle, class } => {
+                let w = self.window_mut(cycle);
+                match class {
+                    RequestClass::Arrival => w.arrivals += 1,
+                    RequestClass::Admission => w.admissions += 1,
+                    RequestClass::Shed => w.sheds += 1,
+                    RequestClass::DeadlineMiss => w.deadline_misses += 1,
+                    RequestClass::Retry => w.retries += 1,
+                }
+            }
         }
     }
 
@@ -382,6 +407,11 @@ impl TimeSeries {
                         "refresh_energy_milli_pj".into(),
                         JsonValue::from(m.refresh_milli_pj),
                     ),
+                    ("arrivals".into(), JsonValue::from(m.arrivals)),
+                    ("admissions".into(), JsonValue::from(m.admissions)),
+                    ("sheds".into(), JsonValue::from(m.sheds)),
+                    ("deadline_misses".into(), JsonValue::from(m.deadline_misses)),
+                    ("retries".into(), JsonValue::from(m.retries)),
                 ])
             })
             .collect();
@@ -436,6 +466,14 @@ impl TimeSeries {
                         "refresh_energy_milli_pj".into(),
                         JsonValue::from(totals.refresh_milli_pj),
                     ),
+                    ("arrivals".into(), JsonValue::from(totals.arrivals)),
+                    ("admissions".into(), JsonValue::from(totals.admissions)),
+                    ("sheds".into(), JsonValue::from(totals.sheds)),
+                    (
+                        "deadline_misses".into(),
+                        JsonValue::from(totals.deadline_misses),
+                    ),
+                    ("retries".into(), JsonValue::from(totals.retries)),
                 ]),
             ),
             ("per_bank".into(), JsonValue::Array(per_bank)),
@@ -502,6 +540,18 @@ impl TimeSeries {
                 "telemetry: ecc",
                 cycle,
                 &[("corrected", m.ecc_corrected as f64)],
+            );
+            builder.counter(
+                pid,
+                "telemetry: requests",
+                cycle,
+                &[
+                    ("arrivals", m.arrivals as f64),
+                    ("admissions", m.admissions as f64),
+                    ("sheds", m.sheds as f64),
+                    ("deadline_misses", m.deadline_misses as f64),
+                    ("retries", m.retries as f64),
+                ],
             );
         }
     }
@@ -646,8 +696,66 @@ mod tests {
         ts.record(&act(150, 1));
         let mut b = crate::chrome::ChromeTraceBuilder::new(1.0);
         ts.to_chrome(&mut b, 7, &EnergyModel::new());
-        // Six counter tracks per window, two windows.
-        assert_eq!(b.len(), 12);
+        // Seven counter tracks per window, two windows.
+        assert_eq!(b.len(), 14);
+    }
+
+    #[test]
+    fn request_events_count_per_window_and_export() {
+        let mut ts = TimeSeries::new(100, 0);
+        for (cycle, class) in [
+            (5, RequestClass::Arrival),
+            (6, RequestClass::Admission),
+            (150, RequestClass::Arrival),
+            (151, RequestClass::Shed),
+            (260, RequestClass::DeadlineMiss),
+            (270, RequestClass::Retry),
+        ] {
+            ts.record(&TraceEvent::Request { cycle, class });
+        }
+        assert_eq!(ts.windows()[0].arrivals, 1);
+        assert_eq!(ts.windows()[0].admissions, 1);
+        assert_eq!(ts.windows()[1].arrivals, 1);
+        assert_eq!(ts.windows()[1].sheds, 1);
+        assert_eq!(ts.windows()[2].deadline_misses, 1);
+        assert_eq!(ts.windows()[2].retries, 1);
+        let t = ts.totals();
+        assert_eq!(
+            (
+                t.arrivals,
+                t.admissions,
+                t.sheds,
+                t.deadline_misses,
+                t.retries
+            ),
+            (2, 1, 1, 1, 1)
+        );
+        // Request events are not commands; command counters stay zero.
+        assert_eq!(t.commands, 0);
+
+        // Merging sums the request counters like every other field.
+        let mut other = TimeSeries::new(100, 0);
+        other.record(&TraceEvent::Request {
+            cycle: 10,
+            class: RequestClass::Shed,
+        });
+        let mut merged = ts.clone();
+        merged.merge(&other);
+        assert_eq!(merged.totals().sheds, 2);
+
+        // The JSON document carries the request counters, still under
+        // the existing telemetry schema version.
+        let doc = ts.to_json(1.0, &EnergyModel::new());
+        let back = JsonValue::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(
+            back.get("telemetry_schema_version").unwrap().as_f64(),
+            Some(TELEMETRY_SCHEMA_VERSION as f64)
+        );
+        let totals = back.get("totals").unwrap();
+        assert_eq!(totals.get("arrivals").unwrap().as_f64(), Some(2.0));
+        assert_eq!(totals.get("sheds").unwrap().as_f64(), Some(1.0));
+        let w0 = &back.get("windows").unwrap().as_array().unwrap()[0];
+        assert_eq!(w0.get("admissions").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //!   references), built on the splittable counter-based [`rng`] so
 //!   parallel generation is bit-identical to serial;
 //! * [`mod@reference`]: `f64`/`f32` reference implementations of the MV
-//!   product, activations, normalization, and chained model execution.
+//!   product, activations, normalization, and chained model execution;
+//! * [`arrivals`]: deterministic open-loop arrival traces
+//!   (Poisson/bursty/diurnal via thinning) for the online serving layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod arrivals;
 pub mod generator;
 pub mod models;
 pub mod postprocess;
@@ -26,4 +29,5 @@ pub mod reference;
 pub mod rng;
 pub mod suite;
 
+pub use arrivals::ArrivalPattern;
 pub use suite::{Benchmark, MvShape};

@@ -66,6 +66,17 @@ impl CounterRng {
     pub fn range_f32_at(&self, k: u64, lo: f32, hi: f32) -> f32 {
         lo + self.unit_f32_at(k) * (hi - lo)
     }
+
+    /// The `k`-th value mapped to `[0, 1)` with 53 bits of mantissa
+    /// (exact in `f64`) — used where `f32` granularity would quantize a
+    /// continuous distribution too coarsely (e.g. exponential
+    /// inter-arrival gaps).
+    #[inline]
+    #[must_use]
+    pub fn unit_f64_at(&self, k: u64) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.u64_at(k) >> 11) as f64 * SCALE
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,113 @@
+//! Property tests for the open-loop arrival generators (PR 8):
+//! chunk-invariant determinism across worker-thread widths, and
+//! empirical rates within tolerance of the configured λ.
+//!
+//! Thread widths are pinned explicitly through
+//! `arrival_times_ns_with_threads` (the same pattern as
+//! `ParallelPolicy::exact` elsewhere), so the suite passes identically
+//! under `NEWTON_THREADS=1` and the default environment.
+
+use newton_workloads::arrivals::ArrivalPattern;
+use proptest::prelude::*;
+
+/// A strategy over well-formed patterns spanning all three shapes.
+fn pattern() -> impl Strategy<Value = ArrivalPattern> {
+    prop_oneof![
+        (0.05f64..20.0).prop_map(|rate_per_us| ArrivalPattern::Poisson { rate_per_us }),
+        (0.01f64..2.0, 1.0f64..20.0, 20.0f64..500.0, 0.05f64..0.9).prop_map(
+            |(base_rate_per_us, peak_rate_per_us, period_us, burst_fraction)| {
+                ArrivalPattern::Bursty {
+                    base_rate_per_us,
+                    peak_rate_per_us,
+                    period_us,
+                    burst_fraction,
+                }
+            }
+        ),
+        (0.1f64..10.0, 0.0f64..0.95, 50.0f64..2000.0).prop_map(
+            |(mean_rate_per_us, amplitude, period_us)| ArrivalPattern::Diurnal {
+                mean_rate_per_us,
+                amplitude,
+                period_us,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The trace is a pure function of (pattern, seed): every
+    /// worker-thread width produces byte-identical arrivals. This is the
+    /// NEWTON_THREADS ∈ {1, 2, 8} width sweep, pinned explicitly.
+    #[test]
+    fn traces_are_width_invariant(p in pattern(), seed in any::<u64>()) {
+        // Large enough to cross the parallel-fill threshold for
+        // high-thinning patterns, small enough to stay fast.
+        let count = 3000;
+        let serial = p.arrival_times_ns_with_threads(seed, count, 1).unwrap();
+        prop_assert_eq!(serial.len(), count);
+        prop_assert!(serial.windows(2).all(|w| w[0] <= w[1]));
+        for threads in [2usize, 8] {
+            let wide = p.arrival_times_ns_with_threads(seed, count, threads).unwrap();
+            prop_assert_eq!(&wide, &serial, "threads={}", threads);
+        }
+    }
+
+    /// The observed count matches the configured rate: for an
+    /// inhomogeneous Poisson process, E[count over [0, T]] = ∫₀ᵀ λ(t)dt,
+    /// which reduces to λ·T for the steady pattern and to the
+    /// time-averaged λ over whole periods for the others. Tolerance
+    /// covers Poisson sampling noise (~1/sqrt(n)).
+    #[test]
+    fn empirical_rate_matches_lambda(p in pattern(), seed in any::<u64>()) {
+        let count = 4000usize;
+        let a = p.arrival_times_ns_with_threads(seed, count, 1).unwrap();
+        let span_ns = *a.last().unwrap() as f64;
+        prop_assume!(span_ns > 0.0);
+        // Fine Riemann sum of λ(t) over the observed span.
+        let steps = 20_000;
+        let dt = span_ns / steps as f64;
+        let expected_count: f64 = (0..steps)
+            .map(|i| p.rate_per_ns_at((i as f64 + 0.5) * dt) * dt)
+            .sum();
+        // 4000 samples → σ ≈ 63; allow ~6σ plus quadrature slack.
+        let tol = 6.0 * expected_count.sqrt() + 0.01 * expected_count;
+        prop_assert!(
+            (count as f64 - expected_count).abs() <= tol,
+            "observed {} vs ∫λ = {:.1} ± {:.1} (pattern {:?})",
+            count, expected_count, tol, p
+        );
+    }
+}
+
+/// The three named widths from the ISSUE, on one concrete pattern each,
+/// as a plain test so a proptest shrink can never mask a regression.
+#[test]
+fn named_width_sweep_is_bit_identical() {
+    let pats = [
+        ArrivalPattern::Poisson { rate_per_us: 4.0 },
+        ArrivalPattern::Bursty {
+            base_rate_per_us: 0.2,
+            peak_rate_per_us: 8.0,
+            period_us: 50.0,
+            burst_fraction: 0.25,
+        },
+        ArrivalPattern::Diurnal {
+            mean_rate_per_us: 2.0,
+            amplitude: 0.5,
+            period_us: 400.0,
+        },
+    ];
+    for p in pats {
+        let base = p.arrival_times_ns_with_threads(1234, 5000, 1).unwrap();
+        for threads in [2usize, 8] {
+            assert_eq!(
+                p.arrival_times_ns_with_threads(1234, 5000, threads)
+                    .unwrap(),
+                base,
+                "{p:?} threads={threads}"
+            );
+        }
+    }
+}

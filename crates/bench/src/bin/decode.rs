@@ -1,0 +1,394 @@
+//! Decode-stream replay benchmark (PR 9): the compiled-schedule replay
+//! cache measured on its target workloads, with byte-identity between
+//! replay-on and replay-off *asserted*, not implied.
+//!
+//! Two sections, one JSON snapshot:
+//!
+//! 1. **Decode stream.** An autoregressive token stream
+//!    ([`DecodeStreamSpec`]) — N per-token GEMVs against one resident
+//!    matrix, ECC and streaming telemetry on — run twice: replay off
+//!    (every token pays a live FR-FCFS drain) and replay on (token 0
+//!    captures, tokens 1.. replay the compiled train). Outputs,
+//!    per-token simulated cycles, machine stats, and windowed telemetry
+//!    (modulo the cache counter track) must agree bit for bit; outputs
+//!    are additionally checked against the stream's `f64` oracle. The
+//!    headline is simulated-cycles-per-wall-second, replay on vs off.
+//! 2. **Serving cell.** The BENCH_pr8 `poisson/no_fault` cell (steady
+//!    Poisson arrivals, 100 µs SLO, ECC + telemetry) served twice on
+//!    identical fresh servers, replay off and on, with sanitized
+//!    [`ServeReport`]s asserted equal; the headline is completed
+//!    queries per wall second.
+//!
+//! Speedup gates are *soft* here (recorded in the snapshot, enforced as
+//! log-only warnings by CI); the zero-divergence gates are hard asserts
+//! in this binary.
+//!
+//! Usage:
+//!
+//! ```sh
+//! decode                # full workload (64x1024, 2 channels, 192 tokens)
+//! decode --quick        # small workload for CI smoke (32x512, 48 tokens)
+//! decode --seed N       # stream/arrival seed (default 9)
+//! decode --out PATH     # snapshot path (default BENCH_pr9.json)
+//! ```
+
+use newton_core::config::NewtonConfig;
+use newton_core::system::{NewtonSystem, SystemRun};
+use newton_core::TelemetryConfig;
+use newton_dram::faults::mix64;
+use newton_serve::{ChaosPlan, ServeReport, Server, TrafficConfig};
+use newton_trace::{MetricsSnapshot, TimeSeries};
+use newton_workloads::arrivals::ArrivalPattern;
+use newton_workloads::{generator, DecodeStreamSpec, MvShape};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+}
+
+impl Args {
+    fn from_env() -> Args {
+        let mut quick = false;
+        let mut out = PathBuf::from("BENCH_pr9.json");
+        let mut seed = 9u64;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => match it.next() {
+                    Some(v) => out = PathBuf::from(v),
+                    None => {
+                        eprintln!("error: --out requires a path");
+                        std::process::exit(2);
+                    }
+                },
+                "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => seed = v,
+                    None => {
+                        eprintln!("error: --seed requires an integer");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!(
+                        "error: unknown argument {other:?} (try --quick / --seed N / --out PATH)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        Args { quick, out, seed }
+    }
+}
+
+/// Everything one decode pass is compared and scored on.
+struct DecodePass {
+    wall_seconds: f64,
+    sim_cycles: u64,
+    /// Per-token (output bits, simulated cycles).
+    tokens: Vec<(Vec<u32>, u64)>,
+    /// Per-token machine stats with the cache counters zeroed.
+    stats_sans: Vec<newton_core::controller::AimStats>,
+    /// Final-token merged telemetry, cache counter track zeroed.
+    telemetry_sans: Option<TimeSeries>,
+    schedule_hits: u64,
+    schedule_misses: u64,
+    replayed_commands: u64,
+}
+
+/// Runs the full decode stream on a fresh system. The matrix load and a
+/// first token (the replay capture) are untimed — a resident-weight
+/// serving system pays both once per model — then every token runs
+/// against the resident matrix, timed wall-clock.
+fn run_decode(cfg: &NewtonConfig, spec: &DecodeStreamSpec, replay: bool) -> DecodePass {
+    let mut sys = NewtonSystem::new(cfg.clone()).expect("config accepted");
+    sys.set_schedule_replay(replay);
+    let matrix = spec.matrix();
+    let inputs = spec.token_inputs();
+    let loaded = sys.load_matrix(&matrix, spec.m, spec.n).expect("load");
+    // Untimed warm-up token: pages storage in and, with replay on,
+    // captures the compiled schedule.
+    let _ = sys.run_resident(&loaded, &inputs[0]).expect("warm token");
+
+    let start = Instant::now();
+    let runs: Vec<SystemRun> = inputs
+        .iter()
+        .map(|v| sys.run_resident(&loaded, v).expect("token run"))
+        .collect();
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let tokens: Vec<(Vec<u32>, u64)> = runs
+        .iter()
+        .map(|r| (r.output.iter().map(|x| x.to_bits()).collect(), r.cycles))
+        .collect();
+    DecodePass {
+        wall_seconds,
+        sim_cycles: runs.iter().map(|r| r.cycles).sum(),
+        stats_sans: runs.iter().map(|r| r.stats.sans_schedule_cache()).collect(),
+        telemetry_sans: runs
+            .last()
+            .and_then(SystemRun::merged_telemetry)
+            .map(|t| t.sans_schedule_cache()),
+        schedule_hits: runs.iter().map(|r| r.stats.schedule_hits).sum(),
+        schedule_misses: runs.iter().map(|r| r.stats.schedule_misses).sum(),
+        replayed_commands: runs.iter().map(|r| r.stats.replayed_commands).sum(),
+        tokens,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let (m, n, channels, tokens, requests, desc) = if args.quick {
+        (
+            32,
+            512,
+            2,
+            48usize,
+            40usize,
+            "quick 32x512, 2 channels, 48 tokens",
+        )
+    } else {
+        (
+            64,
+            1024,
+            2,
+            192usize,
+            160usize,
+            "64x1024, 2 channels, 192 tokens",
+        )
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = channels;
+    cfg.ecc = true;
+    cfg.telemetry = Some(TelemetryConfig::default());
+    let spec = DecodeStreamSpec::new(m, n, tokens, mix64(args.seed));
+
+    println!(
+        "newton decode-stream replay benchmark: {desc}, seed {}",
+        args.seed
+    );
+    let t0 = Instant::now();
+
+    // ------------------------------------------------------------------
+    // Section 1: decode stream, replay off vs on.
+    // ------------------------------------------------------------------
+    let off = run_decode(&cfg, &spec, false);
+    let on = run_decode(&cfg, &spec, true);
+
+    // Hard gate: zero divergence, token by token.
+    assert_eq!(off.tokens.len(), on.tokens.len());
+    let mut divergence = 0u64;
+    for (t, (a, b)) in off.tokens.iter().zip(&on.tokens).enumerate() {
+        assert_eq!(a.0, b.0, "token {t}: output bits diverge under replay");
+        assert_eq!(a.1, b.1, "token {t}: simulated cycles diverge under replay");
+        divergence += u64::from(a.0 != b.0) + u64::from(a.1 != b.1);
+    }
+    assert_eq!(
+        off.stats_sans, on.stats_sans,
+        "machine stats diverge under replay"
+    );
+    assert_eq!(
+        off.telemetry_sans, on.telemetry_sans,
+        "telemetry diverges under replay"
+    );
+    assert_eq!(off.schedule_hits, 0, "replay-off must never hit the cache");
+    assert!(
+        on.schedule_hits >= (tokens as u64) * (channels as u64),
+        "replay-on decode must serve the stream from the cache \
+         (hits {}, expected >= {})",
+        on.schedule_hits,
+        (tokens as u64) * (channels as u64),
+    );
+    assert!(on.replayed_commands > 0, "replay must fold command trains");
+
+    // Oracle check: simulator outputs within the bf16 accumulation bound
+    // of the exact f64 per-token products.
+    let oracle = spec.reference_outputs();
+    let tol = spec.tolerance();
+    for (t, (bits, _)) in on.tokens.iter().enumerate() {
+        for (i, &b) in bits.iter().enumerate() {
+            let got = f64::from(f32::from_bits(b));
+            let want = oracle[t][i];
+            assert!(
+                (got - want).abs() <= tol,
+                "token {t} element {i}: {got} vs oracle {want} (tol {tol})"
+            );
+        }
+    }
+
+    let off_rate = off.sim_cycles as f64 / off.wall_seconds;
+    let on_rate = on.sim_cycles as f64 / on.wall_seconds;
+    let decode_speedup = off.wall_seconds / on.wall_seconds;
+    println!(
+        "  replay off: {:>8.3} s  {:>14.0} sim-cycles/s  ({} tokens, {} sim-cycles)",
+        off.wall_seconds, off_rate, tokens, off.sim_cycles
+    );
+    println!(
+        "  replay on : {:>8.3} s  {:>14.0} sim-cycles/s  (hits {}, {} folded commands)",
+        on.wall_seconds, on_rate, on.schedule_hits, on.replayed_commands
+    );
+    println!("  decode speedup (replay on vs off): {decode_speedup:.2}x  [soft gate: >= 2x]");
+    println!("  decode divergence: {divergence} (hard gate: 0)");
+
+    // ------------------------------------------------------------------
+    // Section 2: the BENCH_pr8 poisson/no_fault serving cell, replay off
+    // vs on, sanitized reports asserted equal.
+    // ------------------------------------------------------------------
+    let (serve_off, serve_off_wall) = run_serve_cell_at(m, n, &cfg, args.seed, requests, false);
+    let (serve_on, serve_on_wall) = run_serve_cell_at(m, n, &cfg, args.seed, requests, true);
+    assert_eq!(
+        serve_off.sans_schedule_cache(),
+        serve_on.sans_schedule_cache(),
+        "serving reports diverge under replay"
+    );
+    assert_eq!(serve_off.schedule_hits, 0);
+    assert!(
+        serve_on.schedule_hits > 0,
+        "replay-on serving must hit the cache"
+    );
+    let off_qps = serve_off.completed as f64 / serve_off_wall;
+    let on_qps = serve_on.completed as f64 / serve_on_wall;
+    let serve_speedup = serve_off_wall / serve_on_wall;
+    println!(
+        "  serve poisson/no_fault replay off: {:>8.3} s  {:>8.0} q/wall-s",
+        serve_off_wall, off_qps
+    );
+    println!(
+        "  serve poisson/no_fault replay on : {:>8.3} s  {:>8.0} q/wall-s  (hits {})",
+        serve_on_wall, on_qps, serve_on.schedule_hits
+    );
+    println!("  serving speedup (replay on vs off): {serve_speedup:.2}x  [soft gate: >= 3x]");
+
+    // ------------------------------------------------------------------
+    // Snapshot.
+    // ------------------------------------------------------------------
+    let mut snap = MetricsSnapshot::new("bench_pr9");
+    snap.text("workload", desc)
+        .count("seed", args.seed)
+        .count("host_cores", host_cores as u64)
+        .count("channels", channels as u64)
+        .count("matrix_rows", m as u64)
+        .count("matrix_cols", n as u64)
+        .count("tokens", tokens as u64)
+        .count("serve_requests", requests as u64)
+        .count("decode/divergence", divergence)
+        .count("decode/sim_cycles", on.sim_cycles)
+        .scalar("decode/replay_off/wall_seconds", off.wall_seconds)
+        .scalar("decode/replay_off/sim_cycles_per_sec", off_rate)
+        .scalar(
+            "decode/replay_off/tokens_per_sec",
+            tokens as f64 / off.wall_seconds,
+        )
+        .scalar("decode/replay_on/wall_seconds", on.wall_seconds)
+        .scalar("decode/replay_on/sim_cycles_per_sec", on_rate)
+        .scalar(
+            "decode/replay_on/tokens_per_sec",
+            tokens as f64 / on.wall_seconds,
+        )
+        .scalar("decode/speedup", decode_speedup)
+        .count("decode/schedule_cache/hits", on.schedule_hits)
+        .count("decode/schedule_cache/misses", on.schedule_misses)
+        .count(
+            "decode/schedule_cache/replayed_commands",
+            on.replayed_commands,
+        )
+        .count("serve/divergence", 0)
+        .scalar("serve/replay_off/wall_seconds", serve_off_wall)
+        .scalar("serve/replay_off/wall_qps", off_qps)
+        .scalar("serve/replay_on/wall_seconds", serve_on_wall)
+        .scalar("serve/replay_on/wall_qps", on_qps)
+        .scalar("serve/speedup", serve_speedup)
+        .count("serve/schedule_cache/hits", serve_on.schedule_hits)
+        .count("serve/schedule_cache/misses", serve_on.schedule_misses)
+        .count(
+            "serve/schedule_cache/replayed_commands",
+            serve_on.replayed_commands,
+        );
+
+    let columns: Vec<String> = ["section", "replay", "wall_s", "throughput", "speedup"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let rows = vec![
+        vec![
+            "decode".to_string(),
+            "off".to_string(),
+            format!("{:.3}", off.wall_seconds),
+            format!("{off_rate:.0} sim-cycles/s"),
+            String::new(),
+        ],
+        vec![
+            "decode".to_string(),
+            "on".to_string(),
+            format!("{:.3}", on.wall_seconds),
+            format!("{on_rate:.0} sim-cycles/s"),
+            format!("{decode_speedup:.2}x"),
+        ],
+        vec![
+            "serve poisson/no_fault".to_string(),
+            "off".to_string(),
+            format!("{serve_off_wall:.3}"),
+            format!("{off_qps:.0} q/wall-s"),
+            String::new(),
+        ],
+        vec![
+            "serve poisson/no_fault".to_string(),
+            "on".to_string(),
+            format!("{serve_on_wall:.3}"),
+            format!("{on_qps:.0} q/wall-s"),
+            format!("{serve_speedup:.2}x"),
+        ],
+    ];
+    snap.table(
+        "Compiled-schedule replay: on vs off, zero divergence",
+        &columns,
+        &rows,
+    );
+
+    let rendered = snap.render();
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("error: cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({:.1} s)",
+        args.out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+/// Serves the `poisson/no_fault` cell with the given matrix shape.
+fn run_serve_cell_at(
+    m: usize,
+    n: usize,
+    cfg: &NewtonConfig,
+    seed: u64,
+    requests: usize,
+    replay: bool,
+) -> (ServeReport, f64) {
+    let matrix = generator::matrix(MvShape::new(m, n), mix64(seed ^ 0xA));
+    let traffic = TrafficConfig {
+        pattern: ArrivalPattern::Poisson { rate_per_us: 0.05 },
+        requests,
+        seed: seed ^ 1,
+        deadline_ns: 100_000.0,
+        queue_capacity: 32,
+        max_batch: 8,
+        retry_backoff_cycles: 256,
+        conventional: None,
+    };
+    let mut server = Server::new(cfg.clone(), matrix, m, n, 4, mix64(seed)).expect("server builds");
+    server.system_mut().set_schedule_replay(replay);
+    let start = Instant::now();
+    let report = server
+        .serve(&traffic, &ChaosPlan::none())
+        .expect("cell serves");
+    (report, start.elapsed().as_secs_f64())
+}

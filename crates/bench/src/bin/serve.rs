@@ -146,10 +146,24 @@ fn run_cell(
             "{}: chaos cell must inject faults",
             cell.name
         );
+        // Fault injection moves the weight data epoch, so the replay
+        // cache must drop compiled entries (and the hit rate dips until
+        // a clean drain re-captures).
+        assert!(
+            report.schedule_invalidations > 0,
+            "{}: fault injection must invalidate the replay cache",
+            cell.name
+        );
     } else {
         assert_eq!(report.injected_faults, 0, "{}: clean cell", cell.name);
         assert_eq!(report.retries, 0, "{}: clean cell never retries", cell.name);
     }
+    // Replay (on by default) must carry steady resident-weight serving.
+    assert!(
+        report.schedule_hits > 0,
+        "{}: resident serving must hit the replay cache",
+        cell.name
+    );
     if cell.expects_retirement {
         assert!(
             !report.recovery.retired_banks.is_empty(),
@@ -272,6 +286,9 @@ fn main() {
         "expired",
         "retries",
         "retired",
+        "sched_hits",
+        "sched_miss",
+        "sched_inv",
         "sdc",
         "p50_ns",
         "p99_ns",
@@ -288,7 +305,8 @@ fn main() {
         let r = run_cell(cell, &cfg, &matrix, m, n, args.seed);
         println!(
             "  {:<22} completed {:>4}/{:<4} shed {:>3}  expired {:>3}  retries {:>2}  \
-             retired {}  sdc {}  p50 {:>9.0} ns  p99 {:>9.0} ns  qps {:>8.0}  {:.3e} J/q",
+             retired {}  sched {}h/{}m/{}i  sdc {}  p50 {:>9.0} ns  p99 {:>9.0} ns  \
+             qps {:>8.0}  {:.3e} J/q",
             cell.name,
             r.completed,
             r.offered,
@@ -296,6 +314,9 @@ fn main() {
             r.expired,
             r.retries,
             r.recovery.retired_banks.len(),
+            r.schedule_hits,
+            r.schedule_misses,
+            r.schedule_invalidations,
             r.sdc,
             r.p50_ns,
             r.p99_ns,
@@ -310,6 +331,9 @@ fn main() {
             r.expired.to_string(),
             r.retries.to_string(),
             r.recovery.retired_banks.len().to_string(),
+            r.schedule_hits.to_string(),
+            r.schedule_misses.to_string(),
+            r.schedule_invalidations.to_string(),
             r.sdc.to_string(),
             format!("{:.0}", r.p50_ns),
             format!("{:.0}", r.p99_ns),

@@ -642,6 +642,7 @@ proptest! {
 fn serving_observation(
     engine: TimingEngine,
     threads: usize,
+    replay: bool,
 ) -> (newton_serve::ServeReport, String) {
     use newton_serve::{ChaosAction, ChaosEvent, ChaosPlan, Server, TrafficConfig};
     use newton_workloads::arrivals::ArrivalPattern;
@@ -655,6 +656,7 @@ fn serving_observation(
     cfg.telemetry = Some(TelemetryConfig::default());
     let mut server = Server::new(cfg, matrix, m, n, 3, 33).expect("server");
     server.system_mut().set_timing_engine(engine);
+    server.system_mut().set_schedule_replay(replay);
 
     let traffic = TrafficConfig {
         pattern: ArrivalPattern::Bursty {
@@ -704,7 +706,7 @@ fn serving_reports_byte_identical_across_engines_and_widths() {
     let mut all: Vec<(newton_serve::ServeReport, String)> = Vec::new();
     for engine in [TimingEngine::EventSkipping, TimingEngine::Reference] {
         for threads in [1usize, 2, 8] {
-            all.push(serving_observation(engine, threads));
+            all.push(serving_observation(engine, threads, true));
         }
     }
     let (first_report, first_snap) = &all[0];
@@ -730,4 +732,259 @@ fn serving_reports_byte_identical_across_engines_and_widths() {
             "rendered snapshot diverged at combo {i}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Compiled-schedule replay cache (PR 9): replay-on must be byte-identical
+// to replay-off (the never-cached oracle) on every observable surface —
+// across both timing engines, thread widths {1, 2, 8}, invalidation
+// edges (weight writes, retirement mid-chaos, engine flips, ECC on/off),
+// and observer bypasses (audit logs, conventional traffic).
+// ---------------------------------------------------------------------
+
+/// A resident-matrix pair: the same config run with replay on and off.
+/// `ecc`/`engine`/`threads` shape the cell; both systems see identical
+/// mutations through the returned handles.
+fn replay_pair(
+    ecc: bool,
+    engine: TimingEngine,
+    threads: usize,
+    m: usize,
+    n: usize,
+    matrix: &[Bf16],
+) -> (Vec<NewtonSystem>, Vec<LoadedMatrix>) {
+    let mut systems: Vec<NewtonSystem> = [false, true]
+        .iter()
+        .map(|&replay| {
+            let mut cfg = NewtonConfig::paper_default();
+            cfg.channels = 2;
+            cfg.ecc = ecc;
+            cfg.parallel = ParallelPolicy::exact(threads);
+            cfg.telemetry = Some(TelemetryConfig::default());
+            let mut sys = NewtonSystem::new(cfg).expect("system");
+            sys.set_timing_engine(engine);
+            sys.set_schedule_replay(replay);
+            sys
+        })
+        .collect();
+    let loaded: Vec<LoadedMatrix> = systems
+        .iter_mut()
+        .map(|s| s.load_matrix(matrix, m, n).expect("load"))
+        .collect();
+    (systems, loaded)
+}
+
+/// Runs one vector through both systems of a pair and asserts every
+/// surface agrees modulo the schedule-cache counters; returns the
+/// replay-on run for counter assertions.
+fn assert_replay_identical(
+    systems: &mut [NewtonSystem],
+    loaded: &[LoadedMatrix],
+    vector: &[Bf16],
+    what: &str,
+) -> SystemRun {
+    let runs: Vec<SystemRun> = systems
+        .iter_mut()
+        .zip(loaded)
+        .map(|(s, l)| s.run_resident(l, vector).expect("resident run"))
+        .collect();
+    let (off, on) = (&runs[0], &runs[1]);
+    let bits = |r: &SystemRun| r.output.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    assert_eq!(bits(off), bits(on), "{what}: output bits");
+    assert_eq!(off.cycles, on.cycles, "{what}: cycles");
+    assert_eq!(
+        off.stats.sans_schedule_cache(),
+        on.stats.sans_schedule_cache(),
+        "{what}: stats"
+    );
+    assert_eq!(
+        off.stats,
+        off.stats.sans_schedule_cache(),
+        "{what}: replay-off must never touch the cache counters"
+    );
+    for (a, b) in off.channel_summaries.iter().zip(&on.channel_summaries) {
+        let mut a = a.clone();
+        let mut b = b.clone();
+        a.telemetry = a.telemetry.map(|t| t.sans_schedule_cache());
+        b.telemetry = b.telemetry.map(|t| t.sans_schedule_cache());
+        assert_eq!(a, b, "{what}: channel summaries");
+    }
+    runs.into_iter().nth(1).expect("two runs")
+}
+
+#[test]
+fn replay_invalidation_edges_stay_live_and_byte_identical() {
+    use newton_workloads::DecodeStreamSpec;
+
+    let spec = DecodeStreamSpec::new(32, 512, 8, 41);
+    let matrix = spec.matrix();
+    for engine in [TimingEngine::EventSkipping, TimingEngine::Reference] {
+        for threads in [1usize, 2, 8] {
+            let (mut systems, loaded) = replay_pair(true, engine, threads, 32, 512, &matrix);
+            let what = format!("engine {engine:?} threads {threads}");
+
+            // Warm: capture, then hit.
+            assert_replay_identical(&mut systems, &loaded, &spec.token_input(0), &what);
+            let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(1), &what);
+            assert_eq!(run.stats.schedule_hits, 2, "{what}: steady stream hits");
+
+            // Weight rewrite mid-stream (correctable single-bit flip on
+            // channel 0, applied identically to both systems): the next
+            // token must fall back to a live drain, stay byte-identical,
+            // and report the invalidation.
+            for sys in &mut systems {
+                sys.channels_mut()[0]
+                    .channel_mut()
+                    .storage_mut()
+                    .flip_bit(1, 0, 3)
+                    .expect("flip");
+            }
+            let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(2), &what);
+            assert_eq!(run.stats.schedule_invalidations, 1, "{what}: weight write");
+            assert_eq!(run.stats.schedule_hits, 1, "{what}: untouched channel hits");
+            assert!(run.stats.ecc_corrected > 0, "{what}: live drain corrects");
+
+            // The dirty drain must not have captured; the next clean one
+            // does, and the stream returns to full hits.
+            let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(3), &what);
+            assert_eq!(run.stats.schedule_misses, 1, "{what}: re-capture drain");
+            let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(4), &what);
+            assert_eq!(run.stats.schedule_hits, 2, "{what}: recovered");
+
+            // `NEWTON_TIMING_ENGINE`-style flip mid-stream: every entry
+            // invalidates once, the fallback drains live and identical.
+            let other = match engine {
+                TimingEngine::Reference => TimingEngine::EventSkipping,
+                TimingEngine::EventSkipping => TimingEngine::Reference,
+            };
+            for sys in &mut systems {
+                sys.set_timing_engine(other);
+            }
+            let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(5), &what);
+            assert_eq!(run.stats.schedule_invalidations, 2, "{what}: engine flip");
+            let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(6), &what);
+            assert_eq!(run.stats.schedule_hits, 2, "{what}: re-armed after flip");
+        }
+    }
+
+    // ECC-off toggle (a construction-time config change): a fresh pair
+    // without ECC must agree the same way, including through a raw
+    // mid-stream row rewrite (no check words to stay consistent with).
+    let (mut systems, loaded) =
+        replay_pair(false, TimingEngine::EventSkipping, 1, 32, 512, &matrix);
+    assert_replay_identical(&mut systems, &loaded, &spec.token_input(0), "ecc off");
+    let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(1), "ecc off");
+    assert_eq!(run.stats.schedule_hits, 2, "ecc off: hits");
+    let row_bytes = systems[0].config().row_elems() * 2;
+    let data: Vec<u8> = (0..row_bytes).map(|i| (i as u8).wrapping_mul(7)).collect();
+    for sys in &mut systems {
+        sys.channels_mut()[0]
+            .channel_mut()
+            .storage_mut()
+            .write_row(0, 0, &data)
+            .expect("rewrite");
+    }
+    let run = assert_replay_identical(&mut systems, &loaded, &spec.token_input(2), "ecc off");
+    assert_eq!(run.stats.schedule_invalidations, 1, "ecc off: row rewrite");
+}
+
+#[test]
+fn replay_serving_chaos_byte_identical_across_engines_and_widths() {
+    // The PR 8 chaos cell (BER faults + stuck word -> scrub, retry,
+    // retirement, re-plan) with replay off is the never-cached oracle;
+    // replay on must match it modulo the cache counters, at every engine
+    // and width.
+    for engine in [TimingEngine::EventSkipping, TimingEngine::Reference] {
+        for threads in [1usize, 2, 8] {
+            let (off, _) = serving_observation(engine, threads, false);
+            let (on, _) = serving_observation(engine, threads, true);
+            assert_eq!(
+                off.sans_schedule_cache(),
+                on.sans_schedule_cache(),
+                "engine {engine:?} threads {threads}: sanitized reports"
+            );
+            assert_eq!(
+                off,
+                off.sans_schedule_cache(),
+                "replay-off serving must never touch the cache"
+            );
+            assert!(
+                on.schedule_hits > 0,
+                "engine {engine:?} threads {threads}: resident serving must hit"
+            );
+            assert!(
+                on.schedule_invalidations > 0,
+                "engine {engine:?} threads {threads}: chaos must invalidate"
+            );
+            assert!(
+                !on.recovery.retired_banks.is_empty(),
+                "the cell must exercise retirement mid-chaos"
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_bypasses_for_audit_and_conventional_traffic() {
+    use newton_serve::{ChaosPlan, ConventionalTraffic, Server, TrafficConfig};
+
+    // Audit log attached: replay must bypass (the batched appliers cannot
+    // reproduce per-command audit events) while staying byte-identical to
+    // an audited never-cached run — and the audit stream itself must be
+    // identical, so the observer sees the same command history.
+    let (m, n) = (32, 512);
+    let matrix = generator::matrix(MvShape::new(m, n), 43);
+    let vector = generator::vector(n, 43);
+    let (mut systems, loaded) = replay_pair(true, TimingEngine::EventSkipping, 1, m, n, &matrix);
+    for sys in &mut systems {
+        for ch in sys.channels_mut() {
+            ch.channel_mut().enable_audit();
+        }
+    }
+    for _ in 0..2 {
+        let run = assert_replay_identical(&mut systems, &loaded, &vector, "audit");
+        assert_eq!(run.stats.schedule_hits, 0, "audit must bypass replay");
+        assert_eq!(run.stats.schedule_misses, 2, "audited runs count as misses");
+    }
+    let audits: Vec<Vec<usize>> = systems
+        .iter()
+        .map(|s| {
+            s.channels()
+                .iter()
+                .map(|c| c.channel().audit().expect("audit on").len())
+                .collect()
+        })
+        .collect();
+    assert_eq!(audits[0], audits[1], "audit event streams must agree");
+    assert!(audits[0].iter().sum::<usize>() > 0, "audit must record");
+
+    // Conventional-DRAM traffic interleaving at the serving layer: the
+    // controller advances clocks between AiM batches; replay's per-train
+    // first-command scans absorb that, so the cache stays hot and the
+    // reports agree byte-for-byte.
+    let run_conv = |replay: bool| {
+        let mut cfg = NewtonConfig::paper_default();
+        cfg.channels = 2;
+        cfg.ecc = true;
+        cfg.parallel = ParallelPolicy::exact(1);
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let matrix = generator::matrix(MvShape::new(m, n), 47);
+        let mut server = Server::new(cfg, matrix, m, n, 3, 49).expect("server");
+        server.system_mut().set_schedule_replay(replay);
+        let mut traffic = TrafficConfig::poisson(0.05, 24, 51);
+        traffic.conventional = Some(ConventionalTraffic {
+            interval_ns: 4_000.0,
+            burst_cycles: 64,
+        });
+        server.serve(&traffic, &ChaosPlan::none()).expect("serves")
+    };
+    let off = run_conv(false);
+    let on = run_conv(true);
+    assert_eq!(
+        off.sans_schedule_cache(),
+        on.sans_schedule_cache(),
+        "conventional-traffic reports"
+    );
+    assert!(on.conventional_bursts > 0, "cell must interleave bursts");
+    assert!(on.schedule_hits > 0, "replay stays hot across bursts");
 }

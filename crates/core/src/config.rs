@@ -63,6 +63,24 @@ pub fn telemetry_mode() -> bool {
     TELEMETRY_MODE.load(Ordering::Relaxed)
 }
 
+/// Environment override for the compiled-schedule replay cache: the
+/// `NEWTON_SCHEDULE_REPLAY` variable forces replay on (`1`/`on`/`true`/
+/// `yes`) or off (`0`/`off`/`false`/`no`) regardless of
+/// [`NewtonConfig::schedule_replay`]; any other value (or an unset
+/// variable) defers to the config field. Read once per
+/// `NewtonSystem` construction, like `NEWTON_TIMING_ENGINE`.
+#[must_use]
+pub fn schedule_replay_override() -> Option<bool> {
+    match std::env::var("NEWTON_SCHEDULE_REPLAY") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" | "yes" => Some(true),
+            "0" | "off" | "false" | "no" => Some(false),
+            _ => None,
+        },
+        Err(_) => None,
+    }
+}
+
 /// Streaming-telemetry configuration for a Newton system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TelemetryConfig {
@@ -243,6 +261,13 @@ pub struct NewtonConfig {
     /// window width. `None` (the default) falls back to the process-wide
     /// [`telemetry_mode`] switch with the default window.
     pub telemetry: Option<TelemetryConfig>,
+    /// Enables the compiled-schedule replay cache: the first drain of a
+    /// resident matrix captures its command-train structure, and later
+    /// runs replay it with closed-form stats/telemetry updates plus only
+    /// the data-dependent SIMD COMP work. Byte-identical to live drains
+    /// by construction; on by default. `NEWTON_SCHEDULE_REPLAY` overrides
+    /// at `NewtonSystem` construction ([`schedule_replay_override`]).
+    pub schedule_replay: bool,
 }
 
 impl NewtonConfig {
@@ -262,6 +287,7 @@ impl NewtonConfig {
             parallel: ParallelPolicy::default(),
             ecc: false,
             telemetry: None,
+            schedule_replay: true,
         }
     }
 

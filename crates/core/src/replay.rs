@@ -1,0 +1,207 @@
+//! The compiled-schedule replay cache: plan once, replay many.
+//!
+//! Serving-shaped workloads (batched GEMV, autoregressive decode) issue
+//! the *same* command schedule for every query against a resident matrix
+//! — only the input-vector bits change. A [`ChannelPlan`] therefore
+//! builds the tiled [`Schedule`] once per resident matrix (not once per
+//! run) and carries a lazily-captured [`CompiledSchedule`]: the
+//! shape-static structure of the command train — ganged-ACT clusters,
+//! GWRITE/COMP train lengths, refresh look-ahead estimates — plus the
+//! validity stamps that make replaying it byte-identical to a live
+//! FR-FCFS drain.
+//!
+//! What is closed-form on replay and what is not:
+//!
+//! * **Closed-form**: every command after the first of a GWRITE or COMP
+//!   train lands exactly one `col_step` (max(tCCD, tCMD)) after its
+//!   predecessor — structural, because nothing else touches the column
+//!   bus or the ganged banks inside a train. The whole train folds into
+//!   one batched channel call (`issue_broadcast_write_train` /
+//!   `issue_comp_burst_replay`) with train-folded stats, telemetry, and
+//!   energy updates. Per-COMP SECDED operand checks and per-activation
+//!   row scrubs are skipped under the cleanliness proof below.
+//! * **Live on every replay**: the first command of each train is found
+//!   by a real `earliest_*` scan (absorbing whatever bus/bank state the
+//!   run entered with), activations and READRES issue through the real
+//!   per-command paths, refresh interposition runs unchanged, and the
+//!   data-dependent SIMD COMP kernels compute real bf16 arithmetic.
+//!
+//! Invalidation rides the storage layer's data epoch
+//! ([`Storage::write_epoch`](newton_dram::Storage::write_epoch)): any
+//! weight write, fault injection, or ECC scrub-correction moves the
+//! epoch and drops the compiled entry; a timing-engine flip is caught by
+//! the engine stamp; bank retirement rebuilds mappings and with them
+//! fresh (cold) plans. With ECC on, an entry is only captured from a
+//! correction-free drain, so skipping the per-command checks on replay
+//! is observationally identical (a clean check mutates nothing).
+//!
+//! Replay never arms when an observer could diverge: command traces,
+//! audit logs, trace sinks, queued host (non-AiM) traffic, and non-SIMD
+//! or non-ganged configurations all force the live path (counted as
+//! cache misses when replay is enabled).
+
+use std::sync::{Mutex, MutexGuard};
+
+use newton_dram::timing::Cycle;
+use newton_dram::TimingEngine;
+
+use crate::layout::MatrixMapping;
+use crate::tiling::{Schedule, ScheduleKind};
+
+/// One channel's share of a resident matrix: the bank mapping, the tiled
+/// schedule (built once, reused across runs), and the lazily-captured
+/// compiled command train.
+#[derive(Debug)]
+pub struct ChannelPlan {
+    map: MatrixMapping,
+    schedule: Schedule,
+    compiled: Mutex<ReplaySlot>,
+}
+
+impl ChannelPlan {
+    /// Builds the plan for `map` under traversal `kind` (the one
+    /// `Schedule::build` for this matrix's lifetime on this channel).
+    ///
+    /// # Panics
+    ///
+    /// As [`Schedule::build`]: if `map.layout()` mismatches the kind.
+    #[must_use]
+    pub fn new(kind: ScheduleKind, map: MatrixMapping) -> ChannelPlan {
+        let schedule = Schedule::build(kind, &map);
+        ChannelPlan {
+            map,
+            schedule,
+            compiled: Mutex::new(ReplaySlot::Cold),
+        }
+    }
+
+    /// The channel-local matrix mapping.
+    #[must_use]
+    pub fn map(&self) -> &MatrixMapping {
+        &self.map
+    }
+
+    /// The tiled schedule (built at plan construction).
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Whether a compiled command train is currently captured.
+    #[must_use]
+    pub fn is_compiled(&self) -> bool {
+        matches!(*self.slot(), ReplaySlot::Ready(_))
+    }
+
+    /// Drops the compiled entry (the next replay-enabled run re-captures
+    /// from a live drain and reports the invalidation).
+    pub fn invalidate(&self) {
+        let mut slot = self.slot();
+        if matches!(*slot, ReplaySlot::Ready(_)) {
+            *slot = ReplaySlot::Invalidated;
+        }
+    }
+
+    /// Drops any captured or tombstoned entry because the plan is being
+    /// replaced by a recovery re-plan (scrub-rewrite or bank
+    /// retirement), returning 1 if an entry was actually dropped so the
+    /// caller can report the invalidation — the replacement plans start
+    /// cold and the old ones are never run again, so this is the last
+    /// chance to account for the drop.
+    pub(crate) fn purge_for_replan(&self) -> u64 {
+        let mut slot = self.slot();
+        match *slot {
+            ReplaySlot::Cold => 0,
+            ReplaySlot::Ready(_) | ReplaySlot::Invalidated => {
+                *slot = ReplaySlot::Cold;
+                1
+            }
+        }
+    }
+
+    /// Locks the replay slot. The lock is uncontended in practice — each
+    /// channel's plan is driven by exactly one worker thread per run —
+    /// and exists so `&ChannelPlan` can be shared across scoped threads.
+    pub(crate) fn slot(&self) -> MutexGuard<'_, ReplaySlot> {
+        self.compiled
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The capture state of a plan's compiled command train.
+#[derive(Debug)]
+pub(crate) enum ReplaySlot {
+    /// Never captured: the next armed run drains live and captures.
+    Cold,
+    /// Captured and replayable while the validity stamps hold.
+    Ready(CompiledSchedule),
+    /// A `Ready` entry was dropped (stale stamps or explicit
+    /// invalidation) but the drop has not yet been *reported* in a
+    /// completed run's stats. The tombstone survives runs that abort
+    /// mid-drain (e.g. an uncorrectable ECC error), so the first run
+    /// that returns stats counts the invalidation exactly once and
+    /// then collapses the slot to `Cold` or a fresh capture.
+    Invalidated,
+}
+
+/// The immutable capture of one channel's fully-timed command train,
+/// compiled from the schedule after a clean live drain. Everything here
+/// is a pure function of (shape, schedule kind, bank map, timing config)
+/// — per-train *first-command* cycles are intentionally absent: they are
+/// scanned live on each replay so the train lands correctly whatever
+/// bus/refresh state the run entered with, and every subsequent command
+/// follows at the structural `col_step` spacing.
+#[derive(Debug)]
+pub(crate) struct CompiledSchedule {
+    /// Timing engine the capture ran under; a flip invalidates (the
+    /// engines are byte-identical, but the flip is an explicit
+    /// config-change boundary the cache must respect).
+    pub engine: TimingEngine,
+    /// Storage data epoch at capture; any weight mutation moves it.
+    pub data_epoch: u64,
+    /// Commands applied via folded trains per replay (GWRITEs + COMPs)
+    /// — the `replayed_commands` accounting unit.
+    pub train_commands: u64,
+    /// Per-row-set static structure, parallel to `schedule.row_sets()`.
+    pub row_sets: Vec<CompiledRowSet>,
+}
+
+/// Shape-static structure of one row-set's command train.
+#[derive(Debug)]
+pub(crate) struct CompiledRowSet {
+    /// Refresh look-ahead: conservative cycle bound of this row-set.
+    pub estimate: Cycle,
+    /// GWRITE train length when the row-set loads its chunk; 0 otherwise.
+    pub n_gwrites: usize,
+    /// Ganged-activation clusters: `(bank, dram_row)` pairs per G_ACT.
+    pub clusters: Vec<Vec<(usize, usize)>>,
+    /// Active banks, in work order (the ganged COMP gang).
+    pub banks: Vec<usize>,
+    /// COMP train length (sub-chunks of the input chunk).
+    pub n_sub: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    #[test]
+    fn plan_builds_schedule_once_and_tracks_compile_state() {
+        let map = MatrixMapping::new(Layout::ChunkInterleaved, 32, 512, 16, 512, 0).unwrap();
+        let plan = ChannelPlan::new(ScheduleKind::InterleavedFullReuse, map);
+        assert_eq!(plan.schedule().kind(), ScheduleKind::InterleavedFullReuse);
+        assert_eq!(plan.map().m(), 32);
+        assert!(!plan.is_compiled());
+        *plan.slot() = ReplaySlot::Ready(CompiledSchedule {
+            engine: TimingEngine::Reference,
+            data_epoch: 0,
+            train_commands: 0,
+            row_sets: Vec::new(),
+        });
+        assert!(plan.is_compiled());
+        plan.invalidate();
+        assert!(!plan.is_compiled());
+    }
+}

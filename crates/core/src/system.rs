@@ -10,6 +10,7 @@
 //! finishes.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use newton_bf16::{slice, Bf16};
 use newton_dram::stats::RunSummary;
@@ -23,7 +24,8 @@ use crate::error::AimError;
 use crate::layout::MatrixMapping;
 use crate::lut::ActivationKind;
 use crate::parallel;
-use crate::tiling::{Schedule, ScheduleKind};
+use crate::replay::ChannelPlan;
+use crate::tiling::ScheduleKind;
 
 /// One matrix–vector problem for [`NewtonSystem::run_model`].
 #[derive(Debug, Clone, Copy)]
@@ -88,9 +90,14 @@ impl SystemRun {
 /// A matrix made resident in channel DRAM by
 /// [`NewtonSystem::load_matrix`], reusable across inputs without
 /// reloading (run it with [`NewtonSystem::run_resident`]).
+///
+/// The handle carries one [`ChannelPlan`] per channel: the bank mapping
+/// and tiled schedule, built once here rather than once per run, plus
+/// the compiled-schedule replay cache that later runs hit. Clones share
+/// the plans (and the cache) through an [`Arc`].
 #[derive(Debug, Clone)]
 pub struct LoadedMatrix {
-    mappings: Vec<Option<MatrixMapping>>,
+    plans: Arc<Vec<Option<ChannelPlan>>>,
     m: usize,
     n: usize,
 }
@@ -106,6 +113,23 @@ impl LoadedMatrix {
     #[must_use]
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Per-channel plans (`None` for idle trailing channels).
+    #[must_use]
+    pub fn plans(&self) -> &[Option<ChannelPlan>] {
+        &self.plans
+    }
+
+    /// Channels whose compiled command train is currently captured
+    /// (observability for benches and tests).
+    #[must_use]
+    pub fn compiled_channels(&self) -> usize {
+        self.plans
+            .iter()
+            .flatten()
+            .filter(|p| p.is_compiled())
+            .count()
     }
 }
 
@@ -170,6 +194,11 @@ pub struct NewtonSystem {
     /// built by [`channel_mapping`](NewtonSystem::channel_mapping) route
     /// around them.
     retired: Vec<BTreeSet<usize>>,
+    /// Whether runs through [`ChannelPlan`]s may use the compiled-
+    /// schedule replay cache. Resolved once at construction from
+    /// `NEWTON_SCHEDULE_REPLAY` falling back to
+    /// [`NewtonConfig::schedule_replay`].
+    replay: bool,
     /// Host-phase self-profiling: wall-clock time this process spent in
     /// each simulation phase (encode / drain / comp / merge / snapshot).
     /// Accumulates across runs; purely observational. Call counts are
@@ -208,13 +237,28 @@ impl NewtonSystem {
             .map(|_| NewtonChannel::new(&config, activation))
             .collect::<Result<Vec<_>, _>>()?;
         let retired = vec![BTreeSet::new(); config.channels];
+        let replay = crate::config::schedule_replay_override().unwrap_or(config.schedule_replay);
         Ok(NewtonSystem {
             config,
             channels,
             activation,
             retired,
+            replay,
             profiler: HostProfiler::new(&HOST_PHASES),
         })
+    }
+
+    /// Whether the compiled-schedule replay cache is in use.
+    #[must_use]
+    pub fn schedule_replay(&self) -> bool {
+        self.replay
+    }
+
+    /// Turns the compiled-schedule replay cache on or off for subsequent
+    /// runs (results are byte-identical either way; benches toggle this
+    /// to measure the replay speedup on one system).
+    pub fn set_schedule_replay(&mut self, enabled: bool) {
+        self.replay = enabled;
     }
 
     /// The accumulated host-phase profile (encode / drain / comp / merge
@@ -381,7 +425,18 @@ impl NewtonSystem {
         Ok((mappings, max_rows))
     }
 
-    /// Runs one layer given pre-loaded mappings; returns raw (pre-
+    /// Builds one [`ChannelPlan`] per channel from freshly-built mappings
+    /// — the single `Schedule::build` site for a resident matrix (every
+    /// run path goes through plans; none rebuilds the schedule per run).
+    fn compile_plans(&self, mappings: Vec<Option<MatrixMapping>>) -> Vec<Option<ChannelPlan>> {
+        let kind = self.schedule_kind();
+        mappings
+            .into_iter()
+            .map(|m| m.map(|map| ChannelPlan::new(kind, map)))
+            .collect()
+    }
+
+    /// Runs one layer given pre-built channel plans; returns raw (pre-
     /// activation) sums and updates every channel's cursor.
     ///
     /// Channels are architecturally independent (Sec. III-D), so their
@@ -390,16 +445,16 @@ impl NewtonSystem {
     /// configured [`parallel::ParallelPolicy`] decides, with
     /// `NEWTON_THREADS=1` forcing fully serial — produces bit-identical
     /// outputs, cycles, stats, summaries, and traces. Channels whose
-    /// mapping is `None` (idle trailing channels of a short matrix) get
+    /// plan is `None` (idle trailing channels of a short matrix) get
     /// no thread and no work; the end-of-layer barrier advances them.
     fn run_loaded(
         &mut self,
-        mappings: &[Option<MatrixMapping>],
+        plans: &[Option<ChannelPlan>],
         m: usize,
         vector: &[Bf16],
         lut_readout: bool,
     ) -> Result<SystemRun, AimError> {
-        let kind = self.schedule_kind();
+        let replay = self.replay;
         let c = self.config.channels;
         // All channels start together (barrier at layer entry).
         let start = self
@@ -411,30 +466,27 @@ impl NewtonSystem {
 
         let drain_started = std::time::Instant::now();
         let runs: Vec<(usize, Result<crate::controller::MvRun, AimError>)> = {
-            let mut active: Vec<(usize, &mut NewtonChannel, &MatrixMapping)> = self
+            let mut active: Vec<(usize, &mut NewtonChannel, &ChannelPlan)> = self
                 .channels
                 .iter_mut()
-                .zip(mappings)
+                .zip(plans)
                 .enumerate()
-                .filter_map(|(ch, (channel, mapping))| {
-                    mapping.as_ref().map(|map| (ch, channel, map))
-                })
+                .filter_map(|(ch, (channel, plan))| plan.as_ref().map(|p| (ch, channel, p)))
                 .collect();
             // Threads pay off only when each channel simulates
             // substantial work; the policy keeps small layers serial.
             let per_channel_macs = active
                 .iter()
-                .map(|(_, _, map)| map.m() * map.n())
+                .map(|(_, _, plan)| plan.map().m() * plan.map().n())
                 .max()
                 .unwrap_or(0);
             let threads = self
                 .config
                 .parallel
                 .worker_threads(active.len(), per_channel_macs);
-            parallel::par_map_mut(&mut active, threads, |_, (ch, channel, map)| {
+            parallel::par_map_mut(&mut active, threads, |_, (ch, channel, plan)| {
                 channel.advance_to(start);
-                let schedule = Schedule::build(kind, map);
-                (*ch, channel.run_mv(map, &schedule, vector, lut_readout))
+                (*ch, channel.run_planned(plan, vector, lut_readout, replay))
             })
         };
         self.profiler
@@ -519,7 +571,11 @@ impl NewtonSystem {
         n: usize,
     ) -> Result<LoadedMatrix, AimError> {
         let (mappings, _) = self.load_matrix_at(matrix, m, n, 0)?;
-        Ok(LoadedMatrix { mappings, m, n })
+        Ok(LoadedMatrix {
+            plans: Arc::new(self.compile_plans(mappings)),
+            m,
+            n,
+        })
     }
 
     /// Runs one inference against a matrix previously made resident by
@@ -541,7 +597,7 @@ impl NewtonSystem {
                 detail: format!("expected {} elements, got {}", loaded.n, vector.len()),
             });
         }
-        self.run_loaded(&loaded.mappings, loaded.m, vector, false)
+        self.run_loaded(&loaded.plans, loaded.m, vector, false)
     }
 
     /// Runs a single matrix–vector product (matrix loaded at row 0) and
@@ -559,7 +615,8 @@ impl NewtonSystem {
         vector: &[Bf16],
     ) -> Result<SystemRun, AimError> {
         let (mappings, _) = self.load_matrix_at(matrix, m, n, 0)?;
-        self.run_loaded(&mappings, m, vector, false)
+        let plans = self.compile_plans(mappings);
+        self.run_loaded(&plans, m, vector, false)
     }
 
     /// The system's current simulated time: the furthest channel clock
@@ -720,11 +777,20 @@ impl NewtonSystem {
         // Every (channel, bank) pair fails at most twice (scrub, then
         // retire), so this bound is unreachable without a logic error.
         let max_attempts = (1 + 2 * self.config.channels * banks) as u64;
-        let mut mappings = loaded.mappings.clone();
+        // The happy path runs straight off the handle's shared plans (and
+        // their replay cache); only a recovery re-plan allocates.
+        let mut replans: Option<Vec<Option<ChannelPlan>>> = None;
+        let mut recovery_invalidations = 0u64;
         loop {
             report.attempts += 1;
-            match self.run_loaded(&mappings, m, vector, false) {
-                Ok(run) => {
+            let plans = replans.as_deref().unwrap_or(&loaded.plans);
+            match self.run_loaded(plans, m, vector, false) {
+                Ok(mut run) => {
+                    // Compiled entries dropped by recovery re-plans below
+                    // would otherwise go unreported: the aborted attempt's
+                    // stats died with its error and the replaced plans
+                    // never run again.
+                    run.stats.schedule_invalidations += recovery_invalidations;
                     report.capacity_fraction = self.capacity_fraction();
                     return Ok((run, report));
                 }
@@ -732,6 +798,13 @@ impl NewtonSystem {
                     if report.attempts >= max_attempts {
                         return Err(err);
                     }
+                    // The re-plan below retires this attempt's plans; any
+                    // compiled (or tombstoned) entries on them are dead.
+                    recovery_invalidations += plans
+                        .iter()
+                        .flatten()
+                        .map(ChannelPlan::purge_for_replan)
+                        .sum::<u64>();
                     // Quiesce all channels: the failing one aborted
                     // mid-row-set with banks open.
                     self.recover_all()?;
@@ -747,10 +820,14 @@ impl NewtonSystem {
                         report.retired_banks.push((channel, bank));
                     }
                     // The scrub-rewrite: reload the clean copy under the
-                    // current (possibly reduced) bank mapping. Rewriting
-                    // re-encodes every check word, clearing transient
-                    // faults; stuck cells reassert and fail again.
-                    mappings = self.load_matrix_at(matrix, m, n, 0)?.0;
+                    // current (possibly reduced) bank mapping and re-plan.
+                    // Rewriting re-encodes every check word, clearing
+                    // transient faults; stuck cells reassert and fail
+                    // again. The rewrite also moves the storage data
+                    // epoch, so any stale compiled entries on the old
+                    // plans can never replay.
+                    let mappings = self.load_matrix_at(matrix, m, n, 0)?.0;
+                    replans = Some(self.compile_plans(mappings));
                 }
                 Err(e) => return Err(e),
             }
@@ -784,9 +861,12 @@ impl NewtonSystem {
             });
         }
         let (mappings, _) = self.load_matrix_at(matrix, m, n, 0)?;
+        // One plan (and one Schedule::build) for the whole batch; with
+        // replay on, item 0 captures and items 1.. replay.
+        let plans = self.compile_plans(mappings);
         vectors
             .iter()
-            .map(|v| self.run_loaded(&mappings, m, v, false))
+            .map(|v| self.run_loaded(&plans, m, v, false))
             .collect()
     }
 
@@ -884,13 +964,15 @@ impl NewtonSystem {
                 detail: "no layers".into(),
             });
         }
-        // Load every layer's matrix up front (all resident, Sec. III-E).
+        // Load every layer's matrix up front (all resident, Sec. III-E),
+        // planning each once — repeated inference over the same model
+        // replays per layer.
         let mut base_row = 0;
-        let mut all_mappings = Vec::with_capacity(layers.len());
+        let mut all_plans = Vec::with_capacity(layers.len());
         for layer in layers {
             let (mappings, rows) = self.load_matrix_at(layer.matrix, layer.m, layer.n, base_row)?;
             base_row += rows;
-            all_mappings.push(mappings);
+            all_plans.push(self.compile_plans(mappings));
         }
 
         let start = self
@@ -904,7 +986,7 @@ impl NewtonSystem {
         let mut final_output = Vec::new();
         let tck = self.config.dram.timing.tck_ns;
 
-        for (layer, mappings) in layers.iter().zip(&all_mappings) {
+        for (layer, plans) in layers.iter().zip(&all_plans) {
             if vector.len() != layer.n {
                 return Err(AimError::Shape {
                     what: "layer input",
@@ -917,7 +999,7 @@ impl NewtonSystem {
                 && !layer.batch_norm
                 && layer.activation != ActivationKind::Identity
                 && self.activation == layer.activation;
-            let run = self.run_loaded(mappings, layer.m, &vector, lut_readout)?;
+            let run = self.run_loaded(plans, layer.m, &vector, lut_readout)?;
             stats.merge(&run.stats);
 
             // Host post-processing: batch norm (range scaling) and
@@ -1503,6 +1585,188 @@ mod tests {
         assert!(run.merged_telemetry().is_none());
         plain.reset_host_phases();
         assert_eq!(plain.host_phases().total_nanos(), 0);
+    }
+
+    /// A run summary with the telemetry's schedule-cache counters zeroed
+    /// (the only fields allowed to differ between replay on and off).
+    fn sans_cache(s: &RunSummary) -> RunSummary {
+        let mut s = s.clone();
+        s.telemetry = s.telemetry.as_ref().map(TimeSeries::sans_schedule_cache);
+        s
+    }
+
+    #[test]
+    fn schedule_replay_is_byte_identical_and_counts_hits() {
+        let (m, n) = (48, 700);
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 19) as f32 - 9.0) / 8.0))
+            .collect();
+        let vectors: Vec<Vec<Bf16>> = (0..4)
+            .map(|t| {
+                (0..n)
+                    .map(|k| bf((((k + t) % 7) as f32 - 3.0) / 2.0))
+                    .collect()
+            })
+            .collect();
+        let mut cfg = small_cfg(3);
+        cfg.ecc = true;
+        cfg.telemetry = Some(crate::config::TelemetryConfig { window_cycles: 256 });
+
+        let run_all = |replay: bool| {
+            let mut sys = NewtonSystem::new(cfg.clone()).unwrap();
+            sys.set_schedule_replay(replay);
+            let loaded = sys.load_matrix(&matrix, m, n).unwrap();
+            let runs: Vec<SystemRun> = vectors
+                .iter()
+                .map(|v| sys.run_resident(&loaded, v).unwrap())
+                .collect();
+            (runs, loaded)
+        };
+        let (live, live_loaded) = run_all(false);
+        let (replayed, loaded) = run_all(true);
+
+        // Replay off: the cache never engages, counters stay untouched.
+        assert_eq!(live_loaded.compiled_channels(), 0);
+        for r in &live {
+            assert_eq!(r.stats, r.stats.sans_schedule_cache());
+        }
+
+        // Replay on: run 0 misses and captures on every active channel;
+        // runs 1.. replay with folded train commands.
+        assert_eq!(loaded.compiled_channels(), 3);
+        assert_eq!(replayed[0].stats.schedule_misses, 3);
+        assert_eq!(replayed[0].stats.schedule_hits, 0);
+        for r in &replayed[1..] {
+            assert_eq!(r.stats.schedule_hits, 3);
+            assert_eq!(r.stats.schedule_misses, 0);
+            assert!(r.stats.replayed_commands > 0);
+        }
+
+        // Byte-identity: outputs, cycles, machine stats, and summaries
+        // (telemetry compared modulo the cache counter track).
+        for (a, b) in live.iter().zip(&replayed) {
+            let bits = |r: &SystemRun| r.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b));
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.stats.sans_schedule_cache(), b.stats.sans_schedule_cache());
+            assert_eq!(a.channel_summaries.len(), b.channel_summaries.len());
+            for (sa, sb) in a.channel_summaries.iter().zip(&b.channel_summaries) {
+                assert_eq!(sans_cache(sa), sans_cache(sb));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_replay_invalidates_on_weight_writes_and_engine_flips() {
+        let (m, n) = (32, 512);
+        let matrix: Vec<Bf16> = (0..m * n)
+            .map(|k| bf(((k % 13) as f32 - 6.0) / 4.0))
+            .collect();
+        let vector: Vec<Bf16> = (0..n).map(|k| bf(((k % 5) as f32 - 2.0) / 2.0)).collect();
+        let mut cfg = small_cfg(2);
+        cfg.ecc = true;
+        let mut sys = NewtonSystem::new(cfg).unwrap();
+        sys.set_schedule_replay(true);
+        let loaded = sys.load_matrix(&matrix, m, n).unwrap();
+        let golden = sys.run_resident(&loaded, &vector).unwrap();
+        assert_eq!(golden.stats.schedule_misses, 2);
+        assert_eq!(
+            sys.run_resident(&loaded, &vector)
+                .unwrap()
+                .stats
+                .schedule_hits,
+            2
+        );
+
+        // A weight-epoch move (fault injection) on channel 0 drops only
+        // that channel's entry; the live fallback corrects through ECC and
+        // matches the golden outputs bit for bit.
+        sys.channels_mut()[0]
+            .channel_mut()
+            .storage_mut()
+            .flip_bit(1, 0, 7)
+            .unwrap();
+        let run = sys.run_resident(&loaded, &vector).unwrap();
+        assert_eq!(run.stats.schedule_invalidations, 1);
+        assert_eq!(run.stats.schedule_misses, 1);
+        assert_eq!(run.stats.schedule_hits, 1);
+        assert_eq!(run.output, golden.output);
+        assert_eq!(run.stats.ecc_corrected, 1, "fallback drain sees the fault");
+
+        // The corrected-but-dirty drain must not have recaptured; the
+        // next clean drain does, and service returns to full hits.
+        let run = sys.run_resident(&loaded, &vector).unwrap();
+        assert_eq!(run.stats.schedule_misses, 1, "re-capture drain");
+        assert_eq!(
+            sys.run_resident(&loaded, &vector)
+                .unwrap()
+                .stats
+                .schedule_hits,
+            2
+        );
+
+        // An engine flip invalidates every compiled entry once.
+        let other = match sys.channels()[0].timing_engine() {
+            newton_dram::TimingEngine::Reference => newton_dram::TimingEngine::EventSkipping,
+            newton_dram::TimingEngine::EventSkipping => newton_dram::TimingEngine::Reference,
+        };
+        sys.set_timing_engine(other);
+        let run = sys.run_resident(&loaded, &vector).unwrap();
+        assert_eq!(run.stats.schedule_invalidations, 2);
+        assert_eq!(run.stats.schedule_misses, 2);
+        assert_eq!(run.output, golden.output);
+        assert_eq!(
+            sys.run_resident(&loaded, &vector)
+                .unwrap()
+                .stats
+                .schedule_hits,
+            2
+        );
+    }
+
+    #[test]
+    fn schedule_replay_bypasses_for_observers_and_host_traffic() {
+        let (m, n) = (32, 512);
+        let matrix = vec![bf(0.5); m * n];
+        let vector = vec![bf(1.0); n];
+        let mut sys = NewtonSystem::new(small_cfg(1)).unwrap();
+        sys.set_schedule_replay(true);
+        let loaded = sys.load_matrix(&matrix, m, n).unwrap();
+        assert_eq!(
+            sys.run_resident(&loaded, &vector)
+                .unwrap()
+                .stats
+                .schedule_misses,
+            1
+        );
+        assert_eq!(
+            sys.run_resident(&loaded, &vector)
+                .unwrap()
+                .stats
+                .schedule_hits,
+            1
+        );
+
+        // Queued host traffic must see the live drain (it interleaves at
+        // row-set boundaries replay does not re-scan for it).
+        sys.channels_mut()[0].enqueue_host_request(crate::controller::HostRequest {
+            bank: 3,
+            row: 4000,
+            col: 0,
+            write: None,
+        });
+        let run = sys.run_resident(&loaded, &vector).unwrap();
+        assert_eq!(run.stats.schedule_hits, 0);
+        assert_eq!(run.stats.schedule_misses, 1, "host traffic bypasses replay");
+        assert_eq!(sys.channels_mut()[0].take_host_responses().len(), 1);
+        assert!(run.output.iter().all(|&v| v == 256.0));
+
+        // Command tracing bypasses too (per-command events re-expand in
+        // the live drain); the entry survives for later un-observed runs.
+        sys.channels_mut()[0].enable_trace();
+        let run = sys.run_resident(&loaded, &vector).unwrap();
+        assert_eq!(run.stats.schedule_misses, 1, "trace bypasses replay");
+        assert!(sys.channels()[0].trace().count(|_| true) > 0);
     }
 
     #[test]

@@ -183,6 +183,48 @@ impl DataBus {
         Ok(())
     }
 
+    /// Occupies the bus for `count` bursts of `bytes` each, starting at
+    /// `start, start + step, ...`. State-equivalent to `count` sequential
+    /// [`DataBus::transfer`] calls at those cycles, but O(1) — the
+    /// closed-form leg of compiled-schedule replay.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Timing`] if the bus is still busy at `start` or (for
+    /// multi-burst trains) `step` is below tCCD, which would make later
+    /// bursts overlap. Nothing is recorded on failure.
+    pub fn transfer_train(
+        &mut self,
+        start: Cycle,
+        step: Cycle,
+        count: usize,
+        bytes: usize,
+        t: &Timing,
+    ) -> Result<(), DramError> {
+        if count == 0 {
+            return Ok(());
+        }
+        if start < self.busy_until {
+            return Err(DramError::Timing {
+                constraint: "data bus busy",
+                issued: start,
+                earliest: self.busy_until,
+                bank: None,
+            });
+        }
+        if count > 1 && step < t.t_ccd {
+            return Err(DramError::Timing {
+                constraint: "data bus busy",
+                issued: start + step,
+                earliest: start + t.t_ccd,
+                bank: None,
+            });
+        }
+        self.busy_until = start + (count as Cycle - 1) * step + t.t_ccd;
+        self.bytes += (count * bytes) as u64;
+        Ok(())
+    }
+
     /// Total bytes moved over the external interface.
     #[must_use]
     pub fn bytes(&self) -> u64 {
@@ -294,6 +336,33 @@ mod tests {
         assert!(bus.transfer(10 + t.t_ccd - 1, 32, &t).is_err());
         bus.transfer(10 + t.t_ccd, 32, &t).unwrap();
         assert_eq!(bus.bytes(), 64);
+    }
+
+    #[test]
+    fn transfer_train_matches_sequential_transfers() {
+        let t = timing();
+        for (start, step, count) in [
+            (100, t.t_ccd, 32usize),
+            (100, t.t_ccd + 7, 32),
+            (10 + t.t_ccd, t.t_ccd, 1),
+            (50, 1000, 2),
+        ] {
+            let mut looped = DataBus::new();
+            looped.transfer(10, 32, &t).unwrap();
+            let mut batched = looped.clone();
+            for i in 0..count {
+                looped.transfer(start + i as Cycle * step, 32, &t).unwrap();
+            }
+            batched.transfer_train(start, step, count, 32, &t).unwrap();
+            assert_eq!(looped.bytes(), batched.bytes());
+            assert_eq!(looped.busy_until(), batched.busy_until());
+        }
+        // Under-spaced or early trains are rejected whole.
+        let mut bus = DataBus::new();
+        bus.transfer(10, 32, &t).unwrap();
+        assert!(bus.transfer_train(10, t.t_ccd, 4, 32, &t).is_err());
+        assert!(bus.transfer_train(100, t.t_ccd - 1, 4, 32, &t).is_err());
+        assert_eq!(bus.bytes(), 32);
     }
 
     #[test]

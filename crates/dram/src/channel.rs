@@ -238,6 +238,21 @@ impl Channel {
         &self.ecc
     }
 
+    /// The storage data-mutation epoch (see [`Storage::write_epoch`]) —
+    /// the compiled-schedule replay cache's "weights untouched since
+    /// capture" witness.
+    #[must_use]
+    pub fn write_epoch(&self) -> u64 {
+        self.storage.write_epoch()
+    }
+
+    /// Whether an audit log is attached (replay must bypass: the batched
+    /// appliers cannot reproduce per-command audit events).
+    #[must_use]
+    pub fn has_audit(&self) -> bool {
+        self.audit.is_some()
+    }
+
     /// Scrubs an entire row against its SECDED check bytes on activation
     /// (the row-buffer fill is where a real on-die ECC engine sees the
     /// whole row). No-op while ECC is off.
@@ -513,6 +528,37 @@ impl Channel {
         cycle: Cycle,
         pairs: &[(usize, usize)],
     ) -> Result<Cycle, DramError> {
+        self.issue_ganged_activate_inner(cycle, pairs, true)
+    }
+
+    /// [`Channel::issue_ganged_activate`] without the row-buffer-fill ECC
+    /// scrub — the replay-path variant. Only legal when the caller can
+    /// prove the activated rows are clean (no mutation since a
+    /// correction-free drain, witnessed by [`Channel::write_epoch`]): a
+    /// clean scrub is observable-state-free, so skipping it is
+    /// byte-identical while avoiding the per-row syndrome sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same constraint/bank-state/range errors as the scrubbing form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or longer than 4.
+    pub fn issue_ganged_activate_prescrubbed(
+        &mut self,
+        cycle: Cycle,
+        pairs: &[(usize, usize)],
+    ) -> Result<Cycle, DramError> {
+        self.issue_ganged_activate_inner(cycle, pairs, false)
+    }
+
+    fn issue_ganged_activate_inner(
+        &mut self,
+        cycle: Cycle,
+        pairs: &[(usize, usize)],
+        scrub: bool,
+    ) -> Result<Cycle, DramError> {
         assert!(
             !pairs.is_empty() && pairs.len() <= 4,
             "ganged activation must cover 1..=4 banks"
@@ -591,8 +637,10 @@ impl Channel {
         }
         // Row-buffer-fill scrub: with ECC on, the whole activated row is
         // checked/corrected as it enters the row buffer.
-        for &(bank, row) in pairs {
-            self.ecc_scrub_row(cycle, bank, row)?;
+        if scrub {
+            for &(bank, row) in pairs {
+                self.ecc_scrub_row(cycle, bank, row)?;
+            }
         }
         Ok(cycle)
     }
@@ -861,6 +909,144 @@ impl Channel {
         }
         self.note_activity(start);
         Ok(last)
+    }
+
+    /// The replay-path COMP train: like the batched leg of
+    /// [`Channel::issue_comp_burst`], but it stays batched when a
+    /// telemetry collector is attached (the per-command events fold
+    /// closed-form into the windowed series) and when ECC is on (the
+    /// caller proves the operand rows are clean via
+    /// [`Channel::write_epoch`], so every per-column check would be a
+    /// no-op `Ok(0)`). Byte-identical in all observable state to the
+    /// sequential expansion under those preconditions.
+    ///
+    /// Must not be called with an audit log or trace sink attached —
+    /// those observers see individual commands, which a fold cannot
+    /// reproduce; the replay engine bypasses the cache instead.
+    ///
+    /// # Errors
+    ///
+    /// Constraint violations, bank-state errors, or bad indices;
+    /// everything is validated before any state mutates.
+    pub fn issue_comp_burst_replay(
+        &mut self,
+        start: Cycle,
+        step: Cycle,
+        count: usize,
+        banks: &[usize],
+    ) -> Result<Cycle, DramError> {
+        debug_assert!(
+            self.audit.is_none() && self.sink.0.is_none(),
+            "replay trains cannot serve per-command observers"
+        );
+        if count == 0 {
+            return Ok(start);
+        }
+        if count > self.config.cols_per_row {
+            return Err(DramError::AddressOutOfRange {
+                kind: "column",
+                index: self.config.cols_per_row,
+                limit: self.config.cols_per_row,
+            });
+        }
+        for &bank in banks {
+            self.check_bank(bank)?;
+            self.banks[bank].check_comp_burst(start, step, count, &self.timing)?;
+        }
+        self.col_bus.issue_train(start, step, count, &self.timing)?;
+        for &bank in banks {
+            self.banks[bank]
+                .comp_burst(start, step, count, &self.timing)
+                .expect("pre-flighted comp burst");
+        }
+        self.stats.col_reads_internal += (count * banks.len()) as u64;
+        if banks.len() > 1 {
+            self.stats.ganged_commands += count as u64;
+        }
+        self.note_activity(start);
+        if let Some(t) = &mut self.telemetry {
+            let milli_pj = to_milli_pj(t.energy.command_pj("COMP", banks.len() as u32, 0));
+            t.series.record_command_train(
+                start,
+                step,
+                count as u64,
+                "COMP",
+                banks.len() as u32,
+                milli_pj,
+            );
+            for &bank in banks {
+                t.series.record_bank_comp_train(bank, count as u64);
+            }
+        }
+        Ok(start + (count as Cycle - 1) * step)
+    }
+
+    /// The replay-path GWRITE train: `count` broadcast writes of `bytes`
+    /// each at `start, start + step, ...`, state-equivalent to the
+    /// sequential [`Channel::issue_broadcast_write`] loop (telemetry
+    /// folded closed-form) but O(windows) instead of O(count). Same
+    /// observer preconditions as [`Channel::issue_comp_burst_replay`].
+    ///
+    /// # Errors
+    ///
+    /// Command-bus or data-bus violations; validated before any state
+    /// mutates.
+    pub fn issue_broadcast_write_train(
+        &mut self,
+        start: Cycle,
+        step: Cycle,
+        count: usize,
+        bytes: usize,
+    ) -> Result<Cycle, DramError> {
+        debug_assert!(
+            self.audit.is_none() && self.sink.0.is_none(),
+            "replay trains cannot serve per-command observers"
+        );
+        if count == 0 {
+            return Ok(start);
+        }
+        // Pre-validate the data-bus leg so a failure leaves the command
+        // bus untouched (the col-bus train validates itself).
+        let burst0 = start + self.timing.t_aa;
+        if burst0 < self.data_bus.busy_until() || (count > 1 && step < self.timing.t_ccd) {
+            return Err(DramError::Timing {
+                constraint: "data bus busy",
+                issued: burst0,
+                earliest: self.data_bus.busy_until().max(burst0),
+                bank: None,
+            });
+        }
+        self.col_bus.issue_train(start, step, count, &self.timing)?;
+        self.data_bus
+            .transfer_train(burst0, step, count, bytes, &self.timing)
+            .expect("pre-validated data-bus train");
+        self.stats.broadcast_bytes += (count * bytes) as u64;
+        self.note_activity(start);
+        if let Some(t) = &mut self.telemetry {
+            let milli_pj = to_milli_pj(t.energy.command_pj("GWRITE", 0, bytes as u64));
+            t.series
+                .record_command_train(start, step, count as u64, "GWRITE", 0, milli_pj);
+            t.series
+                .record_burst_train(burst0, step, count as u64, bytes as u64);
+        }
+        Ok(start + (count as Cycle - 1) * step)
+    }
+
+    /// Folds one schedule-cache outcome (hit / miss / invalidation plus
+    /// closed-form command count) into the telemetry series at `cycle`.
+    /// No-op without telemetry.
+    pub fn note_schedule_cache(
+        &mut self,
+        cycle: Cycle,
+        hits: u64,
+        misses: u64,
+        invalidations: u64,
+        replayed_commands: u64,
+    ) {
+        if let Some(t) = &mut self.telemetry {
+            t.series
+                .record_schedule_cache(cycle, hits, misses, invalidations, replayed_commands);
+        }
     }
 
     /// Issues a broadcast-class command (e.g. Newton GWRITE): consumes one
@@ -1319,6 +1505,109 @@ mod tests {
             burst.issue_precharge_all(p).unwrap();
             assert_eq!(looped.summary(p + 50), burst.summary(p + 50));
         }
+    }
+
+    #[test]
+    fn replay_comp_burst_matches_sequential_with_ecc_and_telemetry() {
+        // The replay train must be byte-identical to the per-command
+        // expansion even with ECC and telemetry on, provided storage is
+        // clean — the exact precondition the replay engine proves via
+        // write_epoch before arming.
+        let t = timing();
+        let banks = [0usize, 1, 2, 3];
+        let setup = || {
+            let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+            ch.storage_mut().enable_ecc();
+            ch.enable_telemetry(64);
+            for &bank in &banks {
+                ch.storage_mut()
+                    .write_row(bank, 3, &vec![bank as u8 + 1; 1024])
+                    .unwrap();
+            }
+            ch.issue_ganged_activate(0, &[(0, 3), (1, 3), (2, 3), (3, 3)])
+                .unwrap();
+            ch
+        };
+        for count in [1usize, 2, 32] {
+            let mut looped = setup();
+            let mut replay = setup();
+            let t0 = looped.earliest_ganged_column_read(0, &banks);
+            let step = t.t_ccd.max(t.t_cmd);
+            let mut pairs: Vec<(usize, usize)> = banks.iter().map(|&b| (b, 0)).collect();
+            for i in 0..count {
+                for p in &mut pairs {
+                    p.1 = i;
+                }
+                looped
+                    .issue_ganged_column_read_internal(t0 + i as Cycle * step, &pairs, |_, _| {})
+                    .unwrap();
+            }
+            let last = replay
+                .issue_comp_burst_replay(t0, step, count, &banks)
+                .unwrap();
+            assert_eq!(last, t0 + (count as Cycle - 1) * step);
+            let end = last + 100;
+            assert_eq!(looped.summary(end), replay.summary(end), "count={count}");
+            assert_eq!(looped.write_epoch(), replay.write_epoch());
+            // Future behavior matches too.
+            let p = looped.earliest_precharge_all();
+            looped.issue_precharge_all(p).unwrap();
+            replay.issue_precharge_all(p).unwrap();
+            assert_eq!(looped.summary(p + 50), replay.summary(p + 50));
+        }
+    }
+
+    #[test]
+    fn broadcast_write_train_matches_sequential_loop() {
+        let mk = || {
+            let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+            ch.enable_telemetry(64);
+            // Pre-touch the buses so the train starts from a non-virgin state.
+            ch.issue_broadcast_write(0, 32).unwrap();
+            ch
+        };
+        let mut looped = mk();
+        let mut train = mk();
+        let t0 = looped.earliest_broadcast_write(7);
+        let step = looped.timing().t_ccd.max(looped.timing().t_cmd);
+        for i in 0..32u64 {
+            let c = looped.earliest_broadcast_write(if i == 0 { 7 } else { 0 });
+            assert_eq!(c, t0 + i * step, "gwrite cursor invariant");
+            looped.issue_broadcast_write(c, 32).unwrap();
+        }
+        let last = train.issue_broadcast_write_train(t0, step, 32, 32).unwrap();
+        assert_eq!(last, t0 + 31 * step);
+        assert_eq!(looped.summary(last + 10), train.summary(last + 10));
+        // An early train is rejected whole, leaving both buses untouched.
+        let before = train.summary(last + 10);
+        assert!(train.issue_broadcast_write_train(last, 1, 4, 32).is_err());
+        assert_eq!(train.summary(last + 10), before);
+    }
+
+    #[test]
+    fn prescrubbed_activate_matches_scrubbing_activate_on_clean_rows() {
+        let mk = || {
+            let mut ch = Channel::new(DramConfig::hbm2e_like()).unwrap();
+            ch.storage_mut().enable_ecc();
+            ch.enable_telemetry(64);
+            ch.storage_mut().write_row(0, 5, &vec![9u8; 1024]).unwrap();
+            ch.storage_mut().write_row(1, 5, &vec![8u8; 1024]).unwrap();
+            ch
+        };
+        let mut scrubbed = mk();
+        let mut pristine = mk();
+        scrubbed
+            .issue_ganged_activate(0, &[(0, 5), (1, 5)])
+            .unwrap();
+        pristine
+            .issue_ganged_activate_prescrubbed(0, &[(0, 5), (1, 5)])
+            .unwrap();
+        assert_eq!(scrubbed.summary(100), pristine.summary(100));
+        assert_eq!(scrubbed.write_epoch(), pristine.write_epoch());
+        assert_eq!(
+            scrubbed.storage().row(0, 5).unwrap(),
+            pristine.storage().row(0, 5).unwrap()
+        );
     }
 
     #[test]

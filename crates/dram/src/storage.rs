@@ -59,6 +59,12 @@ pub struct Storage {
     /// Monotonic counter handing out fresh generations across all rows, so
     /// a row rewritten after a cache snapshot never reuses an old value.
     next_generation: u64,
+    /// Monotonic counter of *data mutations* (writes, fault injections,
+    /// scrub corrections). Unlike `next_generation` — which reserves a
+    /// value on every ECC scrub, even a clean one — this only moves when
+    /// stored bytes actually change, so compiled-schedule replay can use
+    /// it as a whole-channel "weights untouched since capture" witness.
+    data_epoch: u64,
     /// Whether rows carry SECDED check bytes.
     ecc: bool,
     /// Persistent stuck-at cells, re-asserted after every legitimate write
@@ -79,6 +85,7 @@ impl Storage {
             cols_per_row: config.cols_per_row,
             zero_row: vec![0u8; config.row_bytes()].into_boxed_slice(),
             next_generation: 0,
+            data_epoch: 0,
             ecc: false,
             stuck: BTreeMap::new(),
         }
@@ -122,7 +129,17 @@ impl Storage {
 
     fn bump_generation(&mut self) -> u64 {
         self.next_generation += 1;
+        self.data_epoch += 1;
         self.next_generation
+    }
+
+    /// Current data-mutation epoch: bumped by every legitimate write,
+    /// fault injection, and ECC scrub *correction* — but **not** by clean
+    /// scrubs or reads. Two observations of the same value prove no stored
+    /// byte in this channel changed in between.
+    #[must_use]
+    pub fn write_epoch(&self) -> u64 {
+        self.data_epoch
     }
 
     fn check_bank_row(&self, bank: usize, row: usize) -> Result<(), DramError> {
@@ -427,6 +444,9 @@ impl Storage {
         if data_fixed {
             slot.generation = generation;
         }
+        if corrected > 0 {
+            self.data_epoch += 1;
+        }
         Ok(corrected)
     }
 
@@ -619,6 +639,43 @@ mod tests {
 
         // Bounds.
         assert!(s.row_generation(16, 0).is_err());
+    }
+
+    #[test]
+    fn write_epoch_moves_only_on_data_mutations() {
+        let mut s = storage();
+        s.enable_ecc();
+        let e0 = s.write_epoch();
+        // Reads and clean scrubs leave the epoch alone.
+        let _ = s.row(0, 1).unwrap();
+        assert_eq!(s.scrub_row(0, 1).unwrap(), 0);
+        assert_eq!(s.write_epoch(), e0);
+
+        s.write_row(0, 1, &vec![0x3Cu8; 1024]).unwrap();
+        let e1 = s.write_epoch();
+        assert!(e1 > e0, "write_row mutates");
+        // Clean scrub of an allocated row: reserves a generation but must
+        // not move the data epoch.
+        assert_eq!(s.scrub_row(0, 1).unwrap(), 0);
+        assert_eq!(s.check_column(0, 1, 0).unwrap(), 0);
+        assert_eq!(s.write_epoch(), e1);
+
+        s.flip_bit(0, 1, 9).unwrap();
+        let e2 = s.write_epoch();
+        assert!(e2 > e1, "fault injection mutates");
+        // The correcting scrub mutates too (it rewrites the faulty word).
+        assert_eq!(s.scrub_row(0, 1).unwrap(), 1);
+        let e3 = s.write_epoch();
+        assert!(e3 > e2, "scrub correction mutates");
+        // Once clean again, scrubs are epoch-stable.
+        assert_eq!(s.scrub_row(0, 1).unwrap(), 0);
+        assert_eq!(s.write_epoch(), e3);
+
+        s.write_column(0, 1, 2, &[0u8; 32]).unwrap();
+        assert!(s.write_epoch() > e3, "write_column mutates");
+        let e4 = s.write_epoch();
+        s.set_stuck(0, 1, 5, true).unwrap();
+        assert!(s.write_epoch() > e4, "stuck-cell declaration mutates");
     }
 
     #[test]

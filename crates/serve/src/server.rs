@@ -156,6 +156,17 @@ pub struct ServeReport {
     pub injected_faults: u64,
     /// Matrix re-plans after bank retirements.
     pub replans: u64,
+    /// Dispatches served from the compiled-schedule replay cache
+    /// (summed per-channel hits across all completed runs).
+    pub schedule_hits: u64,
+    /// Dispatches that drained live (cold cache, invalidated entry, or
+    /// observer bypass), summed per channel.
+    pub schedule_misses: u64,
+    /// Compiled entries dropped by weight writes, engine flips, or
+    /// re-plans, summed per channel.
+    pub schedule_invalidations: u64,
+    /// Commands applied via folded replay trains instead of live issue.
+    pub replayed_commands: u64,
     /// Output words differing from the pristine golden (silent data
     /// corruption; must be 0 with ECC on).
     pub sdc: u64,
@@ -204,6 +215,19 @@ impl ServeReport {
             )
             .count(&format!("{prefix}/injected_faults"), self.injected_faults)
             .count(&format!("{prefix}/replans"), self.replans)
+            .count(&format!("{prefix}/schedule_cache/hits"), self.schedule_hits)
+            .count(
+                &format!("{prefix}/schedule_cache/misses"),
+                self.schedule_misses,
+            )
+            .count(
+                &format!("{prefix}/schedule_cache/invalidations"),
+                self.schedule_invalidations,
+            )
+            .count(
+                &format!("{prefix}/schedule_cache/replayed_commands"),
+                self.replayed_commands,
+            )
             .count(&format!("{prefix}/sdc"), self.sdc)
             .scalar(&format!("{prefix}/p50_ns"), self.p50_ns)
             .scalar(&format!("{prefix}/p99_ns"), self.p99_ns)
@@ -215,6 +239,20 @@ impl ServeReport {
             .scalar(&format!("{prefix}/joules_per_query"), self.joules_per_query);
         self.recovery
             .record_into(snap, &format!("{prefix}/recovery"));
+    }
+
+    /// This report with the schedule-cache counters zeroed — the only
+    /// fields allowed to differ between replay-on and replay-off runs
+    /// (the determinism suite compares sanitized reports for equality).
+    #[must_use]
+    pub fn sans_schedule_cache(&self) -> ServeReport {
+        ServeReport {
+            schedule_hits: 0,
+            schedule_misses: 0,
+            schedule_invalidations: 0,
+            replayed_commands: 0,
+            ..self.clone()
+        }
     }
 }
 
@@ -409,6 +447,8 @@ impl Server {
         let (mut attempts_total, mut scrub_rewrites, mut replans) = (0u64, 0u64, 0u64);
         let mut retired: Vec<(usize, usize)> = Vec::new();
         let (mut conventional_bursts, mut injected_faults, mut sdc) = (0u64, 0u64, 0u64);
+        let (mut sched_hits, mut sched_misses, mut sched_invalidations, mut replayed_cmds) =
+            (0u64, 0u64, 0u64, 0u64);
 
         loop {
             let now = self.sys.now();
@@ -524,6 +564,10 @@ impl Server {
                     .map_err(ServeError::Fatal)?;
                 attempts_total += rep.attempts;
                 scrub_rewrites += rep.scrub_rewrites;
+                sched_hits += run.stats.schedule_hits;
+                sched_misses += run.stats.schedule_misses;
+                sched_invalidations += run.stats.schedule_invalidations;
+                replayed_cmds += run.stats.replayed_commands;
                 if rep.attempts > 1 {
                     let extra = rep.attempts - 1;
                     retries += extra;
@@ -611,6 +655,10 @@ impl Server {
             conventional_bursts,
             injected_faults,
             replans,
+            schedule_hits: sched_hits,
+            schedule_misses: sched_misses,
+            schedule_invalidations: sched_invalidations,
+            replayed_commands: replayed_cmds,
             sdc,
             p50_ns: to_ns(percentile_sorted(&latencies, 0.50)),
             p99_ns: to_ns(percentile_sorted(&latencies, 0.99)),

@@ -27,7 +27,10 @@ use crate::sink::{RequestClass, TraceEvent};
 /// Version of the telemetry JSON documents ([`TimeSeries::to_json`] and
 /// the `telemetry_schema_version` key snapshots carry). Bump only for
 /// breaking shape changes; consumers must ignore unknown keys.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: per-window `schedule_{hits,misses,invalidations}` and
+/// `replayed_commands` counters from the compiled-schedule replay cache.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
 
 /// Default telemetry window width, in command-clock cycles.
 pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;
@@ -77,6 +80,16 @@ pub struct WindowMetrics {
     pub deadline_misses: u64,
     /// Run attempts retried after uncorrectable faults.
     pub retries: u64,
+    /// Channel drains served from the compiled-schedule replay cache.
+    pub schedule_hits: u64,
+    /// Channel drains that ran the live scheduler (cold or bypassed).
+    pub schedule_misses: u64,
+    /// Compiled schedules dropped because weights, engine, or bank map
+    /// changed since capture.
+    pub schedule_invalidations: u64,
+    /// DRAM commands applied closed-form (never individually rescanned)
+    /// during replayed drains.
+    pub replayed_commands: u64,
 }
 
 impl WindowMetrics {
@@ -102,6 +115,10 @@ impl WindowMetrics {
         self.sheds += o.sheds;
         self.deadline_misses += o.deadline_misses;
         self.retries += o.retries;
+        self.schedule_hits += o.schedule_hits;
+        self.schedule_misses += o.schedule_misses;
+        self.schedule_invalidations += o.schedule_invalidations;
+        self.replayed_commands += o.replayed_commands;
     }
 }
 
@@ -285,6 +302,128 @@ impl TimeSeries {
         }
     }
 
+    /// Applies `f(window, k)` once per window overlapped by the regular
+    /// event train `start, start + step, ...` (`count` events total),
+    /// where `k` is the number of train events landing in that window.
+    fn fold_train(
+        &mut self,
+        start: u64,
+        step: u64,
+        count: u64,
+        mut f: impl FnMut(&mut WindowMetrics, u64),
+    ) {
+        if count == 0 {
+            return;
+        }
+        if step == 0 {
+            f(self.window_mut(start), count);
+            return;
+        }
+        let w = self.window_cycles;
+        let mut i = 0u64;
+        while i < count {
+            let cycle = start + i * step;
+            let window_end = (cycle / w + 1) * w;
+            // First train index at or past the window boundary.
+            let bound = (window_end - start).div_ceil(step).min(count);
+            f(self.window_mut(cycle), bound - i);
+            i = bound;
+        }
+    }
+
+    /// Folds a regular train of `count` command events (label semantics
+    /// identical to [`TraceEvent::Command`] in [`TimeSeries::record`]),
+    /// each optionally carrying `milli_pj` of streamed command energy, in
+    /// O(windows touched) instead of O(count) — the closed-form telemetry
+    /// leg of compiled-schedule replay. Value-equivalent to recording each
+    /// `Command` (and, when `milli_pj > 0`, each `CommandEnergy`) event.
+    pub fn record_command_train(
+        &mut self,
+        start: u64,
+        step: u64,
+        count: u64,
+        label: &'static str,
+        bank_ops: u32,
+        milli_pj: u64,
+    ) {
+        self.fold_train(start, step, count, |w, k| {
+            w.commands += k;
+            match label {
+                "ACT" | "G_ACT" => {
+                    w.activates += k * u64::from(bank_ops);
+                    if bank_ops > 1 {
+                        w.ganged_acts += k;
+                        w.ganged_act_banks += k * u64::from(bank_ops);
+                    }
+                }
+                "COMP" => {
+                    w.comp_ops += k * u64::from(bank_ops);
+                    w.array_accesses += k * u64::from(bank_ops);
+                }
+                "RD" | "WR" => w.array_accesses += k,
+                "REF" => w.refresh_banks += k * u64::from(bank_ops),
+                _ => {}
+            }
+            if milli_pj > 0 {
+                if label == "REF" {
+                    w.refresh_milli_pj += k * milli_pj;
+                } else {
+                    w.energy_milli_pj += k * milli_pj;
+                }
+            }
+        });
+    }
+
+    /// Folds a regular train of `count` data-bus bursts of `bytes` each —
+    /// value-equivalent to recording each [`TraceEvent::DataBurst`].
+    pub fn record_burst_train(&mut self, start: u64, step: u64, count: u64, bytes: u64) {
+        self.fold_train(start, step, count, |w, k| w.bus_bytes += k * bytes);
+    }
+
+    /// Folds `count` COMP operations into a bank's residency counters —
+    /// value-equivalent to `count` [`BankClass::Computing`] bank-state
+    /// events (which are window-independent).
+    pub fn record_bank_comp_train(&mut self, bank: usize, count: u64) {
+        if let Some(slot) = self.per_bank.get_mut(bank) {
+            slot.comp_ops += count;
+        }
+    }
+
+    /// Counts one schedule-cache outcome for the drain starting at
+    /// `cycle`: a replay hit, a live (miss) drain, and/or an invalidation
+    /// of a previously compiled entry, plus the number of commands the
+    /// replayed drain applied closed-form.
+    pub fn record_schedule_cache(
+        &mut self,
+        cycle: u64,
+        hits: u64,
+        misses: u64,
+        invalidations: u64,
+        replayed_commands: u64,
+    ) {
+        let w = self.window_mut(cycle);
+        w.schedule_hits += hits;
+        w.schedule_misses += misses;
+        w.schedule_invalidations += invalidations;
+        w.replayed_commands += replayed_commands;
+    }
+
+    /// A copy with the schedule-cache counters zeroed in every window —
+    /// the comparison form for replay-on vs replay-off byte-identity
+    /// checks, where the cache's own bookkeeping is the one deliberate
+    /// divergence.
+    #[must_use]
+    pub fn sans_schedule_cache(&self) -> TimeSeries {
+        let mut s = self.clone();
+        for w in &mut s.windows {
+            w.schedule_hits = 0;
+            w.schedule_misses = 0;
+            w.schedule_invalidations = 0;
+            w.replayed_commands = 0;
+        }
+        s
+    }
+
     /// A snapshot of the series covering `0..end_cycle`: windows padded
     /// with zeros up to the window containing the last cycle, so two runs
     /// ending at the same cycle render byte-identically regardless of
@@ -412,6 +551,16 @@ impl TimeSeries {
                     ("sheds".into(), JsonValue::from(m.sheds)),
                     ("deadline_misses".into(), JsonValue::from(m.deadline_misses)),
                     ("retries".into(), JsonValue::from(m.retries)),
+                    ("schedule_hits".into(), JsonValue::from(m.schedule_hits)),
+                    ("schedule_misses".into(), JsonValue::from(m.schedule_misses)),
+                    (
+                        "schedule_invalidations".into(),
+                        JsonValue::from(m.schedule_invalidations),
+                    ),
+                    (
+                        "replayed_commands".into(),
+                        JsonValue::from(m.replayed_commands),
+                    ),
                 ])
             })
             .collect();
@@ -474,6 +623,22 @@ impl TimeSeries {
                         JsonValue::from(totals.deadline_misses),
                     ),
                     ("retries".into(), JsonValue::from(totals.retries)),
+                    (
+                        "schedule_hits".into(),
+                        JsonValue::from(totals.schedule_hits),
+                    ),
+                    (
+                        "schedule_misses".into(),
+                        JsonValue::from(totals.schedule_misses),
+                    ),
+                    (
+                        "schedule_invalidations".into(),
+                        JsonValue::from(totals.schedule_invalidations),
+                    ),
+                    (
+                        "replayed_commands".into(),
+                        JsonValue::from(totals.replayed_commands),
+                    ),
                 ]),
             ),
             ("per_bank".into(), JsonValue::Array(per_bank)),
@@ -551,6 +716,17 @@ impl TimeSeries {
                     ("sheds", m.sheds as f64),
                     ("deadline_misses", m.deadline_misses as f64),
                     ("retries", m.retries as f64),
+                ],
+            );
+            builder.counter(
+                pid,
+                "telemetry: schedule cache",
+                cycle,
+                &[
+                    ("hits", m.schedule_hits as f64),
+                    ("misses", m.schedule_misses as f64),
+                    ("invalidations", m.schedule_invalidations as f64),
+                    ("replayed_commands", m.replayed_commands as f64),
                 ],
             );
         }
@@ -696,8 +872,138 @@ mod tests {
         ts.record(&act(150, 1));
         let mut b = crate::chrome::ChromeTraceBuilder::new(1.0);
         ts.to_chrome(&mut b, 7, &EnergyModel::new());
-        // Seven counter tracks per window, two windows.
-        assert_eq!(b.len(), 14);
+        // Eight counter tracks per window, two windows.
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn train_folds_match_per_event_records() {
+        // Any (start, step, count) train must fold to exactly the series
+        // the per-event path produces, across window-straddling shapes.
+        for (start, step, count) in [
+            (0u64, 4u64, 1u64),
+            (5, 4, 32),
+            (95, 4, 64),
+            (99, 1, 300),
+            (0, 100, 5),
+            (250, 97, 40),
+            (7, 0, 3),
+            (1023, 4, 256),
+        ] {
+            let mut looped = TimeSeries::new(100, 4);
+            let mut folded = TimeSeries::new(100, 4);
+            for i in 0..count {
+                let cycle = start + i * step;
+                looped.record(&TraceEvent::Command {
+                    cycle,
+                    bus: TraceBus::Column,
+                    label: "COMP",
+                    bank_ops: 16,
+                });
+                looped.record(&TraceEvent::CommandEnergy {
+                    cycle,
+                    label: "COMP",
+                    milli_pj: 1234,
+                });
+                looped.record(&TraceEvent::DataBurst { cycle, bytes: 32 });
+                looped.record(&TraceEvent::BankState {
+                    cycle,
+                    bank: 2,
+                    class: BankClass::Computing,
+                });
+            }
+            folded.record_command_train(start, step, count, "COMP", 16, 1234);
+            folded.record_burst_train(start, step, count, 32);
+            folded.record_bank_comp_train(2, count);
+            assert_eq!(looped, folded, "start={start} step={step} count={count}");
+        }
+        // GWRITE trains count commands + energy only, like record().
+        let mut looped = TimeSeries::new(100, 1);
+        let mut folded = TimeSeries::new(100, 1);
+        for i in 0..40u64 {
+            looped.record(&TraceEvent::Command {
+                cycle: 90 + i * 4,
+                bus: TraceBus::Column,
+                label: "GWRITE",
+                bank_ops: 0,
+            });
+            looped.record(&TraceEvent::CommandEnergy {
+                cycle: 90 + i * 4,
+                label: "GWRITE",
+                milli_pj: 55,
+            });
+        }
+        folded.record_command_train(90, 4, 40, "GWRITE", 0, 55);
+        assert_eq!(looped, folded);
+        // Zero energy folds no CommandEnergy, matching the channel's
+        // emit-only-when-priced behavior.
+        let mut a = TimeSeries::new(100, 1);
+        let mut b2 = TimeSeries::new(100, 1);
+        a.record(&TraceEvent::Command {
+            cycle: 10,
+            bus: TraceBus::Column,
+            label: "GWRITE",
+            bank_ops: 0,
+        });
+        b2.record_command_train(10, 4, 1, "GWRITE", 0, 0);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn schedule_cache_counters_fold_export_and_sanitize() {
+        let mut ts = TimeSeries::new(100, 1);
+        ts.record_schedule_cache(5, 0, 1, 0, 0);
+        ts.record_schedule_cache(150, 1, 0, 0, 640);
+        ts.record_schedule_cache(250, 0, 1, 1, 0);
+        assert_eq!(ts.windows()[0].schedule_misses, 1);
+        assert_eq!(ts.windows()[1].schedule_hits, 1);
+        assert_eq!(ts.windows()[1].replayed_commands, 640);
+        assert_eq!(ts.windows()[2].schedule_invalidations, 1);
+        let t = ts.totals();
+        assert_eq!(
+            (
+                t.schedule_hits,
+                t.schedule_misses,
+                t.schedule_invalidations,
+                t.replayed_commands
+            ),
+            (1, 2, 1, 640)
+        );
+
+        // Merge sums them like every other field.
+        let mut merged = ts.clone();
+        merged.merge(&ts);
+        assert_eq!(merged.totals().schedule_hits, 2);
+
+        // The v2 JSON document carries them per window and in totals.
+        let doc = ts.to_json(1.0, &EnergyModel::new());
+        let back = JsonValue::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(
+            back.get("telemetry_schema_version").unwrap().as_f64(),
+            Some(2.0)
+        );
+        let w1 = &back.get("windows").unwrap().as_array().unwrap()[1];
+        assert_eq!(w1.get("schedule_hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(w1.get("replayed_commands").unwrap().as_f64(), Some(640.0));
+        let totals = back.get("totals").unwrap();
+        assert_eq!(totals.get("schedule_misses").unwrap().as_f64(), Some(2.0));
+
+        // Sanitizing zeroes exactly the cache counters.
+        let clean = ts.sans_schedule_cache();
+        let ct = clean.totals();
+        assert_eq!(
+            (
+                ct.schedule_hits,
+                ct.schedule_misses,
+                ct.schedule_invalidations,
+                ct.replayed_commands
+            ),
+            (0, 0, 0, 0)
+        );
+        let mut expect = TimeSeries::new(100, 1);
+        expect.record_schedule_cache(250, 0, 0, 0, 0);
+        assert_eq!(clean.windows().len(), 3);
+        assert_eq!(clean.windows()[2].commands, 0);
     }
 
     #[test]

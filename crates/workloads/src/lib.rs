@@ -16,12 +16,16 @@
 //! * [`mod@reference`]: `f64`/`f32` reference implementations of the MV
 //!   product, activations, normalization, and chained model execution;
 //! * [`arrivals`]: deterministic open-loop arrival traces
-//!   (Poisson/bursty/diurnal via thinning) for the online serving layer.
+//!   (Poisson/bursty/diurnal via thinning) for the online serving layer;
+//! * [`decode`]: autoregressive decode streams — N per-token GEMVs
+//!   against one resident matrix, with a per-token `f64` oracle (the
+//!   compiled-schedule replay cache's target workload).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod arrivals;
+pub mod decode;
 pub mod generator;
 pub mod models;
 pub mod postprocess;
@@ -30,4 +34,5 @@ pub mod rng;
 pub mod suite;
 
 pub use arrivals::ArrivalPattern;
+pub use decode::DecodeStreamSpec;
 pub use suite::{Benchmark, MvShape};

@@ -988,3 +988,75 @@ fn replay_bypasses_for_audit_and_conventional_traffic() {
     assert!(on.conventional_bursts > 0, "cell must interleave bursts");
     assert!(on.schedule_hits > 0, "replay stays hot across bursts");
 }
+
+// ---------------------------------------------------------------------
+// Trace-driven ISA frontend (PR 10): a Table II layer lowered to `.aim`
+// text, parsed back, and physically replayed must be byte-identical to
+// the API-driven `run_mv` path — outputs, cycles, AiM stats, per-channel
+// summaries, and merged telemetry — across both timing engines and pool
+// widths {1, 2, 8}.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lowered_bert_trace_is_byte_identical_across_engines_and_widths() {
+    use newton_isa::{generate, harness, mv, Program};
+
+    let b = Benchmark::BertS1;
+    let shape = b.shape();
+    let mut base = NewtonConfig::paper_default();
+    base.channels = 8;
+
+    // Lower once, round-trip through text once: the trace under test is
+    // the *parsed* artifact, not the in-memory original.
+    let matrix = generator::matrix(shape, b.seed());
+    let vector = generator::vector(shape.n, b.seed() + 1);
+    let program = generate::lower_mv(&base, &matrix, shape.m, shape.n, &vector).expect("lower");
+    let program = Program::parse(&program.render()).expect("round trip");
+    let trace = mv::recognize(&program).expect("recognize");
+    assert_eq!(trace.matrix, matrix, "trace must carry the exact matrix");
+    assert_eq!(trace.vector, vector, "trace must carry the exact vector");
+
+    for engine in [TimingEngine::Reference, TimingEngine::EventSkipping] {
+        for threads in [1usize, 2, 8] {
+            let what = format!("engine {engine:?} threads {threads}");
+            let build = || {
+                let mut cfg = base.clone();
+                cfg.parallel = ParallelPolicy::exact(threads);
+                cfg.telemetry = Some(TelemetryConfig::default());
+                let mut sys = NewtonSystem::new(cfg).expect("system");
+                sys.set_timing_engine(engine);
+                sys
+            };
+
+            let mut sys_trace = build();
+            let loaded = trace.apply_physical(&mut sys_trace).expect("replay");
+            let run_trace = sys_trace
+                .run_resident(&loaded, &trace.vector)
+                .expect("trace run");
+
+            let mut sys_api = build();
+            let run_api = sys_api
+                .run_mv(&matrix, shape.m, shape.n, &vector)
+                .expect("api run");
+
+            let bits = |r: &SystemRun| r.output.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            assert_eq!(bits(&run_trace), bits(&run_api), "{what}: output bits");
+            assert_eq!(run_trace.cycles, run_api.cycles, "{what}: cycles");
+            assert_eq!(run_trace.stats, run_api.stats, "{what}: AiM stats");
+            assert_eq!(
+                run_trace.channel_summaries, run_api.channel_summaries,
+                "{what}: channel summaries"
+            );
+            assert_eq!(
+                run_trace.merged_telemetry(),
+                run_api.merged_telemetry(),
+                "{what}: merged telemetry"
+            );
+            assert_eq!(
+                harness::conformance_snapshot(&run_trace).render(),
+                harness::conformance_snapshot(&run_api).render(),
+                "{what}: conformance snapshot"
+            );
+        }
+    }
+}

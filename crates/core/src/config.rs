@@ -291,6 +291,23 @@ impl NewtonConfig {
         }
     }
 
+    /// A GDDR6/AiM-like configuration: the Table III GDDR6-like device
+    /// (16 banks, 2 KB rows, 256-bit column I/O) across 16 channels —
+    /// the geometry SK hynix's productized GDDR6-AiM descendant of
+    /// Newton ships with. All optimizations stay on and the per-bank
+    /// compute is unchanged (16 multipliers rate-matched to the column
+    /// I/O); only the DRAM substrate and channel count differ, so the
+    /// same `.aim` trace can execute on both device models for an
+    /// apples-to-apples comparison.
+    #[must_use]
+    pub fn gddr6_aim() -> NewtonConfig {
+        NewtonConfig {
+            dram: DramConfig::gddr6_like(),
+            channels: 16,
+            ..NewtonConfig::paper_default()
+        }
+    }
+
     /// Same configuration at a given optimization level (Fig. 9 ladder).
     #[must_use]
     pub fn at_level(level: OptLevel) -> NewtonConfig {

@@ -388,6 +388,13 @@ impl NewtonChannel {
         &self.device
     }
 
+    /// Mutable access to the AiM device state (the trace frontend's
+    /// `WR_GB` / `WR_BIAS` data paths write the global buffer and MAC
+    /// latches directly from host GPRs).
+    pub fn device_mut(&mut self) -> &mut NewtonDevice {
+        &mut self.device
+    }
+
     /// The scheduling cursor (current simulated cycle).
     #[must_use]
     pub fn now(&self) -> Cycle {

@@ -249,6 +249,17 @@ impl MacUnit {
         self.comps += n_sub;
     }
 
+    /// Preloads latch `latch` with a bias value (the AiM `WR_BIAS` data
+    /// path: the host seeds the accumulator before the COMP stream so
+    /// the readout is `bias + Σ w·x` with no extra host add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is out of range.
+    pub fn preload(&mut self, latch: usize, value: Bf16) {
+        self.latches[latch] = value;
+    }
+
     /// Reads latch `latch` (the `READRES` data path).
     #[must_use]
     pub fn result(&self, latch: usize) -> Bf16 {
@@ -342,6 +353,12 @@ impl NewtonDevice {
     /// in schedules that interleave latches across row groups).
     pub fn reset_latch(&mut self, bank: usize, latch: usize) {
         self.macs[bank].reset_one(latch);
+    }
+
+    /// Preloads one bank's latch with a bias value (the AiM `WR_BIAS`
+    /// broadcast: one 256-bit GPR carries 16 bf16 biases, one per bank).
+    pub fn preload_bias(&mut self, bank: usize, latch: usize, value: Bf16) {
+        self.macs[bank].preload(latch, value);
     }
 
     /// Executes the compute half of a COMP on `bank`: the matrix sub-chunk

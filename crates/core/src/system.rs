@@ -578,6 +578,35 @@ impl NewtonSystem {
         })
     }
 
+    /// Builds the per-channel plans for an `m x n` matrix *already
+    /// resident* in channel storage at DRAM row 0 — the planning half of
+    /// [`NewtonSystem::load_matrix`] without the data movement.
+    ///
+    /// The trace frontend (`newton-isa`) deposits matrix bytes through
+    /// explicit `WR_SBK` instructions and then needs the same
+    /// [`LoadedMatrix`] handle the API path would have produced; because
+    /// this goes through the identical `channel_mapping` +
+    /// `compile_plans` pipeline, a subsequent
+    /// [`NewtonSystem::run_resident`] is byte-identical to the API-driven
+    /// [`NewtonSystem::run_mv`] whenever the deposited bytes match.
+    ///
+    /// # Errors
+    ///
+    /// Shape/capacity errors if the matrix geometry does not fit the
+    /// configured channels.
+    pub fn plan_resident(&self, m: usize, n: usize) -> Result<LoadedMatrix, AimError> {
+        let c = self.config.channels;
+        let mut mappings = Vec::with_capacity(c);
+        for ch in 0..c {
+            mappings.push(self.channel_mapping(ch, m, n, 0)?);
+        }
+        Ok(LoadedMatrix {
+            plans: Arc::new(self.compile_plans(mappings)),
+            m,
+            n,
+        })
+    }
+
     /// Runs one inference against a matrix previously made resident by
     /// [`NewtonSystem::load_matrix`], returning raw host-reduced sums
     /// (the repeated-inference path: no reload between inputs).

@@ -1,0 +1,330 @@
+//! Recognition and replay of a lowered matrix–vector trace.
+//!
+//! [`crate::generate::lower_mv`] emits a canonical instruction sequence:
+//! a CFR geometry header, a `WR_GPR`/`WR_SBK` stream depositing the
+//! matrix, a `WR_GPR`/`WR_GB` stream carrying the input vector, the
+//! `MAC_ABK` row-set stream, then `RD_MAC` + `EOC`. This module walks
+//! that sequence back into an executable workload:
+//!
+//! * the **physical** path ([`MvTrace::apply_physical`]) deposits the
+//!   trace's bytes into channel storage in exactly the order and
+//!   granularity of `MatrixMapping::load_strided`, then plans with
+//!   `NewtonSystem::plan_resident` — so a subsequent `run_resident` is
+//!   byte-identical to the API-driven `run_mv` (outputs, cycles, stats,
+//!   summaries, telemetry);
+//! * the **logical** recovery ([`MvTrace::matrix`]/[`MvTrace::vector`])
+//!   reconstructs the row-major workload through the origin mapping, so
+//!   backends with *different* geometry (GDDR6/AiM, Ideal, GPU) can run
+//!   the same trace.
+//!
+//! Recognition also re-verifies the trace's `MAC_ABK` stream against a
+//! freshly built [`Schedule`] for the declared geometry — a trace whose
+//! compute stream disagrees with what the controller would issue is
+//! rejected with [`IsaError::ScheduleMismatch`].
+
+use std::collections::BTreeMap;
+
+use newton_bf16::{slice, Bf16};
+use newton_core::layout::MatrixMapping;
+use newton_core::system::{LoadedMatrix, NewtonSystem};
+use newton_core::tiling::Schedule;
+
+use crate::error::IsaError;
+use crate::instr::{Instr, GPR_BYTES, GPR_COUNT};
+use crate::program::{Program, TraceGeometry};
+
+/// Sub-chunk elements carried by one GPR (16 bf16 in 256 bits).
+pub const GPR_ELEMS: usize = GPR_BYTES / 2;
+
+/// A recognized matrix–vector trace.
+#[derive(Debug, Clone)]
+pub struct MvTrace {
+    /// The declared origin geometry.
+    pub geometry: TraceGeometry,
+    /// Deposited row bytes, keyed by `(channel, bank, dram_row)`; rows
+    /// never written stay logically zero (fresh DRAM arrays materialize
+    /// zero rows, and `load_strided` zero-fills its staging buffer).
+    rows: BTreeMap<(usize, usize, usize), Vec<u8>>,
+    /// The recovered logical `m x n` matrix (row-major).
+    pub matrix: Vec<Bf16>,
+    /// The recovered input vector (length `n`).
+    pub vector: Vec<Bf16>,
+    /// Row-sets carried by the `MAC_ABK` stream (after verification).
+    pub mac_sets: usize,
+}
+
+/// Iterates the channels named by a mask, validating the bound.
+fn mask_channels(mask: u64, channels: usize) -> Result<Vec<usize>, IsaError> {
+    if channels < 64 && mask >> channels != 0 {
+        return Err(IsaError::ChannelMaskOutOfRange { mask, channels });
+    }
+    Ok((0..channels.min(64))
+        .filter(|c| mask >> c & 1 == 1)
+        .collect())
+}
+
+/// Recognizes a lowered MV program.
+///
+/// # Errors
+///
+/// Typed [`IsaError`]s for missing geometry, out-of-range addresses,
+/// instructions outside the canonical MV vocabulary
+/// ([`IsaError::NotMv`]), or a compute stream that disagrees with the
+/// rebuilt schedule ([`IsaError::ScheduleMismatch`]).
+pub fn recognize(program: &Program) -> Result<MvTrace, IsaError> {
+    let geometry = program.geometry()?;
+    let row_bytes = geometry.row_elems * 2;
+    let cols_per_row = row_bytes / GPR_BYTES;
+    let mut mappings: Vec<Option<MatrixMapping>> = Vec::with_capacity(geometry.channels);
+    for ch in 0..geometry.channels {
+        mappings.push(geometry.mapping(ch)?);
+    }
+
+    let mut gprs = vec![[0u8; GPR_BYTES]; GPR_COUNT];
+    let mut rows: BTreeMap<(usize, usize, usize), Vec<u8>> = BTreeMap::new();
+    let mut vector = vec![Bf16::ZERO; geometry.n];
+    let mut mac_stream: Vec<(usize, Instr)> = Vec::new();
+    for (index, instr) in program.instrs.iter().enumerate() {
+        match instr {
+            Instr::WrCfr { .. } => {}
+            Instr::WrGpr { gpr, data } => {
+                if *gpr >= GPR_COUNT {
+                    return Err(IsaError::GprOutOfRange {
+                        gpr: *gpr,
+                        count: GPR_COUNT,
+                    });
+                }
+                gprs[*gpr] = *data;
+            }
+            Instr::WrSbk {
+                gpr,
+                channels,
+                bank,
+                row,
+                col,
+            } => {
+                if *gpr >= GPR_COUNT {
+                    return Err(IsaError::GprOutOfRange {
+                        gpr: *gpr,
+                        count: GPR_COUNT,
+                    });
+                }
+                if *bank >= geometry.banks {
+                    return Err(IsaError::BankOutOfRange {
+                        bank: *bank,
+                        banks: geometry.banks,
+                    });
+                }
+                if *col >= cols_per_row {
+                    return Err(IsaError::ColOutOfRange {
+                        col: *col,
+                        cols: cols_per_row,
+                    });
+                }
+                for ch in mask_channels(*channels, geometry.channels)? {
+                    let rows_used = mappings[ch]
+                        .as_ref()
+                        .map_or(0, MatrixMapping::rows_per_bank);
+                    if *row >= rows_used {
+                        return Err(IsaError::RowOutOfRange {
+                            row: *row,
+                            rows: rows_used,
+                        });
+                    }
+                    let slot = rows
+                        .entry((ch, *bank, *row))
+                        .or_insert_with(|| vec![0u8; row_bytes]);
+                    slot[col * GPR_BYTES..(col + 1) * GPR_BYTES].copy_from_slice(&gprs[*gpr]);
+                }
+            }
+            Instr::WrGb {
+                gpr,
+                channels,
+                offset,
+            } => {
+                if *gpr >= GPR_COUNT {
+                    return Err(IsaError::GprOutOfRange {
+                        gpr: *gpr,
+                        count: GPR_COUNT,
+                    });
+                }
+                mask_channels(*channels, geometry.channels)?;
+                let subchunks = geometry.n.div_ceil(GPR_ELEMS);
+                if *offset >= subchunks {
+                    return Err(IsaError::GbOffsetOutOfRange {
+                        offset: *offset,
+                        subchunks,
+                    });
+                }
+                let elems = slice::unpack(&gprs[*gpr])
+                    .map_err(|e| IsaError::Geometry(format!("GPR payload: {e:?}")))?;
+                let start = offset * GPR_ELEMS;
+                let len = GPR_ELEMS.min(geometry.n - start);
+                vector[start..start + len].copy_from_slice(&elems[..len]);
+            }
+            Instr::MacAbk { .. } => mac_stream.push((index, instr.clone())),
+            Instr::RdMac { .. } | Instr::Eoc => break,
+            other => {
+                return Err(IsaError::NotMv(format!(
+                    "instruction {index} ({other}) is outside the lowered-MV vocabulary"
+                )))
+            }
+        }
+    }
+
+    verify_mac_stream(&geometry, &mappings, &mac_stream)?;
+    let matrix = recover_matrix(&geometry, &mappings, &rows)?;
+    Ok(MvTrace {
+        geometry,
+        rows,
+        matrix,
+        vector,
+        mac_sets: mac_stream.len(),
+    })
+}
+
+/// Checks the trace's `MAC_ABK` stream 1:1 against the schedule the
+/// declared geometry implies (built for the widest channel, channel 0 —
+/// all channels share the traversal structure).
+fn verify_mac_stream(
+    geometry: &TraceGeometry,
+    mappings: &[Option<MatrixMapping>],
+    stream: &[(usize, Instr)],
+) -> Result<(), IsaError> {
+    let Some(mapping0) = mappings.first().and_then(Option::as_ref) else {
+        return Ok(());
+    };
+    let schedule = Schedule::build(geometry.schedule, mapping0);
+    let row_sets = schedule.row_sets();
+    if stream.len() != row_sets.len() {
+        return Err(IsaError::ScheduleMismatch {
+            index: stream.len().min(row_sets.len()),
+            detail: format!(
+                "trace carries {} MAC_ABK row-sets, schedule has {}",
+                stream.len(),
+                row_sets.len()
+            ),
+        });
+    }
+    for (i, ((_, instr), rs)) in stream.iter().zip(row_sets).enumerate() {
+        let Instr::MacAbk {
+            row,
+            chunk,
+            latch,
+            n_sub,
+            load_chunk,
+            reset_latch,
+            ..
+        } = instr
+        else {
+            unreachable!("stream holds only MacAbk");
+        };
+        let want_sub = mapping0.chunk_elems(rs.chunk).div_ceil(GPR_ELEMS);
+        if (*row, *chunk, *latch, *n_sub, *load_chunk, *reset_latch)
+            != (
+                rs.dram_row,
+                rs.chunk,
+                rs.latch,
+                want_sub,
+                rs.load_chunk,
+                rs.reset_latch,
+            )
+        {
+            return Err(IsaError::ScheduleMismatch {
+                index: i,
+                detail: format!(
+                    "trace (row {row}, chunk {chunk}, latch {latch}, n_sub {n_sub}, \
+                     flags {load_chunk}/{reset_latch}) vs schedule (row {}, chunk {}, \
+                     latch {}, n_sub {want_sub}, flags {}/{})",
+                    rs.dram_row, rs.chunk, rs.latch, rs.load_chunk, rs.reset_latch
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds the logical row-major matrix from the deposited bytes
+/// through the origin mapping (the inverse of `load_strided`).
+fn recover_matrix(
+    geometry: &TraceGeometry,
+    mappings: &[Option<MatrixMapping>],
+    rows: &BTreeMap<(usize, usize, usize), Vec<u8>>,
+) -> Result<Vec<Bf16>, IsaError> {
+    let (m, n, c) = (geometry.m, geometry.n, geometry.channels);
+    let mut matrix = vec![Bf16::ZERO; m * n];
+    let zero_row = vec![0u8; geometry.row_elems * 2];
+    for (ch, mapping) in mappings.iter().enumerate() {
+        let Some(map) = mapping else { continue };
+        for li in 0..map.m() {
+            let gi = ch + li * c;
+            for chunk in 0..map.num_chunks() {
+                let (bank, dram_row, offset) = map.location(li, chunk * map.row_elems())?;
+                let bytes = rows
+                    .get(&(ch, bank, dram_row))
+                    .map_or(zero_row.as_slice(), Vec::as_slice);
+                let len = map.chunk_elems(chunk);
+                let elems = slice::unpack(&bytes[offset * 2..(offset + len) * 2])
+                    .map_err(|e| IsaError::Geometry(format!("stored row bytes: {e:?}")))?;
+                matrix[gi * n + chunk * map.row_elems()..][..len].copy_from_slice(&elems);
+            }
+        }
+    }
+    Ok(matrix)
+}
+
+impl MvTrace {
+    /// Deposits the trace's physical bytes into `system`'s channel
+    /// storage and returns the resident-matrix plan — the byte-exact
+    /// mirror of `NewtonSystem::load_matrix`.
+    ///
+    /// Rows are written whole, zero-padded, in the `(local row, chunk)`
+    /// order of `MatrixMapping::load_strided`, so storage contents (and
+    /// write-epoch counts) match the API path exactly; running the
+    /// returned plan with `run_resident` is then byte-identical to
+    /// `run_mv` on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::Geometry`] when `system`'s geometry differs from the
+    /// trace's (use the logical [`MvTrace::matrix`] + `load_matrix`
+    /// relayout path instead); substrate errors otherwise.
+    pub fn apply_physical(&self, system: &mut NewtonSystem) -> Result<LoadedMatrix, IsaError> {
+        if !self.geometry.matches(system.config()) {
+            return Err(IsaError::Geometry(format!(
+                "trace geometry ({} ch, {} banks, {} row elems) does not match the system \
+                 ({} ch, {} banks, {} row elems) — relayout through MvTrace::matrix instead",
+                self.geometry.channels,
+                self.geometry.banks,
+                self.geometry.row_elems,
+                system.config().channels,
+                system.config().dram.banks,
+                system.config().row_elems()
+            )));
+        }
+        let row_bytes = self.geometry.row_elems * 2;
+        let mut buf = vec![0u8; row_bytes];
+        for ch in 0..self.geometry.channels {
+            let Some(map) = self.geometry.mapping(ch)? else {
+                continue;
+            };
+            let channel = &mut system.channels_mut()[ch];
+            for li in 0..map.m() {
+                for chunk in 0..map.num_chunks() {
+                    let (bank, dram_row, _) = map.location(li, chunk * map.row_elems())?;
+                    buf.fill(0);
+                    if let Some(bytes) = self.rows.get(&(ch, bank, dram_row)) {
+                        buf.copy_from_slice(bytes);
+                    }
+                    channel
+                        .channel_mut()
+                        .storage_mut()
+                        .write_row(bank, dram_row, &buf)?;
+                }
+            }
+        }
+        system
+            .plan_resident(self.geometry.m, self.geometry.n)
+            .map_err(IsaError::from)
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based ISA fuzzing (satellite of the trace frontend).
+//!
+//! Three contracts, seeded through the offline proptest shim's
+//! counter-mode RNG so every failure reproduces from its case number:
+//!
+//! 1. Well-formed random programs round-trip `Instr -> text -> Instr`
+//!    losslessly.
+//! 2. The decoder/interpreter never panics: any outcome is `Ok` or a
+//!    typed [`IsaError`].
+//! 3. Out-of-range operands (banks, rows, columns, GPRs, latches,
+//!    channel masks) are rejected with the matching typed variant.
+
+use newton_core::config::NewtonConfig;
+use newton_isa::{generate, interp, Instr, IsaError, Program};
+use proptest::prelude::*;
+
+fn small_config() -> NewtonConfig {
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 2;
+    cfg
+}
+
+/// A trace with the geometry header plus one arbitrary instruction.
+fn one_instr_program(instr: Instr) -> Program {
+    let cfg = small_config();
+    let mut program = generate::random_program(&cfg, 0, 0);
+    // random_program ends with EOC; splice the probe before it.
+    program.instrs.insert(program.instrs.len() - 1, instr);
+    program
+}
+
+proptest! {
+    /// Random well-formed programs survive render -> parse unchanged.
+    #[test]
+    fn render_parse_round_trip(seed in any::<u64>(), len in 1usize..48) {
+        let program = generate::random_program(&small_config(), seed, len);
+        let text = program.render();
+        let reparsed = Program::parse(&text).unwrap();
+        prop_assert_eq!(reparsed, program);
+    }
+
+    /// Interpretation of any well-formed random program terminates
+    /// without panicking (typed errors allowed, aborts are not).
+    #[test]
+    fn interpreter_never_panics(seed in any::<u64>(), len in 1usize..32) {
+        let cfg = small_config();
+        let program = generate::random_program(&cfg, seed, len);
+        let _ = interp::interpret(&program, cfg);
+    }
+
+    /// Truncating or corrupting any single instruction line yields a
+    /// typed parse error carrying that line's number — never a panic.
+    #[test]
+    fn corrupted_lines_fail_typed(seed in any::<u64>(), len in 2usize..24) {
+        let program = generate::random_program(&small_config(), seed, len);
+        let text = program.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Corrupt the last instruction body line (never the magic).
+        let victim = 1 + (seed as usize % (lines.len() - 1));
+        let mut mutated: Vec<String> = lines.iter().map(ToString::to_string).collect();
+        mutated[victim] = format!("{}garbage!", &mutated[victim][..mutated[victim].len() / 2]);
+        let mutated = mutated.join("\n");
+        match Program::parse(&mutated) {
+            Ok(p) => prop_assert_eq!(p.instrs.len(), len + 7), // corrupted into a comment-free valid line is impossible: '!' parses nowhere
+            Err(IsaError::Parse { line, .. }) => prop_assert_eq!(line, victim + 1),
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Out-of-range banks are a typed rejection.
+    #[test]
+    fn bank_out_of_range_is_typed(bank in 16usize..256) {
+        let p = one_instr_program(Instr::WrSbk { gpr: 0, channels: 0x1, bank, row: 0, col: 0 });
+        match interp::interpret(&p, small_config()) {
+            Err(IsaError::BankOutOfRange { bank: b, banks: 16 }) => assert_eq!(b, bank),
+            other => panic!("expected BankOutOfRange, got {other:?}"),
+        }
+    }
+
+    /// Out-of-range rows are a typed rejection.
+    #[test]
+    fn row_out_of_range_is_typed(row in 32_768usize..100_000) {
+        let p = one_instr_program(Instr::MacSbk { channels: 0x1, bank: 0, row, n_sub: 1 });
+        match interp::interpret(&p, small_config()) {
+            Err(IsaError::RowOutOfRange { row: r, .. }) => assert_eq!(r, row),
+            other => panic!("expected RowOutOfRange, got {other:?}"),
+        }
+    }
+
+    /// Out-of-range columns are a typed rejection.
+    #[test]
+    fn col_out_of_range_is_typed(col in 32usize..1000) {
+        let p = one_instr_program(Instr::RdSbk { gpr: 0, channels: 0x1, bank: 0, row: 0, col });
+        match interp::interpret(&p, small_config()) {
+            Err(IsaError::ColOutOfRange { col: c, cols: 32 }) => assert_eq!(c, col),
+            other => panic!("expected ColOutOfRange, got {other:?}"),
+        }
+    }
+
+    /// Out-of-range GPRs are a typed rejection.
+    #[test]
+    fn gpr_out_of_range_is_typed(gpr in 64usize..1024) {
+        let p = one_instr_program(Instr::WrGpr { gpr, data: [0; 32] });
+        match interp::interpret(&p, small_config()) {
+            Err(IsaError::GprOutOfRange { gpr: g, count: 64 }) => assert_eq!(g, gpr),
+            other => panic!("expected GprOutOfRange, got {other:?}"),
+        }
+    }
+
+    /// Channel masks addressing unconfigured channels are rejected.
+    #[test]
+    fn channel_mask_out_of_range_is_typed(extra in 2u32..63) {
+        let mask = 1u64 << extra; // config has 2 channels
+        let p = one_instr_program(Instr::RdMac { gpr: 0, channels: mask, latch: 0 });
+        match interp::interpret(&p, small_config()) {
+            Err(IsaError::ChannelMaskOutOfRange { channels: 2, .. }) => {}
+            other => panic!("expected ChannelMaskOutOfRange, got {other:?}"),
+        }
+    }
+
+    /// Out-of-range result latches are rejected.
+    #[test]
+    fn latch_out_of_range_is_typed(latch in 1usize..64) {
+        // paper_default has a single result latch per bank.
+        let p = one_instr_program(Instr::RdMac { gpr: 0, channels: 0x1, latch });
+        match interp::interpret(&p, small_config()) {
+            Err(IsaError::LatchOutOfRange { latch: l, latches: 1 }) => assert_eq!(l, latch),
+            other => panic!("expected LatchOutOfRange, got {other:?}"),
+        }
+    }
+}

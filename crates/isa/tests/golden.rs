@@ -1,0 +1,73 @@
+//! The golden `.aim` corpus: each checked-in trace's interpreter log is
+//! pinned byte-for-byte against its `.expected` sibling.
+//!
+//! The interpreter never branches on `TimingEngine` or thread width, so
+//! these logs are stable across every simulator configuration the suite
+//! sweeps. Regenerate (after an intentional semantic change) with:
+//!
+//! ```text
+//! cargo run -p newton-isa --bin newton -- run crates/isa/tests/traces/<name>.aim \
+//!     > crates/isa/tests/traces/<name>.expected
+//! ```
+
+use newton_core::config::NewtonConfig;
+use newton_isa::{interp, IsaError, Program};
+
+fn golden(name: &str) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/traces");
+    let trace = std::fs::read_to_string(format!("{dir}/{name}.aim")).unwrap();
+    let expected = std::fs::read_to_string(format!("{dir}/{name}.expected")).unwrap();
+    let program = Program::parse(&trace).unwrap();
+    let run = interp::interpret(&program, NewtonConfig::paper_default()).unwrap();
+    assert_eq!(run.log, expected, "golden log drift for {name}.aim");
+}
+
+#[test]
+fn single_bank_write_read() {
+    golden("single_bank");
+}
+
+#[test]
+fn ganged_all_bank_comp() {
+    golden("ganged_comp");
+}
+
+#[test]
+fn global_buffer_roundtrip() {
+    golden("gb_roundtrip");
+}
+
+#[test]
+fn bias_preload_and_mac_readout() {
+    golden("bias_mac");
+}
+
+#[test]
+fn mixed_aim_and_conventional_traffic() {
+    golden("mixed_host");
+}
+
+#[test]
+fn malformed_trace_is_a_typed_line_error() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/traces");
+    let trace = std::fs::read_to_string(format!("{dir}/malformed.aim")).unwrap();
+    match Program::parse(&trace) {
+        Err(IsaError::Parse { line, msg }) => {
+            assert_eq!(line, 6, "bad instruction sits on source line 6");
+            assert!(msg.contains("hex"), "{msg}");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}
+
+/// The serialization rule, observed through the golden log itself: the
+/// host responses in `mixed_host.expected` must precede the MAC readout
+/// (conventional traffic drains before the next AiM instruction).
+#[test]
+fn serialization_rule_orders_host_before_mac() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/traces");
+    let log = std::fs::read_to_string(format!("{dir}/mixed_host.expected")).unwrap();
+    let host = log.find("HOST ch=0 RD").expect("host read logged");
+    let mac = log.find("RD_MAC").expect("mac readout logged");
+    assert!(host < mac, "host queue must drain before the MAC readout");
+}

@@ -16,6 +16,7 @@
 //! | [`baselines`] | Ideal Non-PIM and a Titan-V-like GPU model |
 //! | [`model`] | Sec. III-F performance model + Fig. 13 power model |
 //! | [`mod@bench`] | one experiment function per table/figure |
+//! | [`isa`] | `.aim` text-trace frontend + multi-backend conformance |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use newton_bench as bench;
 pub use newton_bf16 as bf16;
 pub use newton_core as core;
 pub use newton_dram as dram;
+pub use newton_isa as isa;
 pub use newton_model as model;
 pub use newton_trace as trace;
 pub use newton_workloads as workloads;

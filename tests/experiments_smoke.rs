@@ -76,3 +76,39 @@ fn batch_scaling_directions() {
     let g64 = gpu.per_inference_ns(shape, 64);
     assert!(g64 < g1 / 10.0);
 }
+
+// ---------------------------------------------------------------------
+// Seed-era triage (PR 10): audited the whole workspace for `#[ignore]`d
+// or flaky carve-outs from the original seed — `grep -rn '#\[ignore'`
+// over src/ and tests/ finds none, and the tier-1 suite reports
+// "0 ignored" on every crate. Nothing is left to re-enable, so the
+// audit's artifact is the trace-replay smoke below: the newest frontend
+// (the `.aim` ISA layer) exercised end to end in the tier-1 run.
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_frontend_replay_smoke() {
+    use newton_aim::core::system::NewtonSystem;
+    use newton_aim::isa::{generate, mv, Program};
+    use newton_aim::workloads::{generator, MvShape};
+
+    let mut cfg = NewtonConfig::paper_default();
+    cfg.channels = 4;
+    let (m, n) = (64, 128);
+    let matrix = generator::matrix(MvShape::new(m, n), 3);
+    let vector = generator::vector(n, 4);
+
+    // Lower -> render -> parse -> recognize -> physical replay.
+    let program = generate::lower_mv(&cfg, &matrix, m, n, &vector).expect("lower");
+    let trace = mv::recognize(&Program::parse(&program.render()).expect("parse")).expect("mv");
+    let mut sys = NewtonSystem::new(cfg.clone()).expect("system");
+    let loaded = trace.apply_physical(&mut sys).expect("replay");
+    let replayed = sys.run_resident(&loaded, &trace.vector).expect("run");
+
+    let mut api = NewtonSystem::new(cfg).expect("system");
+    let direct = api.run_mv(&matrix, m, n, &vector).expect("run");
+    let bits = |o: &[f32]| o.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    assert_eq!(bits(&replayed.output), bits(&direct.output));
+    assert_eq!(replayed.cycles, direct.cycles);
+    assert_eq!(replayed.stats, direct.stats);
+}
